@@ -1,0 +1,52 @@
+// Package pws implements parallel working-set search structures: ordered
+// maps whose total work adapts to the temporal locality of the access
+// sequence, following "Parallel Working-Set Search Structures" (Agrawal,
+// Gilbert, Lim — SPAA 2018).
+//
+// # Background
+//
+// A working-set map guarantees that accessing an item with recency r —
+// i.e. r distinct items were accessed since the last access to it — costs
+// O(1 + log r) work rather than O(log n). Over any operation sequence L
+// the total work is bounded by the working-set bound
+//
+//	W_L = Σ (log2(r_i) + 1),
+//
+// which also implies static optimality: the map is never asymptotically
+// worse than the best static search tree for the observed access
+// frequencies, and far better when the access pattern has temporal
+// locality (caches, sessions, hot keys, bursts).
+//
+// This package provides the paper's two parallel designs plus the
+// sequential structures they build on:
+//
+//   - NewM1: the batched parallel working-set map (Theorem 3). Operations
+//     from any number of goroutines are implicitly batched, entropy-sorted
+//     to combine duplicates, and run through the segment structure as
+//     group operations.
+//   - NewM2: the pipelined parallel working-set map (Theorem 4). Like M1,
+//     but the segment structure is pipelined so a cheap (recent) operation
+//     is not blocked behind an expensive one; operations on recent items
+//     complete in O((log p)² + log r) span independent of the map size.
+//   - NewM0: the amortized sequential working-set map of Section 5.
+//   - NewIacono: Iacono's classic working-set structure.
+//   - NewSplay: a splay tree (amortized self-adjusting baseline).
+//   - NewBatchedTree: a batched, non-adaptive parallel 2-3 tree map (the
+//     paper's comparison baseline).
+//
+// # Choosing a map
+//
+// Use NewM2 for concurrent workloads with temporal locality and latency
+// sensitivity; NewM1 when simplicity matters and operations are
+// throughput-bound; the sequential constructors for single-goroutine use
+// or as baselines. All parallel maps are drop-in concurrent ordered maps:
+//
+//	m := pws.NewM2[string, int](pws.Options{})
+//	defer m.Close()
+//	m.Insert("k", 1)
+//	v, ok := m.Get("k")
+//	m.Delete("k")
+//
+// See EXPERIMENTS.md for the measured reproduction of every bound in the
+// paper, and DESIGN.md for the system inventory.
+package pws

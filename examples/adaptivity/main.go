@@ -1,0 +1,63 @@
+// Adaptivity prints the defining curve of a working-set structure: the
+// measured cost of one access as a function of the item's recency r.
+//
+// For the working-set maps the curve grows like 1 + log2(r) and is flat in
+// the map size n; for a non-adaptive balanced tree it is flat at log2(n)
+// regardless of recency. This is the corollary of Theorem 7 / Lemma 6 made
+// visible, and the shape that gives the structures their static
+// optimality.
+package main
+
+import (
+	"fmt"
+
+	pws "repro"
+	"repro/internal/metrics"
+)
+
+const n = 1 << 16 // map size
+
+// measure returns the structural work of a single Get of item 0 when its
+// recency is exactly r, averaged over rounds.
+func measure(m pws.Map[int, int], cnt *metrics.Counter, r, rounds int) float64 {
+	total := int64(0)
+	for round := 0; round < rounds; round++ {
+		m.Get(0)
+		for i := 1; i < r; i++ {
+			m.Get(i)
+		}
+		before := cnt.Total()
+		m.Get(0)
+		total += cnt.Total() - before
+	}
+	return float64(total) / float64(rounds)
+}
+
+func main() {
+	cntM0 := &pws.WorkCounter{}
+	m0 := pws.NewM0[int, int](cntM0)
+	cntIa := &pws.WorkCounter{}
+	ia := pws.NewIacono[int, int](cntIa)
+	cntSp := &pws.WorkCounter{}
+	sp := pws.NewSplay[int, int](cntSp)
+
+	for i := 0; i < n; i++ {
+		m0.Insert(i, i)
+		ia.Insert(i, i)
+		sp.Insert(i, i)
+	}
+
+	fmt.Printf("cost of re-accessing one item at recency r (map size n = %d)\n\n", n)
+	fmt.Printf("%10s %12s %12s %12s\n", "recency r", "M0", "Iacono", "splay")
+	for _, r := range []int{1, 2, 4, 16, 64, 256, 1024, 4096, 16384} {
+		c0 := measure(m0, cntM0, r, 5)
+		ci := measure(ia, cntIa, r, 5)
+		cs := measure(sp, cntSp, r, 5)
+		fmt.Printf("%10d %12.1f %12.1f %12.1f\n", r, c0, ci, cs)
+	}
+	fmt.Println("\nExpected shape: M0 and Iacono grow ~logarithmically with r and stay")
+	fmt.Println("flat in n — their working-set bound is worst-case per operation.")
+	fmt.Println("The splay tree is cheapest at tiny r but its bound is only amortized:")
+	fmt.Println("under this cyclic pattern a single access costs Θ(r), which is exactly")
+	fmt.Println("why the paper builds on Iacono-style structures rather than splaying.")
+}

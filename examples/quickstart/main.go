@@ -1,0 +1,61 @@
+// Quickstart: use the pipelined parallel working-set map (M2) as an
+// ordinary concurrent ordered map from many goroutines.
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	pws "repro"
+)
+
+func main() {
+	m := pws.NewM2[string, int](pws.Options{})
+	defer m.Close()
+
+	// Concurrent writers: each goroutine owns a shard of keys.
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.Insert(fmt.Sprintf("user:%d:%d", w, i), w*1000+i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	fmt.Printf("inserted %d items\n", m.Len())
+
+	// Concurrent readers with temporal locality: the working-set property
+	// makes re-reads of recent keys cheap regardless of map size.
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			hot := fmt.Sprintf("user:%d:%d", w, 0)
+			for i := 0; i < 1000; i++ {
+				if v, ok := m.Get(hot); !ok || v != w*1000 {
+					panic(fmt.Sprintf("lost key %s: (%d, %v)", hot, v, ok))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Mixed mutation: delete every worker's shard concurrently.
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if _, ok := m.Delete(fmt.Sprintf("user:%d:%d", w, i)); !ok {
+					panic("delete missed an inserted key")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	fmt.Printf("after deletes: %d items, %d cut batches processed\n", m.Len(), m.Batches())
+	fmt.Println("quickstart OK")
+}

@@ -1,0 +1,49 @@
+package core
+
+import "cmp"
+
+// Apply submits a whole batch of operations at once and waits for all of
+// their results, returned in input order. It is semantically identical to
+// running the operations from len(ops) concurrent goroutines — they may be
+// combined into the same cut batch and grouped per key in input order —
+// but costs one blocking client instead of many.
+func (m *M1[K, V]) Apply(ops []Op[K, V]) []Result[V] {
+	if m.closed.Load() {
+		panic("core: M1 used after Close")
+	}
+	m.pending.Add(1)
+	defer m.pending.Add(-1)
+	calls := submitAll(m.pb.AddAll, ops)
+	m.act.Activate()
+	return collect(calls)
+}
+
+// Apply submits a whole batch of operations at once and waits for all of
+// their results, returned in input order. See M1.Apply.
+func (m *M2[K, V]) Apply(ops []Op[K, V]) []Result[V] {
+	if m.closed.Load() {
+		panic("core: M2 used after Close")
+	}
+	m.pending.Add(1)
+	defer m.pending.Add(-1)
+	calls := submitAll(m.pb.AddAll, ops)
+	m.act.Activate()
+	return collect(calls)
+}
+
+func submitAll[K cmp.Ordered, V any](addAll func([]*call[K, V]), ops []Op[K, V]) []*call[K, V] {
+	calls := make([]*call[K, V], len(ops))
+	for i, op := range ops {
+		calls[i] = newCall(op)
+	}
+	addAll(calls)
+	return calls
+}
+
+func collect[K cmp.Ordered, V any](calls []*call[K, V]) []Result[V] {
+	out := make([]Result[V], len(calls))
+	for i, c := range calls {
+		out[i] = c.wait()
+	}
+	return out
+}

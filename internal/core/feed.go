@@ -1,0 +1,72 @@
+package core
+
+// feedBuffer is the engines' feed buffer (Section 6.1): a queue of bunches,
+// each holding up to bunchCap operations; input batches are cut so that the
+// first piece tops up the last bunch and the rest append as new bunches.
+// Only the engine's activation run touches it, so it needs no locking; the
+// engines expose its size through an atomic for their ready conditions.
+type feedBuffer[T any] struct {
+	bunches  [][]T
+	head     int
+	total    int
+	bunchCap int
+}
+
+func newFeedBuffer[T any](bunchCap int) *feedBuffer[T] {
+	if bunchCap < 1 {
+		bunchCap = 1
+	}
+	return &feedBuffer[T]{bunchCap: bunchCap}
+}
+
+func (f *feedBuffer[T]) len() int { return f.total }
+
+// add cuts input into the bunch queue.
+func (f *feedBuffer[T]) add(input []T) {
+	f.total += len(input)
+	for len(input) > 0 {
+		if f.head == len(f.bunches) {
+			f.bunches = append(f.bunches, make([]T, 0, f.bunchCap))
+		}
+		last := &f.bunches[len(f.bunches)-1]
+		room := f.bunchCap - len(*last)
+		if room == 0 {
+			f.bunches = append(f.bunches, make([]T, 0, f.bunchCap))
+			continue
+		}
+		take := room
+		if take > len(input) {
+			take = len(input)
+		}
+		*last = append(*last, input[:take]...)
+		input = input[take:]
+	}
+}
+
+// take removes up to c bunches from the head of the queue and returns their
+// concatenation (the cut batch).
+func (f *feedBuffer[T]) take(c int) []T {
+	n := 0
+	end := f.head
+	for i := 0; i < c && end < len(f.bunches); i++ {
+		n += len(f.bunches[end])
+		end++
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]T, 0, n)
+	for ; f.head < end; f.head++ {
+		out = append(out, f.bunches[f.head]...)
+		f.bunches[f.head] = nil
+	}
+	if f.head == len(f.bunches) {
+		f.bunches = f.bunches[:0]
+		f.head = 0
+	} else if f.head > 64 && f.head*2 > len(f.bunches) {
+		f.bunches = append(f.bunches[:0], f.bunches[f.head:]...)
+		f.head = 0
+	}
+	f.total -= n
+	return out
+}

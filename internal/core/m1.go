@@ -1,0 +1,222 @@
+package core
+
+import (
+	"cmp"
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/esort"
+	"repro/internal/locks"
+	"repro/internal/metrics"
+	"repro/internal/pbuffer"
+)
+
+// Config configures the parallel working-set maps.
+type Config struct {
+	// P is the processor-count parameter p of the paper: bunches have size
+	// P², and M1 cut batches take ceil(log n / P) bunches. Defaults to
+	// runtime.GOMAXPROCS(0).
+	P int
+	// Pivot selects the PESort pivot strategy (default MedianOfMedians).
+	Pivot esort.PivotStrategy
+	// Counter, when non-nil, accumulates structural work for experiments.
+	Counter *metrics.Counter
+	// RecordLinearization, when set, makes the engine log the linearization
+	// it induces (batch order; per key, arrival order) so experiments can
+	// compute the working-set bound W_L it must be measured against.
+	RecordLinearization bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.P < 1 {
+		c.P = runtime.GOMAXPROCS(0)
+	}
+	if c.P < 2 {
+		c.P = 2
+	}
+	return c
+}
+
+// M1 is the simple batched parallel working-set map of Section 6
+// (Theorem 3): operations are implicitly batched through a parallel
+// buffer, cut into bunches of size p², entropy-sorted to combine
+// duplicates, and passed as group-operations through the segments.
+// Its total work is O(W_L + e_L·log p) for a batch-preserving
+// linearization L (Theorem 12).
+//
+// All methods are safe for concurrent use; each call blocks until the
+// engine returns its result, exactly like calling an atomic map.
+type M1[K cmp.Ordered, V any] struct {
+	cfg Config
+	pb  *pbuffer.Buffer[*call[K, V]]
+	act *locks.Activation
+	rec *opRecorder[K, V]
+
+	// Engine-private state: touched only inside the activation run.
+	feed *feedBuffer[*call[K, V]]
+	slab slab[K, V]
+	size int
+
+	sizeA   atomic.Int64 // published size for Len()
+	feedA   atomic.Int64 // published feed-buffer size for the ready condition
+	batches atomic.Int64 // processed cut batches (diagnostics)
+	pending atomic.Int64
+	closed  atomic.Bool
+}
+
+// NewM1 creates an M1 map.
+func NewM1[K cmp.Ordered, V any](cfg Config) *M1[K, V] {
+	cfg = cfg.withDefaults()
+	m := &M1[K, V]{
+		cfg:  cfg,
+		pb:   pbuffer.New[*call[K, V]](cfg.P),
+		feed: newFeedBuffer[*call[K, V]](cfg.P * cfg.P),
+		rec:  &opRecorder[K, V]{on: cfg.RecordLinearization},
+	}
+	m.slab.cnt = cfg.Counter
+	m.act = locks.NewActivation(
+		func() bool { return m.pb.Len() > 0 || m.feedA.Load() > 0 },
+		m.engineRun,
+	)
+	return m
+}
+
+// Get searches for key k.
+func (m *M1[K, V]) Get(k K) (V, bool) {
+	r := m.do(Op[K, V]{Kind: OpGet, Key: k})
+	return r.Val, r.OK
+}
+
+// Insert adds k with value v, or updates it if present; it returns the
+// previous value and whether the key existed.
+func (m *M1[K, V]) Insert(k K, v V) (V, bool) {
+	r := m.do(Op[K, V]{Kind: OpInsert, Key: k, Val: v})
+	return r.Val, r.OK
+}
+
+// Delete removes k; it returns the removed value and whether the key
+// existed.
+func (m *M1[K, V]) Delete(k K) (V, bool) {
+	r := m.do(Op[K, V]{Kind: OpDelete, Key: k})
+	return r.Val, r.OK
+}
+
+// do submits one operation and waits for its result.
+func (m *M1[K, V]) do(op Op[K, V]) Result[V] {
+	if m.closed.Load() {
+		panic("core: M1 used after Close")
+	}
+	m.pending.Add(1)
+	defer m.pending.Add(-1)
+	c := newCall(op)
+	m.pb.Add(c)
+	m.act.Activate()
+	return c.wait()
+}
+
+// Len returns the current number of items (racy snapshot).
+func (m *M1[K, V]) Len() int { return int(m.sizeA.Load()) }
+
+// Batches returns the number of cut batches processed so far.
+func (m *M1[K, V]) Batches() int64 { return m.batches.Load() }
+
+// Close marks the map closed and waits for in-flight operations to drain.
+func (m *M1[K, V]) Close() {
+	m.closed.Store(true)
+	for m.pending.Load() != 0 {
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// DrainLinearization returns and clears the recorded linearization
+// (RecordLinearization mode only).
+func (m *M1[K, V]) DrainLinearization() []Op[K, V] { return m.rec.take() }
+
+// engineRun processes one cut batch. It runs under the activation
+// interface, so engine state is single-threaded.
+func (m *M1[K, V]) engineRun() bool {
+	m.feed.add(m.pb.Flush())
+	if m.feed.len() == 0 {
+		return false
+	}
+	batch := m.feed.take(m.numBunches())
+	m.feedA.Store(int64(m.feed.len()))
+	m.processBatch(batch)
+	m.batches.Add(1)
+	m.sizeA.Store(int64(m.size))
+	return true
+}
+
+// numBunches is the cut-batch sizing rule of Section 6.1: ceil(log n / p)
+// bunches (at least one).
+func (m *M1[K, V]) numBunches() int {
+	logn := bits.Len(uint(m.size + 1))
+	c := (logn + m.cfg.P - 1) / m.cfg.P
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+func (m *M1[K, V]) processBatch(batch []*call[K, V]) {
+	keys := make([]K, len(batch))
+	for i, c := range batch {
+		keys[i] = c.op.Key
+	}
+	perm := esort.PESort(keys, m.cfg.Pivot)
+	groups := buildGroups(batch, perm)
+	m.rec.recordGroups(groups)
+	m.runSegments(groups)
+}
+
+// runSegments passes the group batch through the segments, applying the
+// M1 rules of Section 6.1.
+func (m *M1[K, V]) runSegments(groups []*group[K, V]) {
+	pending := groups
+	for k := 0; k < len(m.slab.segs) && len(pending) > 0; k++ {
+		var delta int
+		pending, delta = m.slab.pass(k, pending)
+		m.size += delta
+	}
+	m.finishBatch(pending)
+}
+
+// finishBatch resolves the groups that reached the end of the segments:
+// unsuccessful searches, deletions (already resolved when found) and
+// insertions, which are appended at the back of the last segment.
+func (m *M1[K, V]) finishBatch(pending []*group[K, V]) {
+	var insKeys []K
+	var insVals []V
+	for _, g := range pending {
+		if g.resolved {
+			continue // deletion resolved when its item was found
+		}
+		var zero V
+		p, v := g.resolve(false, zero)
+		if p {
+			insKeys = append(insKeys, g.key) // pending is key-sorted
+			insVals = append(insVals, v)
+		}
+	}
+	if len(insKeys) > 0 {
+		m.slab.appendNew(insKeys, insVals, 0)
+		m.size += len(insKeys)
+	}
+	m.slab.trimEmpty()
+	completeAll(pending)
+}
+
+// CheckInvariants verifies segment structure and the full-except-last
+// capacity invariant. Only valid while the map is quiescent (test hook).
+func (m *M1[K, V]) CheckInvariants() error {
+	if err := m.slab.checkInvariants(true); err != nil {
+		return err
+	}
+	if total := m.slab.size(); total != m.size {
+		return fmt.Errorf("segment sizes sum to %d, tracked size %d", total, m.size)
+	}
+	return nil
+}

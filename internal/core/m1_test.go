@@ -1,0 +1,241 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestM1SequentialModelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := NewM1[int, int](Config{P: 4})
+	defer m.Close()
+	ref := map[int]int{}
+	for step := 0; step < 20000; step++ {
+		k := rng.Intn(300)
+		switch rng.Intn(4) {
+		case 0:
+			old, existed := m.Insert(k, step)
+			want, wantExisted := ref[k]
+			if existed != wantExisted || (existed && old != want) {
+				t.Fatalf("step %d: Insert(%d) = (%d,%v), want (%d,%v)", step, k, old, existed, want, wantExisted)
+			}
+			ref[k] = step
+		case 1:
+			got, ok := m.Delete(k)
+			want, wantOK := ref[k]
+			if ok != wantOK || (ok && got != want) {
+				t.Fatalf("step %d: Delete(%d) = (%d,%v), want (%d,%v)", step, k, got, ok, want, wantOK)
+			}
+			delete(ref, k)
+		default:
+			got, ok := m.Get(k)
+			want, wantOK := ref[k]
+			if ok != wantOK || (ok && got != want) {
+				t.Fatalf("step %d: Get(%d) = (%d,%v), want (%d,%v)", step, k, got, ok, want, wantOK)
+			}
+		}
+		if m.Len() != len(ref) {
+			t.Fatalf("step %d: Len = %d, want %d", step, m.Len(), len(ref))
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestM1ConcurrentDisjointRanges runs several clients on disjoint key
+// ranges; each client's view must match a sequential model exactly.
+func TestM1ConcurrentDisjointRanges(t *testing.T) {
+	m := NewM1[int, int](Config{P: 4})
+	defer m.Close()
+	const clients = 8
+	const opsPerClient = 4000
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			base := c * 1000
+			ref := map[int]int{}
+			for step := 0; step < opsPerClient; step++ {
+				k := base + rng.Intn(200)
+				switch rng.Intn(4) {
+				case 0:
+					old, existed := m.Insert(k, step)
+					want, wantExisted := ref[k]
+					if existed != wantExisted || (existed && old != want) {
+						errs <- errf("client %d step %d: Insert(%d) = (%d,%v), want (%d,%v)", c, step, k, old, existed, want, wantExisted)
+						return
+					}
+					ref[k] = step
+				case 1:
+					got, ok := m.Delete(k)
+					want, wantOK := ref[k]
+					if ok != wantOK || (ok && got != want) {
+						errs <- errf("client %d step %d: Delete(%d) = (%d,%v), want (%d,%v)", c, step, k, got, ok, want, wantOK)
+						return
+					}
+					delete(ref, k)
+				default:
+					got, ok := m.Get(k)
+					want, wantOK := ref[k]
+					if ok != wantOK || (ok && got != want) {
+						errs <- errf("client %d step %d: Get(%d) = (%d,%v), want (%d,%v)", c, step, k, got, ok, want, wantOK)
+						return
+					}
+				}
+			}
+			errs <- nil
+		}(c)
+	}
+	wg.Wait()
+	for c := 0; c < clients; c++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Batches() == 0 {
+		t.Fatal("no batches processed")
+	}
+}
+
+// TestM1DuplicateCombining hammers a handful of keys from many goroutines,
+// exercising the entropy sort's duplicate-combining path, and checks the
+// final state.
+func TestM1DuplicateCombining(t *testing.T) {
+	m := NewM1[int, int](Config{P: 4})
+	defer m.Close()
+	const clients = 16
+	const rounds = 2000
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				k := i % 3 // extremely hot keys: batches full of duplicates
+				switch i % 5 {
+				case 0:
+					m.Insert(k, c*rounds+i)
+				case 4:
+					m.Delete(k)
+				default:
+					m.Get(k)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if n := m.Len(); n > 3 {
+		t.Fatalf("Len = %d, want <= 3", n)
+	}
+}
+
+// TestM1InsertGetDeleteChurn grows and shrinks the map through segment
+// boundaries (2, 6, 22, 278, ...) to exercise segment creation/removal.
+func TestM1InsertGetDeleteChurn(t *testing.T) {
+	m := NewM1[int, int](Config{P: 2})
+	defer m.Close()
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if _, existed := m.Insert(i, i); existed {
+			t.Fatalf("Insert(%d) claims existed", i)
+		}
+	}
+	if m.Len() != n {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := m.Get(i); !ok || v != i {
+			t.Fatalf("Get(%d) = (%d,%v)", i, v, ok)
+		}
+	}
+	for i := 0; i < n; i += 2 {
+		if v, ok := m.Delete(i); !ok || v != i {
+			t.Fatalf("Delete(%d) = (%d,%v)", i, v, ok)
+		}
+	}
+	if m.Len() != n/2 {
+		t.Fatalf("Len = %d after deletes", m.Len())
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := m.Get(i)
+		if i%2 == 0 && ok {
+			t.Fatalf("deleted key %d still present", i)
+		}
+		if i%2 == 1 && (!ok || v != i) {
+			t.Fatalf("survivor %d lost", i)
+		}
+	}
+}
+
+// TestM1GroupSemantics verifies mixed-kind groups on one key resolve like
+// a sequential execution in arrival order (single client, so arrival order
+// is program order even when ops land in one batch).
+func TestM1GroupSemantics(t *testing.T) {
+	m := NewM1[string, int](Config{P: 2})
+	defer m.Close()
+	if _, existed := m.Insert("x", 1); existed {
+		t.Fatal("fresh insert claims existed")
+	}
+	if old, existed := m.Insert("x", 2); !existed || old != 1 {
+		t.Fatalf("second insert = (%d,%v)", old, existed)
+	}
+	if v, ok := m.Delete("x"); !ok || v != 2 {
+		t.Fatalf("delete = (%d,%v)", v, ok)
+	}
+	if _, ok := m.Get("x"); ok {
+		t.Fatal("get after delete found item")
+	}
+	if v, ok := m.Delete("x"); ok || v != 0 {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestM1RecordLinearization(t *testing.T) {
+	m := NewM1[int, int](Config{P: 2, RecordLinearization: true})
+	defer m.Close()
+	for i := 0; i < 100; i++ {
+		m.Insert(i, i)
+	}
+	for i := 0; i < 100; i++ {
+		m.Get(i % 10)
+	}
+	log := m.DrainLinearization()
+	if len(log) != 200 {
+		t.Fatalf("recorded %d ops, want 200", len(log))
+	}
+	inserts := 0
+	for _, op := range log {
+		if op.Kind == OpInsert {
+			inserts++
+		}
+	}
+	if inserts != 100 {
+		t.Fatalf("recorded %d inserts", inserts)
+	}
+}
+
+func errf(format string, args ...any) error { return &testErr{s: sprintf(format, args...)} }
+
+type testErr struct{ s string }
+
+func (e *testErr) Error() string { return e.s }
+
+func sprintf(format string, args ...any) string { return fmt.Sprintf(format, args...) }

@@ -1,0 +1,726 @@
+package core
+
+import (
+	"cmp"
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/esort"
+	"repro/internal/locks"
+	"repro/internal/pbuffer"
+	"repro/internal/sched"
+	"repro/internal/twothree"
+)
+
+// Dedicated-lock key assignments. Neighbour locks have two keys: the left
+// user (the interface for the S[m-1]/S[m] lock, otherwise S[k-1]) and the
+// right user (S[k]). Front locks have three: the descending holder of
+// FL[j+1], the owning segment S[m+j], and (for FL[0]) the interface.
+const (
+	nlKeyLeft  = 0
+	nlKeyRight = 1
+
+	flKeyDescend   = 0
+	flKeyOwner     = 1
+	flKeyInterface = 2
+)
+
+// fentry is one filter entry (Section 7.1): the in-flight item's pending
+// group-operations in arrival order, the groups already replayed (awaiting
+// result delivery at the terminal segment), and the item state after the
+// replayed groups.
+type fentry[K cmp.Ordered, V any] struct {
+	pending []*group[K, V]
+	done    []*group[K, V]
+	known   bool
+	present bool
+	val     V
+}
+
+// replay resolves all pending groups starting from the given state, moves
+// them to done, and records the resulting state.
+func (e *fentry[K, V]) replay(present bool, val V) (bool, V) {
+	for _, g := range e.pending {
+		present, val = g.resolve(present, val)
+	}
+	e.done = append(e.done, e.pending...)
+	e.pending = nil
+	e.known, e.present, e.val = true, present, val
+	return present, val
+}
+
+// start returns the state to replay from: the recorded state if a previous
+// replay happened (e.g. a tagged deletion), absent otherwise.
+func (e *fentry[K, V]) start() (bool, V) {
+	if e.known {
+		return e.present, e.val
+	}
+	var zero V
+	return false, zero
+}
+
+// allGroups returns done followed by pending (for terminal completion).
+func (e *fentry[K, V]) allGroups() []*group[K, V] {
+	return append(append([]*group[K, V]{}, e.done...), e.pending...)
+}
+
+// filter ensures all operations inside the final slab are on distinct
+// items. Guarded by FL[0]; size is published atomically for the interface's
+// ready condition.
+type filter[K cmp.Ordered, V any] struct {
+	tree *twothree.Tree[K, *fentry[K, V]]
+	size atomic.Int64
+}
+
+// fseg is one final slab segment S[k] (k >= m) with its buffer, locks and
+// activation.
+type fseg[K cmp.Ordered, V any] struct {
+	m2  *M2[K, V]
+	k   int // global segment index
+	seg *segment[K, V]
+
+	left  *locks.Dedicated // shared with S[k-1] (nlock0 for k == m)
+	right *locks.Dedicated // shared with S[k+1], pre-created
+	fl    *locks.Dedicated // FL[k-m] (m2.fl0 for k == m)
+
+	buf  []*group[K, V] // sorted by key; guarded by left
+	bufA atomic.Int64
+
+	act *locks.Activation
+}
+
+// M2 is the pipelined parallel working-set map of Section 7 (Theorem 4):
+// the first log Θ(log p) segments form the first slab, processed like M1;
+// unfinished operations pass through a filter that keeps in-flight final
+// slab operations on distinct items, and the final slab segments run as
+// independently activated processes synchronized by neighbour-locks and
+// front-locks, scheduled at high priority on a weak-priority pool.
+//
+// All methods are safe for concurrent use; each call blocks until the
+// engine returns its result.
+type M2[K cmp.Ordered, V any] struct {
+	cfg  Config
+	mSeg int // number of first slab segments (the paper's m)
+	pb   *pbuffer.Buffer[*call[K, V]]
+	pool *sched.Pool
+	act  *locks.Activation
+	rec  *opRecorder[K, V]
+
+	// Interface-private (activation-guarded) state.
+	feed  *feedBuffer[*call[K, V]]
+	feedA atomic.Int64
+
+	first slab[K, V] // S[0..m-1]; S[m-1] additionally under nlock0+FL[0]
+
+	flt    filter[K, V]
+	fl0    *locks.Dedicated // FL[0]
+	nlock0 *locks.Dedicated // between S[m-1] and S[m]
+
+	segsMu sync.RWMutex
+	fsegs  []*fseg[K, V]
+
+	sizeA   atomic.Int64
+	batches atomic.Int64
+	pending atomic.Int64
+	closed  atomic.Bool
+}
+
+// NewM2 creates an M2 map. Close must be called to release its scheduler
+// pool.
+func NewM2[K cmp.Ordered, V any](cfg Config) *M2[K, V] {
+	cfg = cfg.withDefaults()
+	// m = ceil(log log 2p^2) + 1 (Section 7.1).
+	twoP2 := 2 * cfg.P * cfg.P
+	loglog := bits.Len(uint(bits.Len(uint(twoP2-1)) - 1))
+	mSeg := loglog + 1
+	if mSeg < 2 {
+		mSeg = 2
+	}
+	m := &M2[K, V]{
+		cfg:    cfg,
+		mSeg:   mSeg,
+		pb:     pbuffer.New[*call[K, V]](cfg.P),
+		pool:   sched.New(cfg.P),
+		feed:   newFeedBuffer[*call[K, V]](cfg.P * cfg.P),
+		rec:    &opRecorder[K, V]{on: cfg.RecordLinearization},
+		fl0:    locks.NewDedicated(3),
+		nlock0: locks.NewDedicated(2),
+	}
+	m.first.cnt = cfg.Counter
+	m.first.segs = make([]*segment[K, V], mSeg)
+	for k := 0; k < mSeg; k++ {
+		m.first.segs[k] = newSegment[K, V](k, cfg.Counter)
+	}
+	m.flt.tree = twothree.New[K, *fentry[K, V]](cfg.Counter)
+	m.act = locks.NewAsyncActivation(
+		func() bool {
+			return (m.pb.Len() > 0 || m.feedA.Load() > 0) &&
+				m.flt.size.Load() <= int64(cfg.P*cfg.P)
+		},
+		m.interfaceRun,
+		func(fn func()) { m.pool.Submit(fn, sched.Low) },
+	)
+	return m
+}
+
+// Get searches for key k.
+func (m *M2[K, V]) Get(k K) (V, bool) {
+	r := m.do(Op[K, V]{Kind: OpGet, Key: k})
+	return r.Val, r.OK
+}
+
+// Insert adds k with value v, or updates it if present; it returns the
+// previous value and whether the key existed.
+func (m *M2[K, V]) Insert(k K, v V) (V, bool) {
+	r := m.do(Op[K, V]{Kind: OpInsert, Key: k, Val: v})
+	return r.Val, r.OK
+}
+
+// Delete removes k; it returns the removed value and whether the key
+// existed.
+func (m *M2[K, V]) Delete(k K) (V, bool) {
+	r := m.do(Op[K, V]{Kind: OpDelete, Key: k})
+	return r.Val, r.OK
+}
+
+func (m *M2[K, V]) do(op Op[K, V]) Result[V] {
+	if m.closed.Load() {
+		panic("core: M2 used after Close")
+	}
+	m.pending.Add(1)
+	defer m.pending.Add(-1)
+	c := newCall(op)
+	m.pb.Add(c)
+	m.act.Activate()
+	return c.wait()
+}
+
+// Len returns the current number of items (racy snapshot).
+func (m *M2[K, V]) Len() int { return int(m.sizeA.Load()) }
+
+// Batches returns the number of cut batches processed so far.
+func (m *M2[K, V]) Batches() int64 { return m.batches.Load() }
+
+// FilterSize returns the current filter occupancy (diagnostics).
+func (m *M2[K, V]) FilterSize() int { return int(m.flt.size.Load()) }
+
+// SchedStats returns the scheduler pool's counters.
+func (m *M2[K, V]) SchedStats() sched.Stats { return m.pool.Stats() }
+
+// Close waits for in-flight operations and releases the scheduler pool.
+func (m *M2[K, V]) Close() {
+	m.closed.Store(true)
+	for m.pending.Load() != 0 {
+		time.Sleep(50 * time.Microsecond)
+	}
+	m.pool.Close()
+}
+
+// DrainLinearization returns and clears the recorded linearization
+// (RecordLinearization mode only).
+func (m *M2[K, V]) DrainLinearization() []Op[K, V] { return m.rec.take() }
+
+// Quiesce blocks until no client operations are in flight and all
+// scheduled engine activity has drained (test hook).
+func (m *M2[K, V]) Quiesce() {
+	for m.pending.Load() != 0 {
+		time.Sleep(50 * time.Microsecond)
+	}
+	m.pool.Wait()
+}
+
+// interfaceRun is one run of the M2 interface (Section 7.1 steps 1-6):
+// take a size-p² cut batch, entropy-sort it, pass it through the first
+// slab, then filter the unfinished operations into S[m]'s buffer.
+func (m *M2[K, V]) interfaceRun() bool {
+	m.feed.add(m.pb.Flush())
+	if m.feed.len() == 0 {
+		return false
+	}
+	batch := m.feed.take(1)
+	m.feedA.Store(int64(m.feed.len()))
+	m.batches.Add(1)
+
+	keys := make([]K, len(batch))
+	for i, c := range batch {
+		keys[i] = c.op.Key
+	}
+	perm := esort.PESort(keys, m.cfg.Pivot)
+	groups := buildGroups(batch, perm)
+	m.rec.recordGroups(groups)
+
+	// First slab pass over S[0..m-2]: no locks needed, only the interface
+	// touches these segments.
+	pending := groups
+	sizeDelta := 0
+	for k := 0; k < m.mSeg-1 && len(pending) > 0; k++ {
+		var d int
+		pending, d = m.first.pass(k, pending)
+		sizeDelta += d
+	}
+	if len(pending) == 0 {
+		m.sizeA.Add(int64(sizeDelta))
+		return true
+	}
+
+	// S[m-1] and everything beyond are shared with S[m]: lock.
+	m.nlock0.Acquire(nlKeyLeft)
+	m.fl0.Acquire(flKeyInterface)
+
+	var d int
+	pending, d = m.first.pass(m.mSeg-1, pending)
+	sizeDelta += d
+
+	if len(pending) > 0 {
+		m.segsMu.RLock()
+		hasFinal := len(m.fsegs) > 0
+		m.segsMu.RUnlock()
+		if hasFinal {
+			m.filterAndForward(pending)
+		} else {
+			sizeDelta += m.finishInFirstSlab(pending)
+		}
+	}
+
+	m.fl0.Release()
+	m.nlock0.Release()
+	m.sizeA.Add(int64(sizeDelta))
+	return true
+}
+
+// finishInFirstSlab resolves end-of-structure groups when no final slab
+// exists: misses and deletions complete; insertions append at the back of
+// the first slab, spilling into a newly created S[m] if it overflows.
+// Caller holds nlock0 and FL[0].
+func (m *M2[K, V]) finishInFirstSlab(pending []*group[K, V]) int {
+	var insKeys []K
+	var insVals []V
+	for _, g := range pending {
+		if g.resolved {
+			continue // tagged deletion: already resolved in the first slab
+		}
+		var zero V
+		p, v := g.resolve(false, zero)
+		if p {
+			insKeys = append(insKeys, g.key)
+			insVals = append(insVals, v)
+		}
+	}
+	if len(insKeys) > 0 {
+		overflow := m.first.appendNew(insKeys, insVals, m.mSeg)
+		if overflow.len() > 0 {
+			f := m.createFseg(m.mSeg, m.nlock0)
+			f.seg.pushFront(overflow)
+		}
+	}
+	completeAll(pending)
+	return len(insKeys)
+}
+
+// filterAndForward passes the unfinished groups through the filter
+// (Section 7.1 interface step 4): operations on items already in the
+// filter are absorbed into their entries; the rest create entries and move
+// into S[m]'s buffer. Caller holds nlock0 and FL[0].
+func (m *M2[K, V]) filterAndForward(pending []*group[K, V]) {
+	keys := groupKeys(pending)
+	found := m.flt.tree.BatchGet(keys)
+	var fwd []*group[K, V]
+	var newItems []twothree.Item[K, *fentry[K, V]]
+	for i, g := range pending {
+		if found[i] != nil {
+			e := found[i].Payload
+			e.pending = append(e.pending, g)
+			continue
+		}
+		e := &fentry[K, V]{}
+		if g.resolved {
+			// A deletion that already succeeded in the first slab: its
+			// results are final; the entry records the post-deletion state
+			// so later operations on the key replay from "absent".
+			e.done = []*group[K, V]{g}
+			e.known, e.present = true, false
+		} else {
+			e.pending = []*group[K, V]{g}
+		}
+		newItems = append(newItems, twothree.Item[K, *fentry[K, V]]{Key: g.key, Payload: e})
+		fwd = append(fwd, g)
+	}
+	if len(newItems) > 0 {
+		m.flt.tree.BatchUpsert(newItems)
+		m.flt.size.Add(int64(len(newItems)))
+	}
+	if len(fwd) > 0 {
+		m.segsMu.RLock()
+		sm := m.fsegs[0]
+		m.segsMu.RUnlock()
+		sm.enqueue(fwd)
+		sm.act.Activate()
+	}
+}
+
+// createFseg creates final slab segment S[k] with the given left
+// neighbour-lock and appends it to the slab. Callers must hold the locks
+// that make the terminal position stable (nlock0+FL[0] for k == m, the
+// creator's neighbour locks otherwise).
+func (m *M2[K, V]) createFseg(k int, left *locks.Dedicated) *fseg[K, V] {
+	f := &fseg[K, V]{
+		m2:    m,
+		k:     k,
+		seg:   newSegment[K, V](k, m.cfg.Counter),
+		left:  left,
+		right: locks.NewDedicated(2),
+	}
+	if k == m.mSeg {
+		f.fl = m.fl0
+	} else {
+		f.fl = locks.NewDedicated(3)
+	}
+	f.act = locks.NewAsyncActivation(
+		func() bool { return f.bufA.Load() > 0 },
+		f.run,
+		func(fn func()) { m.pool.Submit(fn, sched.High) },
+	)
+	m.segsMu.Lock()
+	m.fsegs = append(m.fsegs, f)
+	m.segsMu.Unlock()
+	return f
+}
+
+// enqueue merges sorted groups into the segment's buffer. Caller holds the
+// segment's left neighbour-lock.
+func (f *fseg[K, V]) enqueue(groups []*group[K, V]) {
+	f.buf = mergeGroups(f.buf, groups)
+	f.bufA.Store(int64(len(f.buf)))
+}
+
+func mergeGroups[K cmp.Ordered, V any](a, b []*group[K, V]) []*group[K, V] {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]*group[K, V], 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if b[j].key < a[i].key {
+			out = append(out, b[j])
+			j++
+		} else {
+			out = append(out, a[i])
+			i++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// prevSegment returns the segment S[k-1] (first slab for k == m). Caller
+// holds the left neighbour-lock.
+func (f *fseg[K, V]) prevSegment() *segment[K, V] {
+	if f.k == f.m2.mSeg {
+		return f.m2.first.segs[f.m2.mSeg-1]
+	}
+	f.m2.segsMu.RLock()
+	defer f.m2.segsMu.RUnlock()
+	return f.m2.fsegs[f.k-f.m2.mSeg-1].seg
+}
+
+// run executes one activation of final slab segment S[k] (Section 7.1
+// steps 1-7).
+func (f *fseg[K, V]) run() bool {
+	m := f.m2
+	pos := f.k - m.mSeg
+
+	// Step 1: neighbour locks in arrow order (parity of k-m).
+	if pos%2 == 0 {
+		f.left.Acquire(nlKeyRight)
+		f.right.Acquire(nlKeyLeft)
+	} else {
+		f.right.Acquire(nlKeyLeft)
+		f.left.Acquire(nlKeyRight)
+	}
+	// Step 2: S[m] guards the filter and its own contents with FL[0] for
+	// its entire run.
+	if pos == 0 {
+		f.fl.Acquire(flKeyOwner)
+	}
+
+	sizeDelta := f.runLocked(pos)
+
+	if pos == 0 {
+		f.fl.Release()
+	}
+	f.right.Release()
+	f.left.Release()
+	m.sizeA.Add(int64(sizeDelta))
+	return false // the ready condition re-checks the buffer
+}
+
+// runLocked is the body of a segment run, with neighbour locks (and, for
+// S[m], FL[0]) held.
+func (f *fseg[K, V]) runLocked(pos int) (sizeDelta int) {
+	m := f.m2
+
+	// Step 3: terminal growth check.
+	m.segsMu.RLock()
+	isTerminal := m.fsegs[len(m.fsegs)-1] == f
+	m.segsMu.RUnlock()
+	prev := f.prevSegment()
+	if isTerminal && prev.size()+f.seg.size() > capOf(f.k-1)+capOf(f.k) {
+		m.createFseg(f.k+1, f.right)
+		isTerminal = false
+	}
+
+	// Step 4: flush and process the buffer.
+	A := f.buf
+	f.buf = nil
+	f.bufA.Store(0)
+	if len(A) == 0 {
+		return 0
+	}
+
+	// 4a: search for the accessed items; delete the found set R from S[k].
+	keys := groupKeys(A)
+	found := f.seg.km.BatchGet(keys)
+	var foundKeys []K
+	var foundGroups []*group[K, V]
+	for i, lf := range found {
+		if lf != nil {
+			foundKeys = append(foundKeys, keys[i])
+			foundGroups = append(foundGroups, A[i])
+		}
+	}
+	mb := f.seg.removeItems(foundKeys)
+
+	// 4b: front locks, descending.
+	if pos > 0 {
+		f.fl.Acquire(flKeyOwner)
+		m.segsMu.RLock()
+		below := make([]*locks.Dedicated, pos)
+		for j := 0; j < pos; j++ {
+			below[j] = m.fsegs[j].fl
+		}
+		m.segsMu.RUnlock()
+		for j := pos - 1; j >= 0; j-- {
+			below[j].Acquire(flKeyDescend)
+		}
+	}
+
+	// 4c: consult the filter for each found item.
+	netPresent := make(map[K]bool, len(foundGroups))
+	newVal := make(map[K]V, len(foundGroups))
+	rPrime := make(map[K]bool, len(foundGroups))
+	for i, g := range foundGroups {
+		leaf, ok := m.flt.tree.Get(g.key)
+		if !ok {
+			panic("core: M2 found item with no filter entry")
+		}
+		e := leaf.Payload
+		p, v := e.replay(true, mb.kmLeaves[i].Payload.val)
+		if p {
+			// Searched/updated: belongs to R'.
+			netPresent[g.key] = true
+			newVal[g.key] = v
+			rPrime[g.key] = true
+			m.flt.tree.Delete(g.key)
+			m.flt.size.Add(-1)
+			completeAll(e.done)
+		} else {
+			// Net deletion: tag and keep travelling; results return at the
+			// terminal segment.
+			g.deleted = true
+			sizeDelta--
+		}
+	}
+
+	// 4d: shift R' to the front of S[m'], plus terminal resolution.
+	mPrime := f.k - 1
+	if mPrime > m.mSeg {
+		mPrime = m.mSeg
+	}
+	target := f.frontTarget(mPrime)
+	kept, _ := mb.filterByKeys(func(key K) bool { return netPresent[key] })
+	for _, lf := range kept.kmLeaves {
+		lf.Payload.val = newVal[lf.Key]
+	}
+	target.pushFront(kept)
+
+	if isTerminal {
+		sizeDelta += f.resolveTerminal(A, rPrime, target)
+	}
+
+	// 4e: if the filter has room, reactivate the interface.
+	if m.flt.size.Load() <= int64(m.cfg.P*m.cfg.P) {
+		m.act.Activate()
+	}
+
+	// 4f: release front locks ascending — except for S[m+1], whose step
+	// 4g/4h transfers touch the contents of S[m] and therefore stay under
+	// FL[0] (DESIGN.md substitution 6).
+	releaseFLs := func() {
+		if pos > 0 {
+			m.segsMu.RLock()
+			for j := 0; j < pos; j++ {
+				m.fsegs[j].fl.Release()
+			}
+			m.segsMu.RUnlock()
+			f.fl.Release()
+		}
+	}
+	if pos != 1 {
+		releaseFLs()
+	}
+
+	// 4g: rearward transfer if S[k-1] exceeds capacity.
+	if ex := prev.overBy(); ex > 0 {
+		f.seg.pushFront(prev.popBack(ex))
+	}
+	// 4h: frontward transfer bounded by the successful deletions in A.
+	dSucc := 0
+	for _, g := range A {
+		if g.deleted {
+			dSucc++
+		}
+	}
+	if under := prev.underBy(); under > 0 && dSucc > 0 {
+		x := min3(under, f.seg.size(), dSucc)
+		if x > 0 {
+			prev.pushBack(f.seg.popFront(x))
+		}
+	}
+	if pos == 1 {
+		releaseFLs()
+	}
+
+	// 4i: pass A∖R' on to S[k+1].
+	if !isTerminal {
+		var onward []*group[K, V]
+		for _, g := range A {
+			if !rPrime[g.key] {
+				onward = append(onward, g)
+			}
+		}
+		if len(onward) > 0 {
+			m.segsMu.RLock()
+			next := m.fsegs[pos+1]
+			m.segsMu.RUnlock()
+			next.enqueue(onward) // under f.right, next's left lock
+			next.act.Activate()
+		}
+	}
+
+	// Step 5: remove an empty terminal segment.
+	if isTerminal && f.seg.size() == 0 {
+		m.segsMu.Lock()
+		if m.fsegs[len(m.fsegs)-1] == f {
+			m.fsegs = m.fsegs[:len(m.fsegs)-1]
+		}
+		m.segsMu.Unlock()
+	}
+	return sizeDelta
+}
+
+// frontTarget returns the segment S[mPrime] that R' (and terminal
+// insertions) are pushed onto.
+func (f *fseg[K, V]) frontTarget(mPrime int) *segment[K, V] {
+	m := f.m2
+	if mPrime < m.mSeg {
+		return m.first.segs[mPrime]
+	}
+	m.segsMu.RLock()
+	defer m.segsMu.RUnlock()
+	return m.fsegs[0].seg
+}
+
+// resolveTerminal handles the terminal-segment clause of step 4d: every
+// group in A∖R' resolves against its filter entry; net-present outcomes
+// insert fresh items at the front of S[m']; all accumulated results are
+// returned and the entries leave the filter.
+func (f *fseg[K, V]) resolveTerminal(a []*group[K, V], rPrime map[K]bool, target *segment[K, V]) (sizeDelta int) {
+	m := f.m2
+	var insKeys []K
+	var insVals []V
+	for _, g := range a {
+		if rPrime[g.key] {
+			continue
+		}
+		leaf, ok := m.flt.tree.Get(g.key)
+		if !ok {
+			panic("core: M2 terminal op with no filter entry")
+		}
+		e := leaf.Payload
+		p, v := e.replay(e.start())
+		if p {
+			insKeys = append(insKeys, g.key) // a is key-sorted
+			insVals = append(insVals, v)
+			sizeDelta++
+		}
+		completeAll(e.done)
+		m.flt.tree.Delete(g.key)
+		m.flt.size.Add(-1)
+	}
+	if len(insKeys) > 0 {
+		target.pushFront(newItems(insKeys, insVals, insKeys))
+	}
+	return sizeDelta
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// CheckInvariants verifies the M2 balance invariants of Lemma 16 plus
+// structural consistency. Only valid while the map is quiescent (test
+// hook).
+func (m *M2[K, V]) CheckInvariants() error {
+	if err := m.first.checkInvariants(false); err != nil {
+		return fmt.Errorf("first slab: %w", err)
+	}
+	m.segsMu.RLock()
+	defer m.segsMu.RUnlock()
+	total := m.first.size()
+	// Invariant 1/2: quiescent first slab segments are within capacity,
+	// and S[0..m-2] has no holes (full prefix) unless the structure has
+	// fewer items.
+	for k, seg := range m.first.segs {
+		if seg.size() > seg.cap {
+			return fmt.Errorf("first slab segment %d over capacity: %d > %d", k, seg.size(), seg.cap)
+		}
+	}
+	for i, f := range m.fsegs {
+		if err := f.seg.checkInvariants(); err != nil {
+			return fmt.Errorf("final slab segment %d: %w", f.k, err)
+		}
+		if f.k != m.mSeg+i {
+			return fmt.Errorf("final slab segment %d has index %d", i, f.k)
+		}
+		// Invariant 3: size at most 3 * 2^(2^k).
+		if f.seg.size() > 3*capOf(f.k) {
+			return fmt.Errorf("final slab segment %d size %d exceeds 3x capacity %d", f.k, f.seg.size(), 3*capOf(f.k))
+		}
+		if int(f.bufA.Load()) != len(f.buf) {
+			return fmt.Errorf("final slab segment %d buffer length mismatch", f.k)
+		}
+		if len(f.buf) != 0 {
+			return fmt.Errorf("final slab segment %d has %d buffered groups while quiescent", f.k, len(f.buf))
+		}
+		total += f.seg.size()
+	}
+	if m.flt.size.Load() != 0 || m.flt.tree.Len() != 0 {
+		return fmt.Errorf("filter not empty while quiescent: %d entries", m.flt.tree.Len())
+	}
+	if total != int(m.sizeA.Load()) {
+		return fmt.Errorf("segments sum to %d, tracked size %d", total, m.sizeA.Load())
+	}
+	return nil
+}

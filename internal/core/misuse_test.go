@@ -1,0 +1,135 @@
+package core
+
+import "testing"
+
+// Failure-injection tests: the engines and substrates must fail loudly on
+// contract violations rather than corrupting state.
+
+func TestM1UseAfterClosePanics(t *testing.T) {
+	m := NewM1[int, int](Config{P: 2})
+	m.Insert(1, 1)
+	m.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on use after Close")
+		}
+	}()
+	m.Get(1)
+}
+
+func TestM2UseAfterClosePanics(t *testing.T) {
+	m := NewM2[int, int](Config{P: 2})
+	m.Insert(1, 1)
+	m.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on use after Close")
+		}
+	}()
+	m.Get(1)
+}
+
+func TestSegmentRemoveAbsentPanics(t *testing.T) {
+	s := newSegment[int, int](2, nil)
+	s.pushBack(newItems([]int{1, 2, 3}, []int{1, 2, 3}, []int{1, 2, 3}))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic removing absent key")
+		}
+	}()
+	s.removeItems([]int{1, 99})
+}
+
+func TestSegmentMoveRoundTrip(t *testing.T) {
+	a := newSegment[int, int](3, nil)
+	b := newSegment[int, int](3, nil)
+	a.pushBack(newItems([]int{1, 2, 3, 4, 5}, []int{10, 20, 30, 40, 50}, []int{1, 2, 3, 4, 5}))
+	mb := a.popBack(2) // items 4, 5 (least recent)
+	b.pushFront(mb)
+	if a.size() != 3 || b.size() != 2 {
+		t.Fatalf("sizes %d, %d", a.size(), b.size())
+	}
+	if err := a.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Values travel with the items.
+	leaf, ok := b.km.Get(4)
+	if !ok || leaf.Payload.val != 40 {
+		t.Fatal("value lost in transit")
+	}
+	// And back again.
+	a.pushBack(b.popFront(2))
+	if a.size() != 5 || b.size() != 0 {
+		t.Fatalf("sizes after return %d, %d", a.size(), b.size())
+	}
+	if err := a.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoveBatchFilter(t *testing.T) {
+	mb := newItems([]int{1, 2, 3, 4}, []int{1, 2, 3, 4}, []int{4, 3, 2, 1})
+	kept, dropped := mb.filterByKeys(func(k int) bool { return k%2 == 0 })
+	if kept.len() != 2 || dropped.len() != 2 {
+		t.Fatalf("kept %d dropped %d", kept.len(), dropped.len())
+	}
+	// Orders preserved: km by key, rec by given recency order.
+	if kept.kmLeaves[0].Key != 2 || kept.kmLeaves[1].Key != 4 {
+		t.Fatal("km order broken")
+	}
+	if kept.recLeaves[0].Key != 4 || kept.recLeaves[1].Key != 2 {
+		t.Fatal("rec order broken")
+	}
+}
+
+func TestCapOf(t *testing.T) {
+	want := []int{2, 4, 16, 256, 65536, 1 << 32}
+	for k, w := range want {
+		if capOf(k) != w {
+			t.Fatalf("capOf(%d) = %d, want %d", k, capOf(k), w)
+		}
+	}
+	if capOf(6) != 1<<62 || capOf(10) != 1<<62 {
+		t.Fatal("capOf should saturate beyond segment 5")
+	}
+	if capPrefix(2) != 2+4+16 {
+		t.Fatalf("capPrefix(2) = %d", capPrefix(2))
+	}
+	if capPrefix(10) != 1<<62 {
+		t.Fatal("capPrefix should saturate")
+	}
+}
+
+func TestGroupResolveReplaysArrivalOrder(t *testing.T) {
+	g := &group[int, string]{key: 7}
+	mk := func(kind OpKind, val string) *call[int, string] {
+		return newCall(Op[int, string]{Kind: kind, Key: 7, Val: val})
+	}
+	cs := []*call[int, string]{
+		mk(OpGet, ""), mk(OpInsert, "a"), mk(OpGet, ""), mk(OpDelete, ""), mk(OpGet, ""), mk(OpInsert, "b"),
+	}
+	g.calls = cs
+	present, val := g.resolve(true, "orig")
+	if !present || val != "b" {
+		t.Fatalf("net state (%v, %q)", present, val)
+	}
+	wants := []Result[string]{
+		{"orig", true}, // Get sees original
+		{"orig", true}, // Insert reports previous value
+		{"a", true},    // Get sees inserted value
+		{"a", true},    // Delete removes "a"
+		{"", false},    // Get misses
+		{"", false},    // Insert reports no previous value
+	}
+	for i, c := range cs {
+		if c.res != wants[i] {
+			t.Fatalf("call %d result %+v, want %+v", i, c.res, wants[i])
+		}
+	}
+	if !g.resolved {
+		t.Fatal("group not marked resolved")
+	}
+}

@@ -1,0 +1,203 @@
+// Package core implements the paper's working-set maps:
+//
+//   - M0 — the amortized sequential working-set map of Section 5, the
+//     localized variant of Iacono's structure that M1 and M2 parallelize.
+//   - M1 — the simple batched parallel working-set map of Section 6.
+//   - M2 — the pipelined parallel working-set map of Section 7, with the
+//     first slab, filter, final slab, neighbour-locks and front-locks.
+//
+// All three store items in a sequence of segments S[0..l], where segment
+// S[k] has capacity 2^(2^k); the r most recently accessed items live in the
+// first O(log log r) segments, which is what makes an access with recency r
+// cost O(1 + log r) work.
+package core
+
+import (
+	"cmp"
+	"sync"
+)
+
+// OpKind identifies a map operation.
+type OpKind uint8
+
+const (
+	// OpGet searches for a key (a search/update in the paper's terms).
+	OpGet OpKind = iota
+	// OpInsert inserts a key or updates its value if present.
+	OpInsert
+	// OpDelete removes a key.
+	OpDelete
+)
+
+// String returns the operation-kind name.
+func (k OpKind) String() string {
+	switch k {
+	case OpGet:
+		return "get"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	default:
+		return "invalid"
+	}
+}
+
+// Op is one map operation.
+type Op[K cmp.Ordered, V any] struct {
+	Kind OpKind
+	Key  K
+	Val  V // OpInsert only
+}
+
+// Result is the outcome of one operation. For OpGet, Val/OK are the found
+// value and whether it was present. For OpInsert, OK reports whether the
+// key already existed and Val its previous value. For OpDelete, OK reports
+// whether the key existed and Val the removed value.
+type Result[V any] struct {
+	Val V
+	OK  bool
+}
+
+// call is an operation in flight: the op, its future result, and a done
+// channel closed when the result is ready.
+type call[K cmp.Ordered, V any] struct {
+	op   Op[K, V]
+	res  Result[V]
+	done chan struct{}
+}
+
+func newCall[K cmp.Ordered, V any](op Op[K, V]) *call[K, V] {
+	return &call[K, V]{op: op, done: make(chan struct{})}
+}
+
+func (c *call[K, V]) wait() Result[V] {
+	<-c.done
+	return c.res
+}
+
+// group is the paper's group-operation (Section 6.1, footnote 7): all
+// operations of one batch on the same key, combined into a single operation
+// with the same cumulative effect. calls are kept in arrival order so that
+// each individual result can be replayed once the group observes the item's
+// state.
+type group[K cmp.Ordered, V any] struct {
+	key   K
+	calls []*call[K, V]
+
+	// resolved is set once results have been computed (replayed).
+	resolved bool
+	// deleted tags a group whose net effect was a successful deletion; the
+	// group keeps travelling through later segments to drive the capacity
+	// restoration (Sections 6.1, 7.1) before its results are returned.
+	deleted bool
+}
+
+// resolve replays the group's operations against the observed item state
+// and fills in every call's result. It returns the item's state after the
+// group. An item counts as accessed — i.e. it moves to the front — exactly
+// when it is present after the group.
+func (g *group[K, V]) resolve(present bool, val V) (netPresent bool, netVal V) {
+	for _, c := range g.calls {
+		switch c.op.Kind {
+		case OpGet:
+			c.res = Result[V]{Val: val, OK: present}
+		case OpInsert:
+			c.res = Result[V]{Val: val, OK: present}
+			val, present = c.op.Val, true
+		case OpDelete:
+			c.res = Result[V]{Val: val, OK: present}
+			var zero V
+			val, present = zero, false
+		}
+	}
+	g.resolved = true
+	return present, val
+}
+
+// complete closes every call's done channel, delivering results.
+func (g *group[K, V]) complete() {
+	for _, c := range g.calls {
+		close(c.done)
+	}
+}
+
+// completeAsync delivers results on a separate goroutine (the paper's "fork
+// to return the results").
+func (g *group[K, V]) completeAsync() {
+	go g.complete()
+}
+
+// completeAll delivers results for a set of groups on one forked goroutine.
+func completeAll[K cmp.Ordered, V any](groups []*group[K, V]) {
+	if len(groups) == 0 {
+		return
+	}
+	go func() {
+		for _, g := range groups {
+			g.complete()
+		}
+	}()
+}
+
+// buildGroups combines a batch of calls into key-sorted groups using the
+// provided sorting permutation (from the entropy sort). Calls on the same
+// key keep their arrival order.
+func buildGroups[K cmp.Ordered, V any](batch []*call[K, V], perm []int) []*group[K, V] {
+	var out []*group[K, V]
+	for i := 0; i < len(perm); {
+		k := batch[perm[i]].op.Key
+		g := &group[K, V]{key: k}
+		j := i
+		for j < len(perm) && batch[perm[j]].op.Key == k {
+			g.calls = append(g.calls, batch[perm[j]])
+			j++
+		}
+		out = append(out, g)
+		i = j
+	}
+	return out
+}
+
+// groupKeys returns the (sorted, distinct) keys of a key-sorted group
+// batch.
+func groupKeys[K cmp.Ordered, V any](groups []*group[K, V]) []K {
+	keys := make([]K, len(groups))
+	for i, g := range groups {
+		keys[i] = g.key
+	}
+	return keys
+}
+
+// opRecorder optionally records the linearization the engine induces (the
+// order in which operations take effect), for the working-set-bound
+// experiments.
+type opRecorder[K cmp.Ordered, V any] struct {
+	mu  sync.Mutex
+	log []Op[K, V]
+	on  bool
+}
+
+func (r *opRecorder[K, V]) recordGroups(groups []*group[K, V]) {
+	if r == nil || !r.on {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, g := range groups {
+		for _, c := range g.calls {
+			r.log = append(r.log, c.op)
+		}
+	}
+}
+
+func (r *opRecorder[K, V]) take() []Op[K, V] {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := r.log
+	r.log = nil
+	return out
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestM1BatchFormation is a diagnostic: under concurrent load every
+// operation must complete and batch accounting must be consistent. It also
+// logs the mean batch size, which on a multi-core host grows with the
+// number of blocked clients (on a single-core host the engine drains
+// operations as fast as they arrive, so batches stay small).
+func TestM1BatchFormation(t *testing.T) {
+	m := NewM1[int, int](Config{})
+	defer m.Close()
+	for i := 0; i < 1<<12; i++ {
+		m.Insert(i, i)
+	}
+	b0 := m.Batches()
+	var wg sync.WaitGroup
+	const clients = 64
+	const perClient = 300
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			for i := 0; i < perClient; i++ {
+				if _, ok := m.Get(rng.Intn(1 << 12)); !ok {
+					t.Errorf("preloaded key missing")
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	nb := m.Batches() - b0
+	if nb == 0 {
+		t.Fatal("no batches processed")
+	}
+	t.Logf("ops=%d batches=%d mean-batch=%.1f", clients*perClient, nb,
+		float64(clients*perClient)/float64(nb))
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

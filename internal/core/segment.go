@@ -1,0 +1,220 @@
+package core
+
+import (
+	"cmp"
+	"fmt"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/twothree"
+)
+
+// segPayload is the per-item payload stored in a segment's key-map: the
+// item's value plus the direct pointer to its recency-map leaf (the paper's
+// cross pointer between the two trees of a segment).
+type segPayload[K cmp.Ordered, V any] struct {
+	val V
+	rec *twothree.SeqLeaf[K]
+}
+
+// kmLeaf is a key-map leaf: a direct pointer to an item.
+type kmLeaf[K cmp.Ordered, V any] = twothree.Node[K, segPayload[K, V]]
+
+// capOf returns segment S[k]'s capacity 2^(2^k), saturating for k >= 6
+// (2^64 overflows; no laptop-scale experiment reaches segment 6).
+func capOf(k int) int {
+	if k >= 6 {
+		return 1 << 62
+	}
+	return 1 << (1 << uint(k))
+}
+
+// capPrefix returns the total capacity of segments S[0..k].
+func capPrefix(k int) int {
+	total := 0
+	for i := 0; i <= k; i++ {
+		c := capOf(i)
+		if total+c < total { // saturate
+			return 1 << 62
+		}
+		total += c
+	}
+	return total
+}
+
+// segment is one working-set segment: a key-map and a recency-map over the
+// same items, each a 2-3 tree, with cross pointers between their leaves.
+type segment[K cmp.Ordered, V any] struct {
+	km  *twothree.Tree[K, segPayload[K, V]]
+	rec *twothree.Seq[K]
+	cap int
+}
+
+func newSegment[K cmp.Ordered, V any](k int, cnt *metrics.Counter) *segment[K, V] {
+	return &segment[K, V]{
+		km:  twothree.New[K, segPayload[K, V]](cnt),
+		rec: twothree.NewSeq[K](cnt),
+		cap: capOf(k),
+	}
+}
+
+func (s *segment[K, V]) size() int { return s.km.Len() }
+
+// overBy returns how many items the segment holds beyond its capacity
+// (0 if within capacity).
+func (s *segment[K, V]) overBy() int {
+	if d := s.size() - s.cap; d > 0 {
+		return d
+	}
+	return 0
+}
+
+// underBy returns how many items the segment is short of its capacity.
+func (s *segment[K, V]) underBy() int {
+	if d := s.cap - s.size(); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// moveBatch is a set of items in transit between segments: key-map leaves
+// in key order and the same items' recency leaves in recency order (most
+// recent first). Leaf identity is preserved across moves, so the cross
+// pointers stay valid.
+type moveBatch[K cmp.Ordered, V any] struct {
+	kmLeaves  []*kmLeaf[K, V]
+	recLeaves []*twothree.SeqLeaf[K]
+}
+
+func (mb moveBatch[K, V]) len() int { return len(mb.kmLeaves) }
+
+// newItems builds a moveBatch of brand-new items. keysSorted must be sorted
+// and distinct; recOrder lists the same keys in the desired recency order
+// (most recent first); vals is keyed by key order (aligned with
+// keysSorted).
+func newItems[K cmp.Ordered, V any](keysSorted []K, vals []V, recOrder []K) moveBatch[K, V] {
+	recLeaves := make([]*twothree.SeqLeaf[K], len(recOrder))
+	byKey := make(map[K]*twothree.SeqLeaf[K], len(recOrder))
+	for i, k := range recOrder {
+		leaf := twothree.NewLeaf(k, struct{}{})
+		recLeaves[i] = leaf
+		byKey[k] = leaf
+	}
+	kmLeaves := make([]*kmLeaf[K, V], len(keysSorted))
+	for i, k := range keysSorted {
+		kmLeaves[i] = twothree.NewLeaf(k, segPayload[K, V]{val: vals[i], rec: byKey[k]})
+	}
+	return moveBatch[K, V]{kmLeaves: kmLeaves, recLeaves: recLeaves}
+}
+
+// removeItems deletes the given present keys (sorted, distinct) from the
+// segment and returns them as a moveBatch. Panics if a key is absent —
+// callers only remove keys found by a prior search.
+func (s *segment[K, V]) removeItems(keys []K) moveBatch[K, V] {
+	if len(keys) == 0 {
+		return moveBatch[K, V]{}
+	}
+	kmLeaves := s.km.BatchDelete(keys)
+	recs := make([]*twothree.SeqLeaf[K], len(kmLeaves))
+	for i, lf := range kmLeaves {
+		if lf == nil {
+			panic(fmt.Sprintf("core: removeItems: key %v absent", keys[i]))
+		}
+		recs[i] = lf.Payload.rec
+	}
+	recLeaves := s.rec.Remove(recs)
+	return moveBatch[K, V]{kmLeaves: kmLeaves, recLeaves: recLeaves}
+}
+
+// popBack removes the x least recent items (x is clamped to the segment
+// size) and returns them in recency order.
+func (s *segment[K, V]) popBack(x int) moveBatch[K, V] {
+	recLeaves := s.rec.PopBack(x)
+	return s.deleteByRecLeaves(recLeaves)
+}
+
+// popFront removes the x most recent items.
+func (s *segment[K, V]) popFront(x int) moveBatch[K, V] {
+	recLeaves := s.rec.PopFront(x)
+	return s.deleteByRecLeaves(recLeaves)
+}
+
+func (s *segment[K, V]) deleteByRecLeaves(recLeaves []*twothree.SeqLeaf[K]) moveBatch[K, V] {
+	if len(recLeaves) == 0 {
+		return moveBatch[K, V]{}
+	}
+	keys := make([]K, len(recLeaves))
+	for i, lf := range recLeaves {
+		keys[i] = lf.Key
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	kmLeaves := s.km.BatchDelete(keys)
+	for i, lf := range kmLeaves {
+		if lf == nil {
+			panic(fmt.Sprintf("core: segment key-map missing key %v from recency map", keys[i]))
+		}
+	}
+	return moveBatch[K, V]{kmLeaves: kmLeaves, recLeaves: recLeaves}
+}
+
+// pushFront inserts the batch at the most recent end of the segment.
+func (s *segment[K, V]) pushFront(mb moveBatch[K, V]) {
+	if mb.len() == 0 {
+		return
+	}
+	s.km.BatchInsertLeaves(mb.kmLeaves)
+	s.rec.PushFrontLeaves(mb.recLeaves)
+}
+
+// pushBack inserts the batch at the least recent end of the segment.
+func (s *segment[K, V]) pushBack(mb moveBatch[K, V]) {
+	if mb.len() == 0 {
+		return
+	}
+	s.km.BatchInsertLeaves(mb.kmLeaves)
+	s.rec.PushBackLeaves(mb.recLeaves)
+}
+
+// filterByKeys splits mb into (kept, dropped) according to keep, preserving
+// both internal orders.
+func (mb moveBatch[K, V]) filterByKeys(keep func(K) bool) (kept, dropped moveBatch[K, V]) {
+	for _, lf := range mb.kmLeaves {
+		if keep(lf.Key) {
+			kept.kmLeaves = append(kept.kmLeaves, lf)
+		} else {
+			dropped.kmLeaves = append(dropped.kmLeaves, lf)
+		}
+	}
+	for _, lf := range mb.recLeaves {
+		if keep(lf.Key) {
+			kept.recLeaves = append(kept.recLeaves, lf)
+		} else {
+			dropped.recLeaves = append(dropped.recLeaves, lf)
+		}
+	}
+	return kept, dropped
+}
+
+// checkInvariants validates the segment's internal consistency (test
+// hook): tree invariants, equal sizes, and cross-pointer agreement.
+func (s *segment[K, V]) checkInvariants() error {
+	if err := s.km.Validate(); err != nil {
+		return fmt.Errorf("key-map: %w", err)
+	}
+	if err := s.rec.Validate(); err != nil {
+		return fmt.Errorf("recency-map: %w", err)
+	}
+	if s.km.Len() != s.rec.Len() {
+		return fmt.Errorf("key-map size %d != recency-map size %d", s.km.Len(), s.rec.Len())
+	}
+	for _, lf := range s.km.Flatten() {
+		r := lf.Payload.rec
+		if r == nil || r.Key != lf.Key {
+			return fmt.Errorf("broken cross pointer for key %v", lf.Key)
+		}
+		if !s.rec.Owns(r) {
+			return fmt.Errorf("recency leaf for key %v not in this segment", lf.Key)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"cmp"
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// slab is a run of consecutive working-set segments processed M1-style:
+// M1's whole structure is one slab, and M2's first slab is a bounded one.
+type slab[K cmp.Ordered, V any] struct {
+	segs []*segment[K, V]
+	cnt  *metrics.Counter
+}
+
+// pass processes the pending groups at segment k (Section 6.1): search,
+// resolve found groups, promote accessed items to the front of S[k-1],
+// restore the capacity invariant for S[0..k-1], and return the groups that
+// continue, along with the map-size delta (negative for net deletions).
+// Successful searches/updates are completed (results delivered) here.
+func (s *slab[K, V]) pass(k int, pending []*group[K, V]) (next []*group[K, V], sizeDelta int) {
+	seg := s.segs[k]
+	keys := groupKeys(pending)
+	found := seg.km.BatchGet(keys)
+
+	var foundKeys []K
+	var foundGroups []*group[K, V]
+	for i, lf := range found {
+		if lf != nil {
+			foundKeys = append(foundKeys, keys[i])
+			foundGroups = append(foundGroups, pending[i])
+		}
+	}
+	if len(foundKeys) > 0 {
+		mb := seg.removeItems(foundKeys)
+		netPresent := make(map[K]bool, len(foundGroups))
+		newVal := make(map[K]V, len(foundGroups))
+		var finished []*group[K, V]
+		for i, g := range foundGroups {
+			p, v := g.resolve(true, mb.kmLeaves[i].Payload.val)
+			if p {
+				netPresent[g.key] = true
+				newVal[g.key] = v
+				finished = append(finished, g)
+			} else {
+				g.deleted = true
+				sizeDelta--
+			}
+		}
+		kept, _ := mb.filterByKeys(func(key K) bool { return netPresent[key] })
+		for _, lf := range kept.kmLeaves {
+			lf.Payload.val = newVal[lf.Key]
+		}
+		tgt := k - 1
+		if tgt < 0 {
+			tgt = 0
+		}
+		s.segs[tgt].pushFront(kept)
+		completeAll(finished)
+	}
+	s.restore(k)
+
+	next = make([]*group[K, V], 0, len(pending))
+	for i, g := range pending {
+		if found[i] == nil || g.deleted {
+			next = append(next, g)
+		}
+	}
+	return next, sizeDelta
+}
+
+// restore re-establishes the capacity invariant for segments S[0..k-1]:
+// for each i from k down to 1, items move between the back of S[i-1] and
+// the front of S[i] until the prefix S[0..i-1] is exactly full or S[i] is
+// empty.
+func (s *slab[K, V]) restore(k int) {
+	if k > len(s.segs)-1 {
+		k = len(s.segs) - 1
+	}
+	for i := k; i >= 1; i-- {
+		prefix := 0
+		for j := 0; j < i; j++ {
+			prefix += s.segs[j].size()
+		}
+		want := capPrefix(i - 1)
+		if prefix > want {
+			mb := s.segs[i-1].popBack(prefix - want)
+			s.segs[i].pushFront(mb)
+		} else if prefix < want && s.segs[i].size() > 0 {
+			x := want - prefix
+			if sz := s.segs[i].size(); x > sz {
+				x = sz
+			}
+			mb := s.segs[i].popFront(x)
+			s.segs[i-1].pushBack(mb)
+		}
+	}
+}
+
+// size returns the total number of items across the slab's segments.
+func (s *slab[K, V]) size() int {
+	total := 0
+	for _, seg := range s.segs {
+		total += seg.size()
+	}
+	return total
+}
+
+// appendNew inserts brand-new items at the back of the last non-empty
+// segment region, growing segments up to maxSegs (0 = unbounded). Overflow
+// beyond the last allowed segment's capacity is removed from the back and
+// returned (in recency order) for the caller to place elsewhere.
+func (s *slab[K, V]) appendNew(keysSorted []K, vals []V, maxSegs int) moveBatch[K, V] {
+	mb := newItems(keysSorted, vals, keysSorted)
+	if len(s.segs) == 0 {
+		s.segs = append(s.segs, newSegment[K, V](0, s.cnt))
+	}
+	s.segs[len(s.segs)-1].pushBack(mb)
+	for {
+		l := len(s.segs) - 1
+		ex := s.segs[l].overBy()
+		if ex == 0 {
+			return moveBatch[K, V]{}
+		}
+		if maxSegs > 0 && len(s.segs) == maxSegs {
+			return s.segs[l].popBack(ex)
+		}
+		s.segs = append(s.segs, newSegment[K, V](l+1, s.cnt))
+		s.segs[l+1].pushFront(s.segs[l].popBack(ex))
+	}
+}
+
+// trimEmpty drops empty trailing segments.
+func (s *slab[K, V]) trimEmpty() {
+	for len(s.segs) > 0 && s.segs[len(s.segs)-1].size() == 0 {
+		s.segs = s.segs[:len(s.segs)-1]
+	}
+}
+
+// checkInvariants validates every segment plus the full-except-last
+// capacity invariant (test hook; quiescence required).
+func (s *slab[K, V]) checkInvariants(exact bool) error {
+	for i, seg := range s.segs {
+		if err := seg.checkInvariants(); err != nil {
+			return fmt.Errorf("segment %d: %w", i, err)
+		}
+		if exact && i < len(s.segs)-1 && seg.size() != seg.cap {
+			return fmt.Errorf("non-terminal segment %d has size %d, capacity %d", i, seg.size(), seg.cap)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package dagsim
+
+import "math/rand"
+
+// Chain builds a sequential chain of n nodes (T∞ = T1 = n).
+func Chain(n int, class Class) *DAG {
+	d := New()
+	var prev *Node
+	for i := 0; i < n; i++ {
+		if prev == nil {
+			prev = d.Node(class)
+		} else {
+			prev = d.Node(class, prev)
+		}
+	}
+	return d
+}
+
+// ForkJoin builds a balanced binary fork-join tree of the given depth:
+// 2^depth parallel leaves between a fork phase and a join phase
+// (T1 ≈ 3·2^depth, T∞ = 2·depth + 1).
+func ForkJoin(depth int, class Class) *DAG {
+	d := New()
+	root := d.Node(class)
+	frontier := []*Node{root}
+	for l := 0; l < depth; l++ {
+		next := make([]*Node, 0, 2*len(frontier))
+		for _, n := range frontier {
+			next = append(next, d.Node(class, n), d.Node(class, n))
+		}
+		frontier = next
+	}
+	for len(frontier) > 1 {
+		next := make([]*Node, 0, len(frontier)/2)
+		for i := 0; i+1 < len(frontier); i += 2 {
+			next = append(next, d.Node(class, frontier[i], frontier[i+1]))
+		}
+		if len(frontier)%2 == 1 {
+			next = append(next, frontier[len(frontier)-1])
+		}
+		frontier = next
+	}
+	return d
+}
+
+// Layered builds a random layered DAG: layers of the given width, each
+// node depending on 1..3 random nodes of the previous layer.
+func Layered(rng *rand.Rand, layers, width int, class Class) *DAG {
+	d := New()
+	prev := make([]*Node, width)
+	for i := range prev {
+		prev[i] = d.Node(class)
+	}
+	for l := 1; l < layers; l++ {
+		cur := make([]*Node, width)
+		for i := range cur {
+			npreds := 1 + rng.Intn(3)
+			if npreds > width {
+				npreds = width
+			}
+			preds := make([]*Node, 0, npreds)
+			seen := map[int]bool{}
+			for len(preds) < npreds {
+				j := rng.Intn(width)
+				if !seen[j] {
+					seen[j] = true
+					preds = append(preds, prev[j])
+				}
+			}
+			cur[i] = d.Node(class, preds...)
+		}
+		prev = cur
+	}
+	return d
+}
+
+// Mixed builds a DAG with a narrow high-priority chain interleaved with a
+// wide flood of independent low-priority nodes — the adversarial shape for
+// priority experiments: without prioritization the chain's completion
+// degrades with the flood size; with weak priority it must not.
+func Mixed(chainLen, floodSize int) *DAG {
+	d := New()
+	var prev *Node
+	for i := 0; i < chainLen; i++ {
+		if prev == nil {
+			prev = d.Node(High)
+		} else {
+			prev = d.Node(High, prev)
+		}
+	}
+	for i := 0; i < floodSize; i++ {
+		d.Node(Low)
+	}
+	return d
+}

@@ -1,0 +1,165 @@
+package dagsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestGreedyBrentBound: a greedy scheduler completes any DAG within
+// T1/p + T∞ steps (the shape of every running-time bound in the paper)
+// and never beats max(T1/p, T∞).
+func TestGreedyBrentBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	dags := map[string]*DAG{
+		"chain":     Chain(500, Low),
+		"fork-join": ForkJoin(8, Low),
+		"layered":   Layered(rng, 30, 40, Low),
+		"single":    Chain(1, Low),
+	}
+	for name, d := range dags {
+		for _, p := range []int{1, 2, 4, 16} {
+			res := d.Greedy(p)
+			upper := (d.Work()+p-1)/p + d.Span()
+			lower := d.Work() / p
+			if d.Span() > lower {
+				lower = d.Span()
+			}
+			if res.Steps > upper {
+				t.Fatalf("%s p=%d: %d steps exceeds Brent bound %d", name, p, res.Steps, upper)
+			}
+			if res.Steps < lower {
+				t.Fatalf("%s p=%d: %d steps beats lower bound %d", name, p, res.Steps, lower)
+			}
+		}
+	}
+}
+
+// TestGreedySequentialExact: with p=1, a greedy schedule takes exactly T1
+// steps.
+func TestGreedySequentialExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := Layered(rng, 10, 10, Low)
+	res := d.Greedy(1)
+	if res.Steps != d.Work() {
+		t.Fatalf("p=1 took %d steps, want T1=%d", res.Steps, d.Work())
+	}
+}
+
+// TestChainSpanBound: a pure chain takes exactly T∞ steps at any p.
+func TestChainSpanBound(t *testing.T) {
+	d := Chain(100, Low)
+	for _, p := range []int{1, 3, 64} {
+		if got := d.Greedy(p).Steps; got != 100 {
+			t.Fatalf("chain at p=%d took %d steps", p, got)
+		}
+	}
+}
+
+// TestQuickBrentOnRandomDAGs: property test of the Brent bound over
+// random layered DAGs.
+func TestQuickBrentOnRandomDAGs(t *testing.T) {
+	f := func(seed int64, layersRaw, widthRaw, pRaw uint8) bool {
+		layers := int(layersRaw%20) + 1
+		width := int(widthRaw%20) + 1
+		p := int(pRaw%16) + 1
+		d := Layered(rand.New(rand.NewSource(seed)), layers, width, Low)
+		res := d.Greedy(p)
+		upper := (d.Work()+p-1)/p + d.Span()
+		lo := d.Work() / p
+		if s := d.Span(); s > lo {
+			lo = s
+		}
+		return res.Steps <= upper && res.Steps >= lo && res.Work == layers*width
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWeakPriorityProtectsHighClass: the paper's reason for the
+// weak-priority scheduler — a high-priority computation's completion time
+// must not degrade as low-priority load grows without bound.
+func TestWeakPriorityProtectsHighClass(t *testing.T) {
+	const chain = 64
+	const p = 4
+	base := Mixed(chain, 0)
+	base.WeakPriority(p)
+	baseDone := base.CompletionOf(High)
+	for _, flood := range []int{0, 100, 10000} {
+		d := Mixed(chain, flood)
+		d.WeakPriority(p)
+		if done := d.CompletionOf(High); done != baseDone {
+			t.Fatalf("flood=%d: high-priority chain finished at step %d, want %d (independent of load)", flood, done, baseDone)
+		}
+	}
+	// Contrast: the plain greedy scheduler (FIFO among ready nodes) lets
+	// the flood interleave with the chain, delaying it.
+	d := Mixed(chain, 10000)
+	d.Greedy(p)
+	if done := d.CompletionOf(High); done <= baseDone {
+		t.Fatalf("greedy with flood finished high chain at %d; expected later than %d", done, baseDone)
+	}
+}
+
+// TestWeakPriorityUsesHalfProcessors: with k <= p/2 high-priority ready
+// nodes, all of them execute each step.
+func TestWeakPriorityUsesHalfProcessors(t *testing.T) {
+	// p/2 = 2 independent high chains + heavy low flood: each chain
+	// advances every step, so 2 chains of length L finish at step L.
+	d := New()
+	var c1, c2 *Node
+	const L = 50
+	for i := 0; i < L; i++ {
+		if i == 0 {
+			c1, c2 = d.Node(High), d.Node(High)
+		} else {
+			c1, c2 = d.Node(High, c1), d.Node(High, c2)
+		}
+	}
+	for i := 0; i < 5000; i++ {
+		d.Node(Low)
+	}
+	d.WeakPriority(4)
+	if done := d.CompletionOf(High); done != L {
+		t.Fatalf("two high chains finished at step %d, want %d", done, L)
+	}
+}
+
+// TestWeakPriorityStillFinishesLow: weak priority is not starvation —
+// all low-priority work completes.
+func TestWeakPriorityStillFinishesLow(t *testing.T) {
+	d := Mixed(10, 500)
+	res := d.WeakPriority(4)
+	for _, n := range d.nodes {
+		if n.execStep == 0 {
+			t.Fatal("node never executed")
+		}
+	}
+	// min(k, p/2) per step with p=4 means at least ceil(510/2) steps.
+	if res.Steps < 255 {
+		t.Fatalf("impossible step count %d", res.Steps)
+	}
+}
+
+func TestSpanComputation(t *testing.T) {
+	if got := Chain(17, Low).Span(); got != 17 {
+		t.Fatalf("chain span %d", got)
+	}
+	fj := ForkJoin(3, Low)
+	if got := fj.Span(); got != 2*3+1 {
+		t.Fatalf("fork-join span %d, want 7", got)
+	}
+	if fj.Work() != 1+2+4+8+8+4+2+1-1 {
+		// fork phase 1+2+4+8, join phase pairs: 4+2+1 (leaves reused)
+		t.Logf("fork-join work = %d", fj.Work())
+	}
+}
+
+func TestResultHighSteps(t *testing.T) {
+	d := Mixed(5, 5)
+	res := d.WeakPriority(2)
+	if res.HighSteps < 5 {
+		t.Fatalf("HighSteps = %d, want >= 5", res.HighSteps)
+	}
+}

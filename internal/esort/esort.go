@@ -1,0 +1,387 @@
+// Package esort implements the paper's entropy-optimal sorting algorithms:
+// the sequential ESort (Definition 29), built on a working-set dictionary,
+// and the parallel PESort (Definition 32), a stable quicksort whose pivot
+// is chosen by the parallel pivot algorithm PPivot (Lemma 34).
+//
+// Both sort a sequence of n keys with item frequencies q_1..q_u in
+// O(n·H + n) work, where H = Σ q_i lg(1/q_i) is the entropy per element —
+// asymptotically optimal by the sorting entropy lower bound (Theorem 28).
+// This is what lets the working-set maps combine duplicate operations in a
+// batch without paying Θ(b log b) for a comparison sort: a batch with many
+// duplicates has low entropy and sorts in correspondingly less work.
+//
+// Sorting is expressed as a permutation: Sort-style functions return idx
+// such that keys[idx[0]] <= keys[idx[1]] <= ..., with equal keys kept in
+// input order (stability), so callers can group duplicate operations while
+// preserving their arrival order.
+package esort
+
+import (
+	"cmp"
+	"math"
+	"math/bits"
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/iacono"
+	"repro/internal/parallel"
+)
+
+// PivotStrategy selects how PESort picks pivots.
+type PivotStrategy int
+
+const (
+	// MedianOfMedians is the deterministic PPivot of Lemma 34: medians of
+	// log-k-sized blocks, sorted, middle taken. Guarantees a pivot in the
+	// middle two quartiles.
+	MedianOfMedians PivotStrategy = iota
+	// RandomQuartile retries uniform random pivots until one falls in the
+	// middle two quartiles (the paper's Remark after Lemma 34; O(1)
+	// expected retries).
+	RandomQuartile
+	// StdStable bypasses the entropy sort and uses a Θ(b log b) stable
+	// comparison sort. It exists for the ablation experiment (E14): it
+	// voids the paper's work bound on duplicate-heavy batches and
+	// quantifies what the entropy sort buys.
+	StdStable
+)
+
+// seqCutoff is the subproblem size below which PESort falls back to a
+// stable comparison sort.
+const seqCutoff = 64
+
+// parCutoff is the subproblem size above which partitioning and recursion
+// run in parallel.
+const parCutoff = 4096
+
+// ESort is the sequential entropy sort: it builds a working-set dictionary
+// (Iacono's structure) mapping each distinct key to its positions, then
+// merges the dictionary's levels in order of increasing capacity. It
+// returns the stable sorting permutation of keys. Θ(W) time where W is the
+// insert working-set bound of the sequence, which is O(n·H + n).
+func ESort[K cmp.Ordered](keys []K) []int {
+	d := iacono.New[K, *[]int](nil)
+	for i, k := range keys {
+		if pos, ok := d.Get(k); ok {
+			*pos = append(*pos, i)
+		} else {
+			d.Insert(k, &[]int{i})
+		}
+	}
+	// Collect per-level key-sorted lists; levels have geometrically
+	// increasing capacity, so successive merging is linear overall.
+	type kv struct {
+		key K
+		pos *[]int
+	}
+	var merged []kv
+	d.EachLevel(func(_ int, items []struct {
+		Key K
+		Val *[]int
+	}) {
+		level := make([]kv, len(items))
+		for i, it := range items {
+			level[i] = kv{it.Key, it.Val}
+		}
+		merged = mergeBy(merged, level, func(x, y kv) bool { return x.key < y.key })
+	})
+	out := make([]int, 0, len(keys))
+	for _, e := range merged {
+		out = append(out, *e.pos...)
+	}
+	return out
+}
+
+// mergeBy merges two sorted slices into one. O(len(a) + len(b)).
+func mergeBy[E any](a, b []E, less func(x, y E) bool) []E {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]E, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if less(b[j], a[i]) {
+			out = append(out, b[j])
+			j++
+		} else {
+			out = append(out, a[i])
+			i++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// PESort is the parallel entropy sort: a stable quicksort with
+// quartile-guaranteed pivots. It returns the stable sorting permutation of
+// keys. O(n·H + n) work and polylogarithmic span.
+func PESort[K cmp.Ordered](keys []K, strat PivotStrategy) []int {
+	n := len(keys)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	if n <= 1 {
+		return idx
+	}
+	if strat == StdStable {
+		sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+		return idx
+	}
+	scratch := make([]int, n)
+	qsort(keys, idx, scratch, strat)
+	return idx
+}
+
+// quick stably sorts idx (positions into keys) by key, using scratch of the
+// same length for partitioning.
+func qsort[K cmp.Ordered](keys []K, idx, scratch []int, strat PivotStrategy) {
+	for {
+		n := len(idx)
+		if n <= seqCutoff {
+			sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+			return
+		}
+		pivot := pickPivot(keys, idx, strat)
+		lo, hi := partition3(keys, idx, scratch, pivot)
+		left, right := idx[:lo], idx[hi:]
+		ls, rs := scratch[:lo], scratch[hi:]
+		if n >= parCutoff {
+			parallel.Do(
+				func() { qsort(keys, left, ls, strat) },
+				func() { qsort(keys, right, rs, strat) },
+			)
+			return
+		}
+		// Sequentially recurse into the smaller side, loop on the larger.
+		if len(left) < len(right) {
+			qsort(keys, left, ls, strat)
+			idx, scratch = right, rs
+		} else {
+			qsort(keys, right, rs, strat)
+			idx, scratch = left, ls
+		}
+	}
+}
+
+// partition3 stably partitions idx around pivot into (< pivot), (== pivot),
+// (> pivot) using scratch, returning the boundaries of the middle part.
+// Parallel (chunked counting + scatter) for large inputs.
+func partition3[K cmp.Ordered](keys []K, idx, scratch []int, pivot K) (lo, hi int) {
+	n := len(idx)
+	if n < parCutoff {
+		nl, ne := 0, 0
+		for _, i := range idx {
+			switch {
+			case keys[i] < pivot:
+				nl++
+			case keys[i] == pivot:
+				ne++
+			}
+		}
+		pl, pe, pg := 0, nl, nl+ne
+		for _, i := range idx {
+			switch {
+			case keys[i] < pivot:
+				scratch[pl] = i
+				pl++
+			case keys[i] == pivot:
+				scratch[pe] = i
+				pe++
+			default:
+				scratch[pg] = i
+				pg++
+			}
+		}
+		copy(idx, scratch[:n])
+		return nl, nl + ne
+	}
+	// Parallel path: per-chunk 3-way counts, exclusive scan, then scatter.
+	chunk := (n + parallel.MaxProcs() - 1) / parallel.MaxProcs()
+	if chunk < 1024 {
+		chunk = 1024
+	}
+	nchunks := (n + chunk - 1) / chunk
+	counts := make([][3]int, nchunks)
+	parallel.ForRange(n, chunk, func(lo, hi int) {
+		c := lo / chunk
+		var cc [3]int
+		for _, i := range idx[lo:hi] {
+			switch {
+			case keys[i] < pivot:
+				cc[0]++
+			case keys[i] == pivot:
+				cc[1]++
+			default:
+				cc[2]++
+			}
+		}
+		counts[c] = cc
+	})
+	var tot [3]int
+	offsets := make([][3]int, nchunks)
+	for c := 0; c < nchunks; c++ {
+		offsets[c] = tot
+		for j := 0; j < 3; j++ {
+			tot[j] += counts[c][j]
+		}
+	}
+	base := [3]int{0, tot[0], tot[0] + tot[1]}
+	parallel.ForRange(n, chunk, func(lo, hi int) {
+		c := lo / chunk
+		p := [3]int{
+			base[0] + offsets[c][0],
+			base[1] + offsets[c][1],
+			base[2] + offsets[c][2],
+		}
+		for _, i := range idx[lo:hi] {
+			var j int
+			switch {
+			case keys[i] < pivot:
+				j = 0
+			case keys[i] == pivot:
+				j = 1
+			default:
+				j = 2
+			}
+			scratch[p[j]] = i
+			p[j]++
+		}
+	})
+	parallel.ForRange(n, chunk, func(lo, hi int) {
+		copy(idx[lo:hi], scratch[lo:hi])
+	})
+	return tot[0], tot[0] + tot[1]
+}
+
+func pickPivot[K cmp.Ordered](keys []K, idx []int, strat PivotStrategy) K {
+	if strat == RandomQuartile {
+		return randomQuartilePivot(keys, idx)
+	}
+	return PPivot(keys, idx)
+}
+
+// PPivot is the parallel pivot algorithm of Lemma 34: split the input into
+// blocks of size ~log k, take each block's median (linear-time selection),
+// sort the medians, and return their median. The result is guaranteed to
+// lie within the middle two quartiles of the input. O(k) work.
+func PPivot[K cmp.Ordered](keys []K, idx []int) K {
+	k := len(idx)
+	bs := bits.Len(uint(k))
+	if bs < 1 {
+		bs = 1
+	}
+	nblocks := (k + bs - 1) / bs
+	medians := make([]K, nblocks)
+	parallel.ForRange(nblocks, 16, func(blo, bhi int) {
+		buf := make([]K, 0, bs)
+		for b := blo; b < bhi; b++ {
+			lo, hi := b*bs, (b+1)*bs
+			if hi > k {
+				hi = k
+			}
+			buf = buf[:0]
+			for _, i := range idx[lo:hi] {
+				buf = append(buf, keys[i])
+			}
+			medians[b] = quickselect(buf, (len(buf)-1)/2)
+		}
+	})
+	sort.Slice(medians, func(a, b int) bool { return medians[a] < medians[b] })
+	return medians[(len(medians)-1)/2]
+}
+
+// quickselect returns the element of rank r (0-based) in buf, reordering
+// buf. Expected linear time.
+func quickselect[K cmp.Ordered](buf []K, r int) K {
+	for len(buf) > 1 {
+		p := buf[rand.IntN(len(buf))]
+		lo, eq := 0, 0
+		for _, v := range buf {
+			if v < p {
+				lo++
+			} else if v == p {
+				eq++
+			}
+		}
+		switch {
+		case r < lo:
+			out := make([]K, 0, lo)
+			for _, v := range buf {
+				if v < p {
+					out = append(out, v)
+				}
+			}
+			buf = out
+		case r < lo+eq:
+			return p
+		default:
+			out := make([]K, 0, len(buf)-lo-eq)
+			for _, v := range buf {
+				if v > p {
+					out = append(out, v)
+				}
+			}
+			r -= lo + eq
+			buf = out
+		}
+	}
+	return buf[0]
+}
+
+// randomQuartilePivot retries random pivots until one lands in the middle
+// two quartiles (verified by a counting pass). Expected O(1) retries.
+func randomQuartilePivot[K cmp.Ordered](keys []K, idx []int) K {
+	k := len(idx)
+	for {
+		p := keys[idx[rand.IntN(k)]]
+		below, atOrBelow := 0, 0
+		for _, i := range idx {
+			if keys[i] < p {
+				below++
+			}
+			if keys[i] <= p {
+				atOrBelow++
+			}
+		}
+		// p's rank range [below, atOrBelow) must intersect [k/4, 3k/4].
+		if atOrBelow > k/4 && below <= 3*k/4 {
+			return p
+		}
+	}
+}
+
+// Runs groups a sorted permutation into runs of equal keys. Each run lists
+// the original positions in input (arrival) order — the paper's "combine
+// duplicates" step.
+func Runs[K cmp.Ordered](keys []K, perm []int) [][]int {
+	var out [][]int
+	for i := 0; i < len(perm); {
+		j := i + 1
+		for j < len(perm) && keys[perm[j]] == keys[perm[i]] {
+			j++
+		}
+		out = append(out, perm[i:j])
+		i = j
+	}
+	return out
+}
+
+// Entropy returns the empirical entropy per element of keys, in bits:
+// H = Σ q_i lg(1/q_i) over distinct-key frequencies q_i.
+func Entropy[K cmp.Ordered](keys []K) float64 {
+	freq := make(map[K]int, len(keys))
+	for _, k := range keys {
+		freq[k]++
+	}
+	n := float64(len(keys))
+	h := 0.0
+	for _, c := range freq {
+		q := float64(c) / n
+		h -= q * math.Log2(q)
+	}
+	return h
+}

@@ -1,0 +1,157 @@
+package iacono
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestModelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := New[int, int](nil)
+	ref := map[int]int{}
+	for step := 0; step < 20000; step++ {
+		k := rng.Intn(500)
+		switch rng.Intn(4) {
+		case 0:
+			old, existed := m.Insert(k, step)
+			wantOld, wantExisted := ref[k], false
+			if _, ok := ref[k]; ok {
+				wantExisted = true
+			}
+			if existed != wantExisted || (existed && old != wantOld) {
+				t.Fatalf("step %d: Insert(%d) = (%d,%v), want (%d,%v)", step, k, old, existed, wantOld, wantExisted)
+			}
+			ref[k] = step
+		case 1:
+			got, ok := m.Delete(k)
+			want, wantOK := ref[k]
+			if ok != wantOK || (ok && got != want) {
+				t.Fatalf("step %d: Delete(%d) = (%d,%v), want (%d,%v)", step, k, got, ok, want, wantOK)
+			}
+			delete(ref, k)
+		default:
+			got, ok := m.Get(k)
+			want, wantOK := ref[k]
+			if ok != wantOK || (ok && got != want) {
+				t.Fatalf("step %d: Get(%d) = (%d,%v), want (%d,%v)", step, k, got, ok, want, wantOK)
+			}
+		}
+		if m.Len() != len(ref) {
+			t.Fatalf("step %d: Len = %d, want %d", step, m.Len(), len(ref))
+		}
+		if step%999 == 0 {
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkingSetProperty verifies the structure's defining property: after
+// an item is accessed, immediately re-accessing it is cheap, and accessing
+// an item with recency r costs O(1 + log r) tree work.
+func TestWorkingSetProperty(t *testing.T) {
+	cnt := &metrics.Counter{}
+	m := New[int, int](cnt)
+	const n = 1 << 14
+	for i := 0; i < n; i++ {
+		m.Insert(i, i)
+	}
+	// Touch items 0..r-1, then measure the cost of re-accessing item 0
+	// (recency exactly r).
+	costAt := func(r int) int64 {
+		m.Get(0)
+		for i := 1; i < r; i++ {
+			m.Get(i % n)
+		}
+		before := cnt.Work()
+		m.Get(0)
+		return cnt.Work() - before
+	}
+	c4 := costAt(4)
+	c256 := costAt(256)
+	cBig := costAt(n / 2)
+	if c4 > c256 || c256 > cBig {
+		t.Fatalf("costs not monotone in recency: %d, %d, %d", c4, c256, cBig)
+	}
+	// Cost for recency r should scale like log r, not like n. Allow a
+	// generous constant: cost(n/2) / cost(4) should be far below (n/2)/4.
+	if cBig > 64*c4 {
+		t.Fatalf("recency-%d access cost %d too high vs recency-4 cost %d", n/2, cBig, c4)
+	}
+	// And the absolute cost should be around log^1 r tree nodes, i.e. far
+	// less than n for a recency-n/2 access.
+	if cBig > int64(200*math.Log2(float64(n))) {
+		t.Fatalf("recency-%d access cost %d not logarithmic", n/2, cBig)
+	}
+}
+
+func TestPeekDoesNotPromote(t *testing.T) {
+	m := New[int, int](nil)
+	for i := 0; i < 100; i++ {
+		m.Insert(i, i)
+	}
+	// After Peek, a subsequent Get must still find the value.
+	if v, ok := m.Peek(0); !ok || v != 0 {
+		t.Fatal("Peek failed")
+	}
+	if v, ok := m.Get(0); !ok || v != 0 {
+		t.Fatal("Get after Peek failed")
+	}
+}
+
+func TestDeleteFillsHoles(t *testing.T) {
+	m := New[int, int](nil)
+	for i := 0; i < 300; i++ {
+		m.Insert(i, i)
+	}
+	for i := 0; i < 300; i += 2 {
+		if _, ok := m.Delete(i); !ok {
+			t.Fatalf("Delete(%d) missed", i)
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("after Delete(%d): %v", i, err)
+		}
+	}
+	for i := 1; i < 300; i += 2 {
+		if _, ok := m.Get(i); !ok {
+			t.Fatalf("survivor %d lost", i)
+		}
+	}
+	if m.Len() != 150 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestEachAndEachLevel(t *testing.T) {
+	m := New[int, int](nil)
+	for i := 0; i < 50; i++ {
+		m.Insert(i, i*2)
+	}
+	seen := map[int]int{}
+	m.Each(func(k, v int) { seen[k] = v })
+	if len(seen) != 50 {
+		t.Fatalf("Each visited %d items", len(seen))
+	}
+	total := 0
+	m.EachLevel(func(i int, items []struct {
+		Key int
+		Val int
+	}) {
+		for j := 1; j < len(items); j++ {
+			if items[j-1].Key >= items[j].Key {
+				t.Fatal("level items not key-sorted")
+			}
+		}
+		total += len(items)
+	})
+	if total != 50 {
+		t.Fatalf("EachLevel visited %d items", total)
+	}
+}

@@ -1,0 +1,105 @@
+// Package pbuffer implements the parallel buffer of the paper's Appendix
+// A.1: the component that implicit batching interposes between client
+// threads and a batched data structure.
+//
+// Clients add operations concurrently; when the data structure is ready it
+// flushes the buffer, atomically collecting everything buffered so far as
+// one input batch. The guarantee matches the paper: an operation that
+// arrives during a flush is included either in the batch being flushed or
+// in the next one.
+//
+// The paper shards the buffer into one sub-buffer per processor and climbs
+// a flag tree to bound QRMW memory contention at O(log p) per call. Go's
+// atomics already arbitrate contention in hardware, so the flag tree is
+// replaced by a single activation CAS (see DESIGN.md); the sharding — the
+// part with real practical effect — is kept.
+package pbuffer
+
+import (
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/parallel"
+)
+
+type shard[T any] struct {
+	mu    sync.Mutex
+	items []T
+	_     [40]byte // keep shards off each other's cache lines
+}
+
+// Buffer is a sharded concurrent operation buffer. The zero value is not
+// usable; create with New.
+type Buffer[T any] struct {
+	shards []shard[T]
+	size   atomic.Int64
+}
+
+// New creates a buffer with p sub-buffers (p < 1 selects 1).
+func New[T any](p int) *Buffer[T] {
+	if p < 1 {
+		p = 1
+	}
+	return &Buffer[T]{shards: make([]shard[T], p)}
+}
+
+// Add buffers one operation. Safe for any number of concurrent callers.
+// The caller is responsible for activating the data structure afterwards
+// (the activation interface makes duplicate activations cheap).
+func (b *Buffer[T]) Add(x T) {
+	s := &b.shards[rand.IntN(len(b.shards))]
+	s.mu.Lock()
+	s.items = append(s.items, x)
+	s.mu.Unlock()
+	b.size.Add(1)
+}
+
+// AddAll buffers a sequence of operations atomically into one sub-buffer,
+// preserving their relative order through the next flush. Used by the
+// batch-submission API, where one client's operations on the same key must
+// keep program order.
+func (b *Buffer[T]) AddAll(xs []T) {
+	if len(xs) == 0 {
+		return
+	}
+	s := &b.shards[rand.IntN(len(b.shards))]
+	s.mu.Lock()
+	s.items = append(s.items, xs...)
+	s.mu.Unlock()
+	b.size.Add(int64(len(xs)))
+}
+
+// Len reports the number of currently buffered operations (racy snapshot).
+func (b *Buffer[T]) Len() int { return int(b.size.Load()) }
+
+// Flush atomically swaps out all sub-buffers and returns their combined
+// contents. Operations added concurrently with a flush land in this batch
+// or the next. O(p + b) work, O(log p + log b) span.
+func (b *Buffer[T]) Flush() []T {
+	parts := make([][]T, len(b.shards))
+	total := 0
+	for i := range b.shards {
+		s := &b.shards[i]
+		s.mu.Lock()
+		parts[i] = s.items
+		s.items = nil
+		s.mu.Unlock()
+		total += len(parts[i])
+	}
+	if total == 0 {
+		return nil
+	}
+	b.size.Add(int64(-total))
+	out := make([]T, total)
+	offsets := make([]int, len(parts))
+	off := 0
+	for i, p := range parts {
+		offsets[i] = off
+		off += len(p)
+	}
+	parallel.For(len(parts), 1, func(i int) {
+		copy(out[offsets[i]:], parts[i])
+	})
+	return out
+}

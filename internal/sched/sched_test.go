@@ -1,0 +1,148 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestAllTasksRun(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var ran atomic.Int64
+	const n = 10000
+	for i := 0; i < n; i++ {
+		pri := Low
+		if i%3 == 0 {
+			pri = High
+		}
+		p.Submit(func() { ran.Add(1) }, pri)
+	}
+	p.Wait()
+	if ran.Load() != n {
+		t.Fatalf("ran %d of %d", ran.Load(), n)
+	}
+	st := p.Stats()
+	if st.Executed != n {
+		t.Fatalf("Executed = %d", st.Executed)
+	}
+	if st.HighRuns == 0 {
+		t.Fatal("no high-priority runs recorded")
+	}
+}
+
+func TestTasksCanSubmitTasks(t *testing.T) {
+	p := New(3)
+	defer p.Close()
+	var ran atomic.Int64
+	var spawn func(depth int)
+	spawn = func(depth int) {
+		ran.Add(1)
+		if depth > 0 {
+			for i := 0; i < 2; i++ {
+				p.Submit(func() { spawn(depth - 1) }, Low)
+			}
+		}
+	}
+	p.Submit(func() { spawn(10) }, Low)
+	p.Wait()
+	want := int64(1<<11 - 1) // full binary tree of depth 10
+	if ran.Load() != want {
+		t.Fatalf("ran %d, want %d", ran.Load(), want)
+	}
+}
+
+func TestStealingBalancesLoad(t *testing.T) {
+	// Submit a burst from a single producer; with round-robin placement and
+	// stealing, a multi-worker pool must finish all tasks even if some
+	// workers' deques start empty.
+	p := New(8)
+	defer p.Close()
+	var wg sync.WaitGroup
+	var ran atomic.Int64
+	const n = 4000
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		p.Submit(func() {
+			defer wg.Done()
+			// Mix of short and long tasks to force imbalance.
+			if ran.Add(1)%100 == 0 {
+				for j := 0; j < 100000; j++ {
+					_ = j * j
+				}
+			}
+		}, Low)
+	}
+	wg.Wait()
+}
+
+func TestHighPriorityPreferred(t *testing.T) {
+	// A single-worker pool must run a queued High task before queued Low
+	// tasks submitted earlier.
+	p := New(1)
+	defer p.Close()
+	var mu sync.Mutex
+	var order []Priority
+	block := make(chan struct{})
+	p.Submit(func() { <-block }, Low) // occupy the worker
+	for i := 0; i < 3; i++ {
+		p.Submit(func() { mu.Lock(); order = append(order, Low); mu.Unlock() }, Low)
+	}
+	p.Submit(func() { mu.Lock(); order = append(order, High); mu.Unlock() }, High)
+	close(block)
+	p.Wait()
+	if len(order) != 4 {
+		t.Fatalf("order = %v", order)
+	}
+	if order[0] != High {
+		t.Fatalf("high-priority task ran at position %v, order %v", order[0], order)
+	}
+}
+
+func TestCloseIdempotentAfterWait(t *testing.T) {
+	p := New(2)
+	var ran atomic.Int64
+	p.Submit(func() { ran.Add(1) }, Low)
+	p.Close()
+	if ran.Load() != 1 {
+		t.Fatalf("ran = %d", ran.Load())
+	}
+}
+
+func TestSubmitAfterClosePanics(t *testing.T) {
+	p := New(1)
+	p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on Submit after Close")
+		}
+	}()
+	p.Submit(func() {}, Low)
+}
+
+func TestStatsCountStolen(t *testing.T) {
+	// With many workers and a burst of tasks placed round-robin, idle
+	// workers must steal; we only assert the counter is wired (stealing is
+	// scheduling-dependent).
+	p := New(4)
+	defer p.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 2000; i++ {
+		wg.Add(1)
+		p.Submit(func() { defer wg.Done() }, Low)
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.Executed != 2000 {
+		t.Fatalf("Executed = %d", st.Executed)
+	}
+	if st.Stolen < 0 || st.Stolen > st.Executed {
+		t.Fatalf("Stolen = %d out of range", st.Stolen)
+	}
+}
+
+func TestWaitOnEmptyPool(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	p.Wait() // must not block
+}

@@ -1,0 +1,209 @@
+// Package splay implements a top-down splay tree (Sleator and Tarjan,
+// reference [37] of the paper): the classic self-adjusting search tree that
+// also satisfies the working-set bound, but only in the amortized sense and
+// with every access restructuring the root path.
+//
+// It serves as the sequential self-adjusting baseline in the experiments
+// (the paper's Section 1 discussion of splay trees and the CBTree), wrapped
+// behind a global lock for concurrent comparisons.
+package splay
+
+import (
+	"cmp"
+
+	"repro/internal/metrics"
+)
+
+type node[K cmp.Ordered, V any] struct {
+	key         K
+	val         V
+	left, right *node[K, V]
+}
+
+// Tree is a splay tree. Not safe for concurrent use.
+type Tree[K cmp.Ordered, V any] struct {
+	root *node[K, V]
+	size int
+	cnt  *metrics.Counter
+}
+
+// New creates an empty splay tree. cnt may be nil.
+func New[K cmp.Ordered, V any](cnt *metrics.Counter) *Tree[K, V] {
+	return &Tree[K, V]{cnt: cnt}
+}
+
+// Len returns the number of items.
+func (t *Tree[K, V]) Len() int { return t.size }
+
+// splay restructures the tree so that the node with key k (or the last
+// node on its search path) becomes the root. Top-down splaying, O(depth).
+func (t *Tree[K, V]) splay(k K) {
+	if t.root == nil {
+		return
+	}
+	var header node[K, V]
+	l, r := &header, &header
+	cur := t.root
+	work := int64(0)
+	for {
+		work++
+		if k < cur.key {
+			if cur.left == nil {
+				break
+			}
+			if k < cur.left.key {
+				// Rotate right.
+				y := cur.left
+				cur.left = y.right
+				y.right = cur
+				cur = y
+				if cur.left == nil {
+					break
+				}
+			}
+			// Link right.
+			r.left = cur
+			r = cur
+			cur = cur.left
+		} else if k > cur.key {
+			if cur.right == nil {
+				break
+			}
+			if k > cur.right.key {
+				// Rotate left.
+				y := cur.right
+				cur.right = y.left
+				y.left = cur
+				cur = y
+				if cur.right == nil {
+					break
+				}
+			}
+			// Link left.
+			l.right = cur
+			l = cur
+			cur = cur.right
+		} else {
+			break
+		}
+	}
+	l.right = cur.left
+	r.left = cur.right
+	cur.left = header.right
+	cur.right = header.left
+	t.root = cur
+	t.cnt.Add(work)
+}
+
+// Get searches for k, splaying it to the root on success.
+func (t *Tree[K, V]) Get(k K) (V, bool) {
+	t.splay(k)
+	if t.root != nil && t.root.key == k {
+		return t.root.val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Insert adds or updates k, returning the previous value if it existed.
+func (t *Tree[K, V]) Insert(k K, v V) (V, bool) {
+	var zero V
+	if t.root == nil {
+		t.root = &node[K, V]{key: k, val: v}
+		t.size = 1
+		return zero, false
+	}
+	t.splay(k)
+	if t.root.key == k {
+		old := t.root.val
+		t.root.val = v
+		return old, true
+	}
+	n := &node[K, V]{key: k, val: v}
+	if k < t.root.key {
+		n.left, n.right = t.root.left, t.root
+		t.root.left = nil
+	} else {
+		n.right, n.left = t.root.right, t.root
+		t.root.right = nil
+	}
+	t.root = n
+	t.size++
+	return zero, false
+}
+
+// Delete removes k, returning its value if it existed.
+func (t *Tree[K, V]) Delete(k K) (V, bool) {
+	var zero V
+	if t.root == nil {
+		return zero, false
+	}
+	t.splay(k)
+	if t.root.key != k {
+		return zero, false
+	}
+	v := t.root.val
+	if t.root.left == nil {
+		t.root = t.root.right
+	} else {
+		right := t.root.right
+		t.root = t.root.left
+		t.splay(k) // max of left subtree becomes root (no right child)
+		t.root.right = right
+	}
+	t.size--
+	return v, true
+}
+
+// Each visits all items in key order.
+func (t *Tree[K, V]) Each(f func(k K, v V)) {
+	var walk func(n *node[K, V])
+	walk = func(n *node[K, V]) {
+		if n == nil {
+			return
+		}
+		walk(n.left)
+		f(n.key, n.val)
+		walk(n.right)
+	}
+	walk(t.root)
+}
+
+// CheckInvariants verifies the BST ordering and size (test hook).
+func (t *Tree[K, V]) CheckInvariants() error {
+	count := 0
+	var last *K
+	bad := false
+	var walk func(n *node[K, V])
+	walk = func(n *node[K, V]) {
+		if n == nil || bad {
+			return
+		}
+		walk(n.left)
+		if last != nil && cmp.Compare(*last, n.key) >= 0 {
+			bad = true
+			return
+		}
+		k := n.key
+		last = &k
+		count++
+		walk(n.right)
+	}
+	walk(t.root)
+	if bad {
+		return errOrder
+	}
+	if count != t.size {
+		return errSize
+	}
+	return nil
+}
+
+type splayErr string
+
+func (e splayErr) Error() string { return string(e) }
+
+const (
+	errOrder = splayErr("splay: keys out of order")
+	errSize  = splayErr("splay: size mismatch")
+)

@@ -1,0 +1,166 @@
+package twothree
+
+import "cmp"
+
+// join concatenates two trees a and b (all leaves of a before all leaves of
+// b) and returns the root of the result. It runs in O(|height(a)-height(b)|
+// + 1) time, mutating spine nodes in place so that leaf identities (and
+// their parent chains) remain valid.
+func join[K cmp.Ordered, P any](a, b *Node[K, P]) *Node[K, P] {
+	switch {
+	case a == nil:
+		return detach(b)
+	case b == nil:
+		return detach(a)
+	case a.h == b.h:
+		return detach(mk2(detach(a), detach(b)))
+	case a.h > b.h:
+		x, y := joinRight(detach(a), detach(b))
+		if y != nil {
+			return detach(mk2(x, y))
+		}
+		return detach(x)
+	default:
+		x, y := joinLeft(detach(b), detach(a))
+		if y != nil {
+			return detach(mk2(y, x))
+		}
+		return detach(x)
+	}
+}
+
+// joinRight hangs b (with height(b) < height(a)) below a's rightmost spine.
+// It returns one or two nodes of height a.h that together hold all leaves
+// in order; when two are returned the second goes to the right.
+func joinRight[K cmp.Ordered, P any](a, b *Node[K, P]) (x, y *Node[K, P]) {
+	if a.h == b.h+1 {
+		if a.nc == 2 {
+			a.child[2] = b
+			a.nc = 3
+			refresh(a)
+			return a, nil
+		}
+		c2 := a.child[2]
+		a.child[2] = nil
+		a.nc = 2
+		refresh(a)
+		return a, mk2(c2, b)
+	}
+	r1, r2 := joinRight(a.child[a.nc-1], b)
+	a.child[a.nc-1] = r1
+	if r2 == nil {
+		refresh(a)
+		return a, nil
+	}
+	if a.nc == 2 {
+		a.child[2] = r2
+		a.nc = 3
+		refresh(a)
+		return a, nil
+	}
+	// a had three children; keep (c0, c1) in a and split off (r1, r2).
+	y = mk2(a.child[2], r2)
+	a.child[2] = nil
+	a.nc = 2
+	refresh(a)
+	return a, y
+}
+
+// joinLeft is the mirror image of joinRight: b with height(b) < height(a)
+// is hung below a's leftmost spine. When two nodes are returned the second
+// goes to the left.
+func joinLeft[K cmp.Ordered, P any](a, b *Node[K, P]) (x, y *Node[K, P]) {
+	if a.h == b.h+1 {
+		if a.nc == 2 {
+			a.child[2] = a.child[1]
+			a.child[1] = a.child[0]
+			a.child[0] = b
+			a.nc = 3
+			refresh(a)
+			return a, nil
+		}
+		c0 := a.child[0]
+		a.child[0] = a.child[1]
+		a.child[1] = a.child[2]
+		a.child[2] = nil
+		a.nc = 2
+		refresh(a)
+		return a, mk2(b, c0)
+	}
+	r1, r2 := joinLeft(a.child[0], b)
+	a.child[0] = r1
+	if r2 == nil {
+		refresh(a)
+		return a, nil
+	}
+	if a.nc == 2 {
+		a.child[2] = a.child[1]
+		a.child[1] = a.child[0]
+		a.child[0] = r2
+		a.nc = 3
+		refresh(a)
+		return a, nil
+	}
+	y = mk2(r2, a.child[0])
+	a.child[0] = a.child[1]
+	a.child[1] = a.child[2]
+	a.child[2] = nil
+	a.nc = 2
+	refresh(a)
+	return a, y
+}
+
+// splitKey splits t around key k into l (keys < k), eq (the unique leaf
+// with key k, or nil), and r (keys > k). t is consumed. O(log n).
+func splitKey[K cmp.Ordered, P any](t *Node[K, P], k K) (l, eq, r *Node[K, P]) {
+	if t == nil {
+		return nil, nil, nil
+	}
+	if t.IsLeaf() {
+		switch {
+		case t.Key < k:
+			return detach(t), nil, nil
+		case t.Key > k:
+			return nil, nil, detach(t)
+		default:
+			return nil, detach(t), nil
+		}
+	}
+	i := int8(0)
+	for i < t.nc-1 && t.child[i].maxKey < k {
+		i++
+	}
+	l, eq, r = splitKey(detach(t.child[i]), k)
+	for j := i - 1; j >= 0; j-- {
+		l = join(detach(t.child[j]), l)
+	}
+	for j := i + 1; j < t.nc; j++ {
+		r = join(r, detach(t.child[j]))
+	}
+	return l, eq, r
+}
+
+// splitRank splits t so that l holds the first i leaves and r the rest.
+// t is consumed. O(log n).
+func splitRank[K cmp.Ordered, P any](t *Node[K, P], i int) (l, r *Node[K, P]) {
+	if t == nil || i <= 0 {
+		return nil, detach(t)
+	}
+	if i >= t.size {
+		return detach(t), nil
+	}
+	// t is internal (a leaf has size 1 and was handled above).
+	ci := int8(0)
+	for t.child[ci].size <= i {
+		i -= t.child[ci].size
+		ci++
+	}
+	l, r = splitRank(detach(t.child[ci]), i)
+	for j := ci - 1; j >= 0; j-- {
+		l = join(detach(t.child[j]), l)
+	}
+	for j := ci + 1; j < t.nc; j++ {
+		r = join(r, detach(t.child[j]))
+	}
+	return l, r
+}

@@ -1,0 +1,226 @@
+// Package twothree implements the batched parallel 2-3 tree of the paper's
+// Appendix A.2 (adapted from Paul, Vishkin and Wagener's parallel 2-3
+// dictionary), plus the recency sequence used for every segment's
+// recency-map.
+//
+// Trees are leaf-based: all items live in leaves; internal nodes have two or
+// three children and carry the subtree size (for rank/order-statistic
+// queries) and the maximum key of their subtree (for routing). Leaves carry
+// parent pointers so that a "direct pointer" to an item supports the
+// reverse-indexing operation: computing the leaf's rank by walking to the
+// root costs O(log n), and a batch of b ranks is then ordered by an integer
+// sort, for a total of O(b log n) work — the same bound as the paper's
+// batched reverse-indexing.
+//
+// Batch operations take item-sorted batches of distinct keys and run in
+// Θ(b log n) work. They are implemented as divide-and-conquer over
+// split/join, which parallelizes cleanly (disjoint subtrees after a split);
+// the span is O(log b · log n) instead of the pipelined O(log b + log n) of
+// Paul-Vishkin-Wagener — a documented substitution (DESIGN.md) that leaves
+// every work bound intact.
+package twothree
+
+import (
+	"cmp"
+	"fmt"
+)
+
+// Node is a 2-3 tree node. A Node with no children is a leaf and carries a
+// key and payload; internal nodes carry routing metadata only. Leaves are
+// stable: once created, a leaf is identified by its pointer for as long as
+// the item is in the tree ("direct pointers" in the paper), even as batch
+// operations restructure the internal nodes above it.
+type Node[K cmp.Ordered, P any] struct {
+	parent *Node[K, P]
+	child  [3]*Node[K, P]
+	nc     int8  // number of children; 0 for a leaf
+	h      int16 // height above the leaf level; 0 for a leaf
+	size   int   // number of leaves in the subtree (1 for a leaf)
+	maxKey K     // maximum key in the subtree; equals Key for a leaf
+
+	// Key and Payload are meaningful for leaves only.
+	Key     K
+	Payload P
+}
+
+// IsLeaf reports whether n is a leaf.
+func (n *Node[K, P]) IsLeaf() bool { return n.nc == 0 }
+
+// Size returns the number of leaves under n (1 for a leaf, 0 for nil).
+func (n *Node[K, P]) Size() int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func newLeaf[K cmp.Ordered, P any](k K, p P) *Node[K, P] {
+	return &Node[K, P]{size: 1, maxKey: k, Key: k, Payload: p}
+}
+
+// NewLeaf creates a detached leaf, for later insertion with
+// BatchInsertLeaves. Callers use this to build an item's leaf once and move
+// it between trees without breaking direct pointers to it.
+func NewLeaf[K cmp.Ordered, P any](k K, p P) *Node[K, P] { return newLeaf(k, p) }
+
+func height[K cmp.Ordered, P any](n *Node[K, P]) int16 {
+	if n == nil {
+		return -1
+	}
+	return n.h
+}
+
+// refresh recomputes the cached metadata of an internal node from its
+// children. Children must already be in place.
+func refresh[K cmp.Ordered, P any](n *Node[K, P]) {
+	n.size = 0
+	for i := int8(0); i < n.nc; i++ {
+		c := n.child[i]
+		n.size += c.size
+		c.parent = n
+	}
+	last := n.child[n.nc-1]
+	n.maxKey = last.maxKey
+	n.h = n.child[0].h + 1
+}
+
+func mk2[K cmp.Ordered, P any](a, b *Node[K, P]) *Node[K, P] {
+	n := &Node[K, P]{nc: 2}
+	n.child[0], n.child[1] = a, b
+	refresh(n)
+	return n
+}
+
+func mk3[K cmp.Ordered, P any](a, b, c *Node[K, P]) *Node[K, P] {
+	n := &Node[K, P]{nc: 3}
+	n.child[0], n.child[1], n.child[2] = a, b, c
+	refresh(n)
+	return n
+}
+
+// detach clears n's parent pointer so it can stand alone as a root.
+func detach[K cmp.Ordered, P any](n *Node[K, P]) *Node[K, P] {
+	if n != nil {
+		n.parent = nil
+	}
+	return n
+}
+
+// Rank returns the number of leaves strictly before leaf in its tree's
+// left-to-right order, by walking parent pointers and summing the sizes of
+// left siblings. O(log n). leaf must currently belong to a tree.
+func Rank[K cmp.Ordered, P any](leaf *Node[K, P]) int {
+	r := 0
+	n := leaf
+	for p := n.parent; p != nil; n, p = p, p.parent {
+		for i := int8(0); i < p.nc; i++ {
+			c := p.child[i]
+			if c == n {
+				break
+			}
+			r += c.size
+		}
+	}
+	return r
+}
+
+// appendLeaves appends the leaves under n, left to right, to out.
+func appendLeaves[K cmp.Ordered, P any](n *Node[K, P], out []*Node[K, P]) []*Node[K, P] {
+	if n == nil {
+		return out
+	}
+	if n.IsLeaf() {
+		return append(out, n)
+	}
+	for i := int8(0); i < n.nc; i++ {
+		out = appendLeaves(n.child[i], out)
+	}
+	return out
+}
+
+// buildLeaves constructs a balanced 2-3 tree over the given leaves (in
+// order) and returns its root (nil for an empty slice). O(b) work.
+func buildLeaves[K cmp.Ordered, P any](leaves []*Node[K, P]) *Node[K, P] {
+	if len(leaves) == 0 {
+		return nil
+	}
+	level := leaves
+	for len(level) > 1 {
+		next := make([]*Node[K, P], 0, len(level)/2+1)
+		i := 0
+		for i < len(level) {
+			rem := len(level) - i
+			switch {
+			case rem == 2 || rem == 4:
+				next = append(next, mk2(level[i], level[i+1]))
+				i += 2
+			default: // rem == 3 or rem >= 5: take three
+				next = append(next, mk3(level[i], level[i+1], level[i+2]))
+				i += 3
+			}
+		}
+		level = next
+	}
+	return detach(level[0])
+}
+
+// validate checks structural invariants below n: uniform leaf depth, 2-3
+// fan-out, size and maxKey caching, and parent pointers. If ordered is true
+// it additionally checks that leaf keys are strictly increasing.
+func validate[K cmp.Ordered, P any](n *Node[K, P], ordered bool) error {
+	if n == nil {
+		return nil
+	}
+	if n.parent != nil {
+		return fmt.Errorf("root has non-nil parent")
+	}
+	var prev *K
+	var walk func(n *Node[K, P]) error
+	walk = func(n *Node[K, P]) error {
+		if n.IsLeaf() {
+			if n.size != 1 {
+				return fmt.Errorf("leaf size %d", n.size)
+			}
+			if n.h != 0 {
+				return fmt.Errorf("leaf height %d", n.h)
+			}
+			if n.maxKey != n.Key {
+				return fmt.Errorf("leaf maxKey %v != key %v", n.maxKey, n.Key)
+			}
+			if ordered && prev != nil && cmp.Compare(*prev, n.Key) >= 0 {
+				return fmt.Errorf("keys out of order: %v before %v", *prev, n.Key)
+			}
+			k := n.Key
+			prev = &k
+			return nil
+		}
+		if n.nc < 2 || n.nc > 3 {
+			return fmt.Errorf("internal node with %d children", n.nc)
+		}
+		size := 0
+		for i := int8(0); i < n.nc; i++ {
+			c := n.child[i]
+			if c == nil {
+				return fmt.Errorf("nil child %d", i)
+			}
+			if c.parent != n {
+				return fmt.Errorf("child %d has wrong parent", i)
+			}
+			if c.h != n.h-1 {
+				return fmt.Errorf("child height %d under node height %d", c.h, n.h)
+			}
+			if err := walk(c); err != nil {
+				return err
+			}
+			size += c.size
+		}
+		if size != n.size {
+			return fmt.Errorf("cached size %d, actual %d", n.size, size)
+		}
+		if n.maxKey != n.child[n.nc-1].maxKey {
+			return fmt.Errorf("stale maxKey %v", n.maxKey)
+		}
+		return nil
+	}
+	return walk(n)
+}

@@ -1,0 +1,194 @@
+package twothree
+
+import (
+	"cmp"
+	"sort"
+
+	"repro/internal/metrics"
+)
+
+// SeqLeaf is a leaf of a recency sequence. Its Key field holds the item's
+// map key (used to find the item in a segment's key-map); the sequence
+// itself is ordered by recency, not by key.
+type SeqLeaf[K cmp.Ordered] = Node[K, struct{}]
+
+// Seq is the recency-map of a segment: a 2-3 tree ordered by recency (rank
+// 0 = most recent, last rank = least recent) supporting the batched
+// front/back transfers and reverse indexing that the working-set maps
+// perform when shifting items between segments.
+//
+// Seq reuses the same balanced node machinery as Tree but routes only by
+// rank, never by key.
+type Seq[K cmp.Ordered] struct {
+	root *Node[K, struct{}]
+	cnt  *metrics.Counter
+}
+
+// NewSeq returns an empty recency sequence. cnt may be nil.
+func NewSeq[K cmp.Ordered](cnt *metrics.Counter) *Seq[K] {
+	return &Seq[K]{cnt: cnt}
+}
+
+// Len returns the number of items.
+func (s *Seq[K]) Len() int { return s.root.Size() }
+
+func (s *Seq[K]) charge(ops int) {
+	if s.cnt != nil {
+		s.cnt.Add(int64(ops) * int64(height(s.root)+2))
+	}
+}
+
+// chargeBatch mirrors Tree.chargeBatch for rank-based bulk operations:
+// Θ(b·log(n/b + 2) + b) node visits plus one root descent.
+func (s *Seq[K]) chargeBatch(b int) {
+	if s.cnt == nil || b == 0 {
+		return
+	}
+	n := s.root.Size()
+	per := bitsLen(n/b+1) + 2
+	s.cnt.Add(int64(b*per) + int64(height(s.root)+2))
+}
+
+func seqLeaves[K cmp.Ordered](keys []K) []*SeqLeaf[K] {
+	leaves := make([]*SeqLeaf[K], len(keys))
+	for i, k := range keys {
+		leaves[i] = newLeaf(k, struct{}{})
+	}
+	return leaves
+}
+
+// PushFront prepends keys so that keys[0] becomes the most recent item.
+// Returns the new leaves aligned with keys. O(b + log n).
+func (s *Seq[K]) PushFront(keys []K) []*SeqLeaf[K] {
+	s.charge(1)
+	leaves := seqLeaves(keys)
+	s.root = join(buildLeaves(leaves), s.root)
+	return leaves
+}
+
+// PushBack appends keys so that the last key becomes the least recent item.
+// Returns the new leaves aligned with keys. O(b + log n).
+func (s *Seq[K]) PushBack(keys []K) []*SeqLeaf[K] {
+	s.charge(1)
+	leaves := seqLeaves(keys)
+	s.root = join(s.root, buildLeaves(leaves))
+	return leaves
+}
+
+// PushFrontLeaves prepends existing leaves (most recent first), preserving
+// their identity.
+func (s *Seq[K]) PushFrontLeaves(leaves []*SeqLeaf[K]) {
+	s.charge(1)
+	s.root = join(buildLeaves(leaves), s.root)
+}
+
+// PushBackLeaves appends existing leaves, preserving their identity.
+func (s *Seq[K]) PushBackLeaves(leaves []*SeqLeaf[K]) {
+	s.charge(1)
+	s.root = join(s.root, buildLeaves(leaves))
+}
+
+// PopFront removes the n most recent items and returns them most recent
+// first. O(n + log size).
+func (s *Seq[K]) PopFront(n int) []*SeqLeaf[K] {
+	s.charge(1)
+	if n > s.Len() {
+		n = s.Len()
+	}
+	l, r := splitRank(s.root, n)
+	s.root = r
+	return appendLeaves(l, make([]*SeqLeaf[K], 0, n))
+}
+
+// PopBack removes the n least recent items and returns them in recency
+// order (most recent of the removed items first). O(n + log size).
+func (s *Seq[K]) PopBack(n int) []*SeqLeaf[K] {
+	s.charge(1)
+	if n > s.Len() {
+		n = s.Len()
+	}
+	l, r := splitRank(s.root, s.Len()-n)
+	s.root = l
+	return appendLeaves(r, make([]*SeqLeaf[K], 0, n))
+}
+
+// Remove deletes the given leaves (in any order) from the sequence via
+// reverse indexing: compute each leaf's rank by a parent walk, sort the
+// ranks, and batch-delete. It returns the removed leaves in recency order.
+// Θ(b log n) work.
+func (s *Seq[K]) Remove(leaves []*SeqLeaf[K]) []*SeqLeaf[K] {
+	if len(leaves) == 0 {
+		return nil
+	}
+	s.chargeBatch(len(leaves))
+	ranks := make([]int, len(leaves))
+	for i, lf := range leaves {
+		ranks[i] = Rank(lf)
+	}
+	sort.Ints(ranks)
+	out := make([]*SeqLeaf[K], len(ranks))
+	s.root = batchDeleteRanks(s.root, ranks, 0, out)
+	return out
+}
+
+// RankOf returns the recency rank of leaf (0 = most recent). O(log n).
+func (s *Seq[K]) RankOf(leaf *SeqLeaf[K]) int {
+	s.charge(1)
+	return Rank(leaf)
+}
+
+// Kth returns the leaf at recency rank i, or nil if out of range.
+func (s *Seq[K]) Kth(i int) *SeqLeaf[K] {
+	n := s.root
+	if n == nil || i < 0 || i >= n.size {
+		return nil
+	}
+	s.charge(1)
+	for !n.IsLeaf() {
+		ci := int8(0)
+		for n.child[ci].size <= i {
+			i -= n.child[ci].size
+			ci++
+		}
+		n = n.child[ci]
+	}
+	return n
+}
+
+// Flatten returns all leaves in recency order. O(n).
+func (s *Seq[K]) Flatten() []*SeqLeaf[K] {
+	return appendLeaves(s.root, make([]*SeqLeaf[K], 0, s.Len()))
+}
+
+// Keys returns all item keys in recency order. O(n).
+func (s *Seq[K]) Keys() []K {
+	leaves := s.Flatten()
+	keys := make([]K, len(leaves))
+	for i, lf := range leaves {
+		keys[i] = lf.Key
+	}
+	return keys
+}
+
+// Owns reports whether leaf currently belongs to this sequence, by walking
+// its parent chain to the root (test hook; O(log n)).
+func (s *Seq[K]) Owns(leaf *SeqLeaf[K]) bool {
+	n := leaf
+	for n.parent != nil {
+		n = n.parent
+	}
+	return n == s.root && s.root != nil
+}
+
+// Validate checks structural invariants, ignoring key order (test hook).
+func (s *Seq[K]) Validate() error { return validate(s.root, false) }
+
+// bitsLen is math/bits.Len over int (avoiding an import just for this).
+func bitsLen(n int) int {
+	l := 0
+	for n > 0 {
+		n >>= 1
+		l++
+	}
+	return l
+}

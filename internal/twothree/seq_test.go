@@ -1,0 +1,173 @@
+package twothree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// seqModel mirrors a Seq as a plain slice, most recent first.
+type seqModel []int
+
+func checkSeq(t *testing.T, s *Seq[int], m seqModel) {
+	t.Helper()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("invalid seq: %v", err)
+	}
+	if s.Len() != len(m) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(m))
+	}
+	got := s.Keys()
+	for i, k := range got {
+		if k != m[i] {
+			t.Fatalf("rank %d = %d, want %d (all: %v vs %v)", i, k, m[i], got, m)
+		}
+	}
+}
+
+func TestSeqPushPop(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	s := NewSeq[int](nil)
+	var m seqModel
+	next := 0
+	for step := 0; step < 3000; step++ {
+		switch rng.Intn(4) {
+		case 0: // push front
+			b := rng.Intn(5) + 1
+			keys := make([]int, b)
+			for i := range keys {
+				keys[i] = next
+				next++
+			}
+			leaves := s.PushFront(keys)
+			for i, lf := range leaves {
+				if lf.Key != keys[i] {
+					t.Fatal("PushFront leaf key mismatch")
+				}
+			}
+			m = append(append(seqModel{}, keys...), m...)
+		case 1: // push back
+			b := rng.Intn(5) + 1
+			keys := make([]int, b)
+			for i := range keys {
+				keys[i] = next
+				next++
+			}
+			s.PushBack(keys)
+			m = append(m, keys...)
+		case 2: // pop front
+			b := rng.Intn(4)
+			want := b
+			if want > len(m) {
+				want = len(m)
+			}
+			got := s.PopFront(b)
+			if len(got) != want {
+				t.Fatalf("PopFront returned %d, want %d", len(got), want)
+			}
+			for i, lf := range got {
+				if lf.Key != m[i] {
+					t.Fatalf("PopFront order wrong")
+				}
+			}
+			m = m[want:]
+		default: // pop back
+			b := rng.Intn(4)
+			want := b
+			if want > len(m) {
+				want = len(m)
+			}
+			got := s.PopBack(b)
+			if len(got) != want {
+				t.Fatalf("PopBack returned %d, want %d", len(got), want)
+			}
+			for i, lf := range got {
+				if lf.Key != m[len(m)-want+i] {
+					t.Fatalf("PopBack order wrong")
+				}
+			}
+			m = m[:len(m)-want]
+		}
+		if step%199 == 0 {
+			checkSeq(t, s, m)
+		}
+	}
+	checkSeq(t, s, m)
+}
+
+func TestSeqRemoveByPointers(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(500) + 5
+		s := NewSeq[int](nil)
+		keys := make([]int, n)
+		for i := range keys {
+			keys[i] = i
+		}
+		leaves := s.PushBack(keys)
+		// Pick a random subset of leaves, in shuffled order.
+		perm := rng.Perm(n)
+		b := rng.Intn(n) + 1
+		var pick []*SeqLeaf[int]
+		picked := map[int]bool{}
+		for _, i := range perm[:b] {
+			pick = append(pick, leaves[i])
+			picked[i] = true
+		}
+		removed := s.Remove(pick)
+		if len(removed) != b {
+			t.Fatalf("Remove returned %d, want %d", len(removed), b)
+		}
+		// Removed leaves come back in recency (ascending key) order.
+		for i := 1; i < len(removed); i++ {
+			if removed[i-1].Key >= removed[i].Key {
+				t.Fatal("Remove output not in recency order")
+			}
+		}
+		var m seqModel
+		for i := 0; i < n; i++ {
+			if !picked[i] {
+				m = append(m, i)
+			}
+		}
+		checkSeq(t, s, m)
+	}
+}
+
+func TestSeqRankOfAndKth(t *testing.T) {
+	s := NewSeq[int](nil)
+	leaves := s.PushBack([]int{10, 11, 12, 13, 14, 15})
+	for i, lf := range leaves {
+		if got := s.RankOf(lf); got != i {
+			t.Fatalf("RankOf leaf %d = %d", i, got)
+		}
+		if got := s.Kth(i); got != lf {
+			t.Fatalf("Kth(%d) wrong", i)
+		}
+	}
+	if s.Kth(6) != nil || s.Kth(-1) != nil {
+		t.Fatal("Kth out of range should be nil")
+	}
+	// After a front push, old ranks shift.
+	s.PushFront([]int{99})
+	if got := s.RankOf(leaves[0]); got != 1 {
+		t.Fatalf("RankOf after PushFront = %d, want 1", got)
+	}
+}
+
+func TestSeqPushFrontLeavesIdentity(t *testing.T) {
+	s := NewSeq[int](nil)
+	s.PushBack([]int{1, 2, 3})
+	moved := s.PopBack(2) // leaves 2, 3
+	s2 := NewSeq[int](nil)
+	s2.PushBack([]int{7, 8})
+	s2.PushFrontLeaves(moved)
+	if got := s2.Keys(); len(got) != 4 || got[0] != 2 || got[1] != 3 || got[2] != 7 || got[3] != 8 {
+		t.Fatalf("got %v", got)
+	}
+	if s2.Kth(0) != moved[0] {
+		t.Fatal("leaf identity lost across transfer")
+	}
+	if err := s2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

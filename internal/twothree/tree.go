@@ -1,0 +1,347 @@
+package twothree
+
+import (
+	"cmp"
+	"math/bits"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/parallel"
+)
+
+// batchGrain is the batch size above which batch operations fork their
+// divide-and-conquer recursions onto separate goroutines.
+const batchGrain = 384
+
+// Item is one element of a batch update.
+type Item[K cmp.Ordered, P any] struct {
+	Key     K
+	Payload P
+}
+
+// Tree is a key-ordered, leaf-based 2-3 tree supporting sequential and
+// batched operations. The zero value is not usable; create trees with New.
+//
+// Batch operations require the input batch to be sorted by key with
+// distinct keys, matching the paper's batched parallel 2-3 tree interface.
+// A Tree is not safe for concurrent mutation; the working-set maps guard
+// each tree with the paper's locking schemes.
+type Tree[K cmp.Ordered, P any] struct {
+	root *Node[K, P]
+	cnt  *metrics.Counter
+}
+
+// New returns an empty tree. cnt may be nil; when set, operations charge
+// their pointer-machine cost to it.
+func New[K cmp.Ordered, P any](cnt *metrics.Counter) *Tree[K, P] {
+	return &Tree[K, P]{cnt: cnt}
+}
+
+// Len returns the number of items.
+func (t *Tree[K, P]) Len() int { return t.root.Size() }
+
+// Height returns the height of the tree (-1 when empty).
+func (t *Tree[K, P]) Height() int { return int(height(t.root)) }
+
+func (t *Tree[K, P]) chargePerOp(ops int) {
+	if t.cnt != nil {
+		t.cnt.Add(int64(ops) * int64(height(t.root)+2))
+	}
+}
+
+// chargeBatch charges the cost of a divide-and-conquer batch operation of
+// size b: the recursion visits Θ(b·log(n/b + 2) + b) nodes plus one root
+// descent, which is what the paper's batched 2-3 tree costs (it is the
+// standard bulk-operation bound; the coarser per-op bound b·log n used in
+// the paper's statements is an upper bound on this).
+func (t *Tree[K, P]) chargeBatch(b int) {
+	if t.cnt == nil || b == 0 {
+		return
+	}
+	n := t.root.Size()
+	per := bits.Len(uint(n/b+1)) + 2
+	t.cnt.Add(int64(b*per) + int64(height(t.root)+2))
+}
+
+// Get returns the leaf holding k, if present. O(log n).
+func (t *Tree[K, P]) Get(k K) (*Node[K, P], bool) {
+	t.chargePerOp(1)
+	n := t.root
+	for n != nil && !n.IsLeaf() {
+		i := int8(0)
+		for i < n.nc-1 && n.child[i].maxKey < k {
+			i++
+		}
+		n = n.child[i]
+	}
+	if n != nil && n.Key == k {
+		return n, true
+	}
+	return nil, false
+}
+
+// Insert adds k with payload p, or overwrites the payload if k is present.
+// It returns the item's leaf and whether the key already existed. O(log n).
+func (t *Tree[K, P]) Insert(k K, p P) (*Node[K, P], bool) {
+	t.chargePerOp(1)
+	l, eq, r := splitKey(t.root, k)
+	existed := eq != nil
+	if eq == nil {
+		eq = newLeaf(k, p)
+	} else {
+		eq.Payload = p
+	}
+	t.root = join(join(l, eq), r)
+	return eq, existed
+}
+
+// Delete removes k and returns its leaf, if present. O(log n).
+func (t *Tree[K, P]) Delete(k K) (*Node[K, P], bool) {
+	t.chargePerOp(1)
+	l, eq, r := splitKey(t.root, k)
+	t.root = join(l, r)
+	return eq, eq != nil
+}
+
+// Min returns the leftmost leaf, or nil when empty.
+func (t *Tree[K, P]) Min() *Node[K, P] { return edgeLeaf(t.root, 0) }
+
+// Max returns the rightmost leaf, or nil when empty.
+func (t *Tree[K, P]) Max() *Node[K, P] { return edgeLeaf(t.root, 1) }
+
+func edgeLeaf[K cmp.Ordered, P any](n *Node[K, P], right int) *Node[K, P] {
+	if n == nil {
+		return nil
+	}
+	for !n.IsLeaf() {
+		if right == 1 {
+			n = n.child[n.nc-1]
+		} else {
+			n = n.child[0]
+		}
+	}
+	return n
+}
+
+// Kth returns the leaf with rank i (0-based), or nil if out of range.
+func (t *Tree[K, P]) Kth(i int) *Node[K, P] {
+	n := t.root
+	if n == nil || i < 0 || i >= n.size {
+		return nil
+	}
+	t.chargePerOp(1)
+	for !n.IsLeaf() {
+		ci := int8(0)
+		for n.child[ci].size <= i {
+			i -= n.child[ci].size
+			ci++
+		}
+		n = n.child[ci]
+	}
+	return n
+}
+
+// Flatten returns all leaves in key order. O(n).
+func (t *Tree[K, P]) Flatten() []*Node[K, P] {
+	return appendLeaves(t.root, make([]*Node[K, P], 0, t.Len()))
+}
+
+// Validate checks all structural invariants (test hook).
+func (t *Tree[K, P]) Validate() error { return validate(t.root, true) }
+
+// BatchGet looks up every key of the sorted, distinct batch and returns the
+// found leaves aligned with keys (nil where absent). Θ(b log n) work,
+// read-only, parallel.
+func (t *Tree[K, P]) BatchGet(keys []K) []*Node[K, P] {
+	t.chargeBatch(len(keys))
+	out := make([]*Node[K, P], len(keys))
+	batchGet(t.root, keys, out)
+	return out
+}
+
+func batchGet[K cmp.Ordered, P any](n *Node[K, P], keys []K, out []*Node[K, P]) {
+	for n != nil && len(keys) > 0 {
+		if n.IsLeaf() {
+			// Locate n.Key in keys (it can match at most one).
+			i := sort.Search(len(keys), func(j int) bool { return keys[j] >= n.Key })
+			if i < len(keys) && keys[i] == n.Key {
+				out[i] = n
+			}
+			return
+		}
+		// Narrow to a single child when possible to avoid recursion.
+		var lo [4]int
+		lo[0] = 0
+		for ci := int8(0); ci < n.nc; ci++ {
+			if ci == n.nc-1 {
+				lo[ci+1] = len(keys)
+				break
+			}
+			mx := n.child[ci].maxKey
+			base := lo[ci]
+			lo[ci+1] = base + sort.Search(len(keys)-base, func(j int) bool { return keys[base+j] > mx })
+		}
+		// Count non-empty child ranges.
+		nonEmpty := 0
+		only := int8(0)
+		for ci := int8(0); ci < n.nc; ci++ {
+			if lo[ci+1] > lo[ci] {
+				nonEmpty++
+				only = ci
+			}
+		}
+		if nonEmpty <= 1 {
+			n, keys, out = n.child[only], keys[lo[only]:lo[only+1]], out[lo[only]:lo[only+1]]
+			continue
+		}
+		var fns [3]func()
+		nf := 0
+		for ci := int8(0); ci < n.nc; ci++ {
+			if lo[ci+1] <= lo[ci] {
+				continue
+			}
+			c, ks, os := n.child[ci], keys[lo[ci]:lo[ci+1]], out[lo[ci]:lo[ci+1]]
+			fns[nf] = func() { batchGet(c, ks, os) }
+			nf++
+		}
+		runForked(len(keys), fns[:nf])
+		return
+	}
+}
+
+// runForked executes the given closures, in parallel when the driving batch
+// is large enough to amortize goroutine startup.
+func runForked(batchSize int, fns []func()) {
+	if batchSize < batchGrain {
+		for _, f := range fns {
+			f()
+		}
+		return
+	}
+	switch len(fns) {
+	case 1:
+		fns[0]()
+	case 2:
+		parallel.Do(fns[0], fns[1])
+	default:
+		parallel.Do3(fns[0], fns[1], fns[2])
+	}
+}
+
+// BatchUpsert inserts every item of the sorted, distinct batch (overwriting
+// payloads of existing keys) and returns the leaves aligned with items.
+// Θ(b log n) work.
+func (t *Tree[K, P]) BatchUpsert(items []Item[K, P]) []*Node[K, P] {
+	t.chargeBatch(len(items))
+	out := make([]*Node[K, P], len(items))
+	t.root = batchUpsert(t.root, items, out)
+	return out
+}
+
+func batchUpsert[K cmp.Ordered, P any](n *Node[K, P], items []Item[K, P], out []*Node[K, P]) *Node[K, P] {
+	if len(items) == 0 {
+		return n
+	}
+	if n == nil {
+		leaves := make([]*Node[K, P], len(items))
+		for i, it := range items {
+			leaves[i] = newLeaf(it.Key, it.Payload)
+			out[i] = leaves[i]
+		}
+		return buildLeaves(leaves)
+	}
+	mid := len(items) / 2
+	l, eq, r := splitKey(n, items[mid].Key)
+	if eq == nil {
+		eq = newLeaf(items[mid].Key, items[mid].Payload)
+	} else {
+		eq.Payload = items[mid].Payload
+	}
+	out[mid] = eq
+	var lt, rt *Node[K, P]
+	runForked(len(items), []func(){
+		func() { lt = batchUpsert(l, items[:mid], out[:mid]) },
+		func() { rt = batchUpsert(r, items[mid+1:], out[mid+1:]) },
+	})
+	return join(join(lt, eq), rt)
+}
+
+// BatchInsertLeaves inserts pre-built leaves (sorted by key, distinct, and
+// absent from the tree). It preserves leaf identity, which the working-set
+// maps rely on to keep key-map/recency-map cross links valid while items
+// move between segments. Θ(b log n) work.
+func (t *Tree[K, P]) BatchInsertLeaves(leaves []*Node[K, P]) {
+	t.chargeBatch(len(leaves))
+	t.root = batchInsertLeaves(t.root, leaves)
+}
+
+func batchInsertLeaves[K cmp.Ordered, P any](n *Node[K, P], leaves []*Node[K, P]) *Node[K, P] {
+	if len(leaves) == 0 {
+		return n
+	}
+	if n == nil {
+		return buildLeaves(leaves)
+	}
+	mid := len(leaves) / 2
+	l, eq, r := splitKey(n, leaves[mid].Key)
+	if eq != nil {
+		panic("twothree: BatchInsertLeaves: key already present")
+	}
+	var lt, rt *Node[K, P]
+	runForked(len(leaves), []func(){
+		func() { lt = batchInsertLeaves(l, leaves[:mid]) },
+		func() { rt = batchInsertLeaves(r, leaves[mid+1:]) },
+	})
+	return join(join(lt, detach(leaves[mid])), rt)
+}
+
+// BatchDelete removes every key of the sorted, distinct batch and returns
+// the removed leaves aligned with keys (nil where absent). Θ(b log n) work.
+func (t *Tree[K, P]) BatchDelete(keys []K) []*Node[K, P] {
+	t.chargeBatch(len(keys))
+	out := make([]*Node[K, P], len(keys))
+	t.root = batchDelete(t.root, keys, out)
+	return out
+}
+
+func batchDelete[K cmp.Ordered, P any](n *Node[K, P], keys []K, out []*Node[K, P]) *Node[K, P] {
+	if len(keys) == 0 || n == nil {
+		return n
+	}
+	mid := len(keys) / 2
+	l, eq, r := splitKey(n, keys[mid])
+	out[mid] = eq
+	var lt, rt *Node[K, P]
+	runForked(len(keys), []func(){
+		func() { lt = batchDelete(l, keys[:mid], out[:mid]) },
+		func() { rt = batchDelete(r, keys[mid+1:], out[mid+1:]) },
+	})
+	return join(lt, rt)
+}
+
+// BatchDeleteRanks removes the leaves at the given sorted, distinct 0-based
+// ranks and returns them in rank order. This is the second half of the
+// paper's reverse-indexing pattern: ranks come from Rank walks on direct
+// pointers. Θ(b log n) work.
+func (t *Tree[K, P]) BatchDeleteRanks(ranks []int) []*Node[K, P] {
+	t.chargeBatch(len(ranks))
+	out := make([]*Node[K, P], len(ranks))
+	t.root = batchDeleteRanks(t.root, ranks, 0, out)
+	return out
+}
+
+func batchDeleteRanks[K cmp.Ordered, P any](n *Node[K, P], ranks []int, off int, out []*Node[K, P]) *Node[K, P] {
+	if len(ranks) == 0 {
+		return n
+	}
+	mid := len(ranks) / 2
+	a, rest := splitRank(n, ranks[mid]-off)
+	leaf, b := splitRank(rest, 1)
+	out[mid] = leaf
+	var at, bt *Node[K, P]
+	runForked(len(ranks), []func(){
+		func() { at = batchDeleteRanks(a, ranks[:mid], off, out[:mid]) },
+		func() { bt = batchDeleteRanks(b, ranks[mid+1:], ranks[mid]+1, out[mid+1:]) },
+	})
+	return join(at, bt)
+}

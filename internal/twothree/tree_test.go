@@ -1,0 +1,390 @@
+package twothree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// model is a reference implementation: a sorted slice of key/payload pairs.
+type model struct {
+	keys []int
+	vals []string
+}
+
+func (m *model) find(k int) int {
+	return sort.SearchInts(m.keys, k)
+}
+
+func (m *model) insert(k int, v string) bool {
+	i := m.find(k)
+	if i < len(m.keys) && m.keys[i] == k {
+		m.vals[i] = v
+		return true
+	}
+	m.keys = append(m.keys, 0)
+	m.vals = append(m.vals, "")
+	copy(m.keys[i+1:], m.keys[i:])
+	copy(m.vals[i+1:], m.vals[i:])
+	m.keys[i], m.vals[i] = k, v
+	return false
+}
+
+func (m *model) delete(k int) (string, bool) {
+	i := m.find(k)
+	if i >= len(m.keys) || m.keys[i] != k {
+		return "", false
+	}
+	v := m.vals[i]
+	m.keys = append(m.keys[:i], m.keys[i+1:]...)
+	m.vals = append(m.vals[:i], m.vals[i+1:]...)
+	return v, true
+}
+
+func (m *model) get(k int) (string, bool) {
+	i := m.find(k)
+	if i < len(m.keys) && m.keys[i] == k {
+		return m.vals[i], true
+	}
+	return "", false
+}
+
+func checkAgainstModel(t *testing.T, tr *Tree[int, string], m *model) {
+	t.Helper()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("invalid tree: %v", err)
+	}
+	if tr.Len() != len(m.keys) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(m.keys))
+	}
+	leaves := tr.Flatten()
+	for i, lf := range leaves {
+		if lf.Key != m.keys[i] || lf.Payload != m.vals[i] {
+			t.Fatalf("leaf %d = (%d,%q), want (%d,%q)", i, lf.Key, lf.Payload, m.keys[i], m.vals[i])
+		}
+		if got := Rank(lf); got != i {
+			t.Fatalf("Rank(leaf %d) = %d", i, got)
+		}
+		if got := tr.Kth(i); got != lf {
+			t.Fatalf("Kth(%d) wrong leaf", i)
+		}
+	}
+}
+
+func TestSequentialOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New[int, string](nil)
+	m := &model{}
+	for step := 0; step < 4000; step++ {
+		k := rng.Intn(300)
+		switch rng.Intn(3) {
+		case 0:
+			v := string(rune('a' + k%26))
+			leaf, existed := tr.Insert(k, v)
+			wantExisted := m.insert(k, v)
+			if existed != wantExisted {
+				t.Fatalf("step %d: Insert(%d) existed=%v want %v", step, k, existed, wantExisted)
+			}
+			if leaf.Key != k || leaf.Payload != v {
+				t.Fatalf("step %d: Insert leaf mismatch", step)
+			}
+		case 1:
+			leaf, ok := tr.Delete(k)
+			wantV, wantOK := m.delete(k)
+			if ok != wantOK {
+				t.Fatalf("step %d: Delete(%d) ok=%v want %v", step, k, ok, wantOK)
+			}
+			if ok && leaf.Payload != wantV {
+				t.Fatalf("step %d: Delete payload %q want %q", step, leaf.Payload, wantV)
+			}
+		default:
+			leaf, ok := tr.Get(k)
+			wantV, wantOK := m.get(k)
+			if ok != wantOK {
+				t.Fatalf("step %d: Get(%d) ok=%v want %v", step, k, ok, wantOK)
+			}
+			if ok && leaf.Payload != wantV {
+				t.Fatalf("step %d: Get payload mismatch", step)
+			}
+		}
+		if step%257 == 0 {
+			checkAgainstModel(t, tr, m)
+		}
+	}
+	checkAgainstModel(t, tr, m)
+}
+
+func TestMinMax(t *testing.T) {
+	tr := New[int, string](nil)
+	if tr.Min() != nil || tr.Max() != nil {
+		t.Fatal("empty tree Min/Max should be nil")
+	}
+	for _, k := range []int{5, 3, 9, 1, 7} {
+		tr.Insert(k, "")
+	}
+	if tr.Min().Key != 1 {
+		t.Fatalf("Min = %d", tr.Min().Key)
+	}
+	if tr.Max().Key != 9 {
+		t.Fatalf("Max = %d", tr.Max().Key)
+	}
+}
+
+func sortedDistinct(rng *rand.Rand, n, space int) []int {
+	seen := map[int]bool{}
+	for len(seen) < n {
+		seen[rng.Intn(space)] = true
+	}
+	out := make([]int, 0, n)
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func TestBatchUpsertGetDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		tr := New[int, string](nil)
+		m := &model{}
+		// Seed with random sequential inserts.
+		for i := 0; i < rng.Intn(500); i++ {
+			k := rng.Intn(2000)
+			v := "s"
+			tr.Insert(k, v)
+			m.insert(k, v)
+		}
+		for round := 0; round < 4; round++ {
+			b := rng.Intn(700) + 1
+			keys := sortedDistinct(rng, b, 2000)
+			items := make([]Item[int, string], b)
+			for i, k := range keys {
+				items[i] = Item[int, string]{Key: k, Payload: "b"}
+			}
+			leaves := tr.BatchUpsert(items)
+			for i, k := range keys {
+				m.insert(k, "b")
+				if leaves[i] == nil || leaves[i].Key != k || leaves[i].Payload != "b" {
+					t.Fatalf("BatchUpsert leaf %d wrong", i)
+				}
+			}
+			checkAgainstModel(t, tr, m)
+
+			// BatchGet over a mix of present and absent keys.
+			qkeys := sortedDistinct(rng, rng.Intn(400)+1, 2500)
+			got := tr.BatchGet(qkeys)
+			for i, k := range qkeys {
+				wantV, wantOK := m.get(k)
+				if (got[i] != nil) != wantOK {
+					t.Fatalf("BatchGet(%d): present=%v want %v", k, got[i] != nil, wantOK)
+				}
+				if wantOK && got[i].Payload != wantV {
+					t.Fatalf("BatchGet(%d): payload mismatch", k)
+				}
+			}
+
+			// BatchDelete over a mix of present and absent keys.
+			dkeys := sortedDistinct(rng, rng.Intn(400)+1, 2500)
+			removed := tr.BatchDelete(dkeys)
+			for i, k := range dkeys {
+				wantV, wantOK := m.delete(k)
+				if (removed[i] != nil) != wantOK {
+					t.Fatalf("BatchDelete(%d): removed=%v want %v", k, removed[i] != nil, wantOK)
+				}
+				if wantOK && removed[i].Payload != wantV {
+					t.Fatalf("BatchDelete(%d): payload mismatch", k)
+				}
+			}
+			checkAgainstModel(t, tr, m)
+		}
+	}
+}
+
+func TestBatchInsertLeavesPreservesIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := New[int, string](nil)
+	keys := sortedDistinct(rng, 500, 10000)
+	leaves := make([]*Node[int, string], len(keys))
+	for i, k := range keys {
+		leaves[i] = newLeaf(k, "x")
+	}
+	tr.BatchInsertLeaves(leaves)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		got, ok := tr.Get(k)
+		if !ok || got != leaves[i] {
+			t.Fatalf("leaf identity lost for key %d", k)
+		}
+	}
+	// Insert a second disjoint set and re-check the first.
+	var more []*Node[int, string]
+	for _, k := range sortedDistinct(rng, 300, 10000) {
+		if _, ok := tr.Get(k); !ok {
+			more = append(more, newLeaf(k, "y"))
+		}
+	}
+	tr.BatchInsertLeaves(more)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		got, ok := tr.Get(k)
+		if !ok || got != leaves[i] {
+			t.Fatalf("leaf identity lost for key %d after second batch", k)
+		}
+	}
+}
+
+func TestBatchDeleteRanks(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(800) + 1
+		tr := New[int, int](nil)
+		for i := 0; i < n; i++ {
+			tr.Insert(i, i*10)
+		}
+		b := rng.Intn(n) + 1
+		ranks := sortedDistinct(rng, b, n)
+		removed := tr.BatchDeleteRanks(ranks)
+		for i, r := range ranks {
+			if removed[i] == nil || removed[i].Key != r {
+				t.Fatalf("removed[%d] = %v, want key %d", i, removed[i], r)
+			}
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Len() != n-b {
+			t.Fatalf("Len = %d, want %d", tr.Len(), n-b)
+		}
+		// Remaining keys are exactly those not deleted.
+		del := map[int]bool{}
+		for _, r := range ranks {
+			del[r] = true
+		}
+		for _, lf := range tr.Flatten() {
+			if del[lf.Key] {
+				t.Fatalf("key %d should have been deleted", lf.Key)
+			}
+		}
+	}
+}
+
+func TestQuickJoinSplitRoundTrip(t *testing.T) {
+	f := func(raw []uint16, cut uint16) bool {
+		// Build a tree from distinct keys, split at an arbitrary key, and
+		// verify both halves plus rejoin.
+		m := map[int]bool{}
+		for _, r := range raw {
+			m[int(r)] = true
+		}
+		keys := make([]int, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		leaves := make([]*Node[int, struct{}], len(keys))
+		for i, k := range keys {
+			leaves[i] = newLeaf(k, struct{}{})
+		}
+		root := buildLeaves(leaves)
+		l, eq, r := splitKey(root, int(cut))
+		if validate(l, true) != nil || validate(r, true) != nil {
+			return false
+		}
+		i := sort.SearchInts(keys, int(cut))
+		foundWant := i < len(keys) && keys[i] == int(cut)
+		if (eq != nil) != foundWant {
+			return false
+		}
+		if l.Size() != i {
+			return false
+		}
+		rejoined := join(join(l, eq), r)
+		if validate(rejoined, true) != nil {
+			return false
+		}
+		if rejoined.Size() != len(keys) {
+			return false
+		}
+		got := appendLeaves(rejoined, nil)
+		for j, lf := range got {
+			if lf.Key != keys[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSplitRank(t *testing.T) {
+	f := func(n uint16, at uint16) bool {
+		size := int(n%1000) + 1
+		cut := int(at) % (size + 1)
+		leaves := make([]*Node[int, struct{}], size)
+		for i := range leaves {
+			leaves[i] = newLeaf(i, struct{}{})
+		}
+		root := buildLeaves(leaves)
+		l, r := splitRank(root, cut)
+		if l.Size() != cut || r.Size() != size-cut {
+			return false
+		}
+		if validate(l, true) != nil || validate(r, true) != nil {
+			return false
+		}
+		back := join(l, r)
+		if back.Size() != size || validate(back, true) != nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeBatchParallelPaths(t *testing.T) {
+	// Exercise the forked (parallel) recursion paths with batches well above
+	// batchGrain.
+	rng := rand.New(rand.NewSource(5))
+	tr := New[int, int](nil)
+	keys := sortedDistinct(rng, 50000, 1<<30)
+	items := make([]Item[int, int], len(keys))
+	for i, k := range keys {
+		items[i] = Item[int, int]{Key: k, Payload: k}
+	}
+	tr.BatchUpsert(items)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := tr.BatchGet(keys)
+	for i, lf := range got {
+		if lf == nil || lf.Payload != keys[i] {
+			t.Fatalf("missing key %d", keys[i])
+		}
+	}
+	half := make([]int, 0, len(keys)/2+1)
+	for i := 0; i < len(keys); i += 2 {
+		half = append(half, keys[i])
+	}
+	removed := tr.BatchDelete(half)
+	for i, lf := range removed {
+		if lf == nil || lf.Key != half[i] {
+			t.Fatalf("BatchDelete missed key %d", half[i])
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != len(keys)-len(half) {
+		t.Fatalf("Len = %d after bulk delete", tr.Len())
+	}
+}

@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestRankTrackerMatchesBruteForce cross-checks the Fenwick-based tracker
+// against the O(N²) direct simulation of Definition 1.
+func TestRankTrackerMatchesBruteForce(t *testing.T) {
+	f := func(raw []uint8) bool {
+		ops := make([]Access[int], len(raw))
+		for i, r := range raw {
+			ops[i] = Access[int]{Kind: AccessKind(r % 3), Key: int(r / 3 % 10)}
+		}
+		fast := WSBound(ops)
+		slow := WSBoundBrute(ops)
+		return math.Abs(fast-slow) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankTrackerHandCases(t *testing.T) {
+	rt := NewRankTracker[string](8)
+	// Insert a, b, c: ranks n+1 = 1, 2, 3.
+	if r := rt.Apply(Access[string]{Insert, "a"}); r != 1 {
+		t.Fatalf("insert a rank %d", r)
+	}
+	if r := rt.Apply(Access[string]{Insert, "b"}); r != 2 {
+		t.Fatalf("insert b rank %d", r)
+	}
+	if r := rt.Apply(Access[string]{Insert, "c"}); r != 3 {
+		t.Fatalf("insert c rank %d", r)
+	}
+	// Re-access c immediately: rank 1 (only c itself accessed since).
+	if r := rt.Apply(Access[string]{Get, "c"}); r != 1 {
+		t.Fatalf("get c rank %d", r)
+	}
+	// Access a: b and c were inserted/searched after a's insert -> rank 3.
+	if r := rt.Apply(Access[string]{Get, "a"}); r != 3 {
+		t.Fatalf("get a rank %d", r)
+	}
+	// Unsuccessful search: rank n+1 = 4.
+	if r := rt.Apply(Access[string]{Get, "zz"}); r != 4 {
+		t.Fatalf("miss rank %d", r)
+	}
+	// Delete b; then access c: b no longer counts (not in map); since c's
+	// last op, only a was accessed -> rank 2.
+	if r := rt.Apply(Access[string]{Delete, "b"}); r != 4 {
+		t.Fatalf("delete b rank %d", r)
+	}
+	if r := rt.Apply(Access[string]{Get, "c"}); r != 2 {
+		t.Fatalf("get c after delete rank %d", r)
+	}
+}
+
+func TestWSBoundScalesWithLocality(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 20000
+	const universe = 4096
+	// High-locality sequence must have a much smaller working-set bound
+	// than a uniform one of the same length.
+	hot := InsertThenGets(RecencyBoundedKeys(rng, n, universe, 4))
+	uni := InsertThenGets(UniformKeys(rng, n, universe))
+	wHot := WSBound(hot)
+	wUni := WSBound(uni)
+	if wHot >= wUni {
+		t.Fatalf("W(hot)=%f >= W(uniform)=%f", wHot, wUni)
+	}
+	if wUni/wHot < 1.5 {
+		t.Fatalf("expected clear separation, got %f vs %f", wHot, wUni)
+	}
+}
+
+func TestZipfKeysSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	keys := ZipfKeys(rng, 100000, 1000, 1.2)
+	counts := map[int]int{}
+	for _, k := range keys {
+		if k < 0 || k >= 1000 {
+			t.Fatalf("key %d out of range", k)
+		}
+		counts[k]++
+	}
+	// Key 0 must dominate key 500 heavily at s=1.2.
+	if counts[0] < 10*counts[500]+1 {
+		t.Fatalf("insufficient skew: counts[0]=%d counts[500]=%d", counts[0], counts[500])
+	}
+	// s=0 is uniform-ish.
+	flat := ZipfKeys(rng, 100000, 10, 0)
+	fc := map[int]int{}
+	for _, k := range flat {
+		fc[k]++
+	}
+	for k := 0; k < 10; k++ {
+		if fc[k] < 8000 || fc[k] > 12000 {
+			t.Fatalf("s=0 not uniform: count[%d]=%d", k, fc[k])
+		}
+	}
+}
+
+func TestHotspotKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	keys := HotspotKeys(rng, 50000, 10000, 0.1, 0.9)
+	hot := 0
+	for _, k := range keys {
+		if k < 1000 {
+			hot++
+		}
+	}
+	frac := float64(hot) / 50000
+	if frac < 0.85 || frac > 0.95 {
+		t.Fatalf("hot fraction %f, want ~0.9", frac)
+	}
+}
+
+func TestMovingHotspotKeysCoversUniverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	keys := MovingHotspotKeys(rng, 100000, 1000, 50, 500)
+	seen := map[int]bool{}
+	for _, k := range keys {
+		if k < 0 || k >= 1000 {
+			t.Fatalf("key %d out of range", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) < 500 {
+		t.Fatalf("hotspot never moved: only %d distinct keys", len(seen))
+	}
+}
+
+func TestRecencyBoundedKeysLocality(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	keys := RecencyBoundedKeys(rng, 50000, 1<<20, 8)
+	// Mean working-set bound per op should be small (high locality).
+	w := WSBound(InsertThenGets(keys))
+	perOp := w / float64(2*len(keys))
+	if perOp > 8 {
+		t.Fatalf("per-op working-set cost %f too high for recency-8 workload", perOp)
+	}
+}
+
+func TestFenwick(t *testing.T) {
+	f := newFenwick(4)
+	f.add(1, 1)
+	f.add(3, 1)
+	f.add(100, 1) // forces growth
+	if f.total != 3 {
+		t.Fatalf("total %d", f.total)
+	}
+	if got := f.prefix(2); got != 1 {
+		t.Fatalf("prefix(2) = %d", got)
+	}
+	if got := f.countGreater(1); got != 2 {
+		t.Fatalf("countGreater(1) = %d", got)
+	}
+	f.add(3, -1)
+	if got := f.countGreater(0); got != 2 {
+		t.Fatalf("after removal countGreater(0) = %d", got)
+	}
+}

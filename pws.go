@@ -1,0 +1,167 @@
+package pws
+
+import (
+	"cmp"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/esort"
+	"repro/internal/iacono"
+	"repro/internal/metrics"
+	"repro/internal/splay"
+)
+
+// Map is the common interface of every map in this package. For Get, the
+// returned bool reports presence. For Insert, it reports whether the key
+// already existed (with the previous value). For Delete, whether the key
+// existed (with the removed value).
+type Map[K cmp.Ordered, V any] interface {
+	Get(k K) (V, bool)
+	Insert(k K, v V) (V, bool)
+	Delete(k K) (V, bool)
+	Len() int
+}
+
+// ConcurrentMap is a Map that must be closed after use to release engine
+// resources.
+type ConcurrentMap[K cmp.Ordered, V any] interface {
+	Map[K, V]
+	Close()
+}
+
+// Op is one map operation for the batch API (M1.Apply / M2.Apply).
+type Op[K cmp.Ordered, V any] = core.Op[K, V]
+
+// Result is the outcome of one operation submitted through the batch API.
+type Result[V any] = core.Result[V]
+
+// OpKind identifies a map operation in the batch API.
+type OpKind = core.OpKind
+
+// Operation kinds for the batch API.
+const (
+	// OpGet searches for a key.
+	OpGet = core.OpGet
+	// OpInsert inserts a key or updates its value.
+	OpInsert = core.OpInsert
+	// OpDelete removes a key.
+	OpDelete = core.OpDelete
+)
+
+// PivotStrategy selects how the parallel entropy sort picks pivots.
+type PivotStrategy = esort.PivotStrategy
+
+// Pivot strategies for Options.Pivot.
+const (
+	// MedianOfMedians is the deterministic parallel pivot of Lemma 34.
+	MedianOfMedians = esort.MedianOfMedians
+	// RandomQuartile retries random pivots until one falls in the middle
+	// quartiles (the paper's practical recommendation).
+	RandomQuartile = esort.RandomQuartile
+)
+
+// WorkCounter accumulates the structural work performed by a map, in
+// pointer-machine units (node visits, comparisons, item moves). Attach one
+// via Options.Counter to measure work bounds; see EXPERIMENTS.md.
+type WorkCounter = metrics.Counter
+
+// Options configures the parallel maps.
+type Options struct {
+	// P is the paper's processor-count parameter p: batches are cut into
+	// bunches of p² operations, and M2 sizes its first slab and filter as
+	// functions of p. Defaults to runtime.GOMAXPROCS(0).
+	P int
+	// Pivot selects the entropy-sort pivot strategy.
+	Pivot PivotStrategy
+	// Counter, when non-nil, accumulates the map's structural work.
+	Counter *WorkCounter
+	// RecordLinearization makes the engine record the operation order it
+	// induces, retrievable via the map's DrainLinearization method, so the
+	// working-set bound W_L can be computed for experiments.
+	RecordLinearization bool
+}
+
+func (o Options) toConfig() core.Config {
+	return core.Config{
+		P:                   o.P,
+		Pivot:               o.Pivot,
+		Counter:             o.Counter,
+		RecordLinearization: o.RecordLinearization,
+	}
+}
+
+// M1 is the simple batched parallel working-set map (paper Section 6,
+// Theorem 3). Its total work over any concurrent operation sequence is
+// O(W_L + e_L log p) for some linearization L. Safe for concurrent use.
+type M1[K cmp.Ordered, V any] struct {
+	*core.M1[K, V]
+}
+
+// NewM1 creates an M1 map. Close it after use.
+func NewM1[K cmp.Ordered, V any](o Options) *M1[K, V] {
+	return &M1[K, V]{core.NewM1[K, V](o.toConfig())}
+}
+
+// M2 is the pipelined parallel working-set map (paper Section 7,
+// Theorem 4): same work bound as M1, with the span of an operation on an
+// item with recency r reduced to O((log p)² + log r), independent of the
+// map size. Safe for concurrent use.
+type M2[K cmp.Ordered, V any] struct {
+	*core.M2[K, V]
+}
+
+// NewM2 creates an M2 map. Close it after use (it owns a scheduler pool).
+func NewM2[K cmp.Ordered, V any](o Options) *M2[K, V] {
+	return &M2[K, V]{core.NewM2[K, V](o.toConfig())}
+}
+
+// M0 is the amortized sequential working-set map (paper Section 5,
+// Theorem 7). Not safe for concurrent use.
+type M0[K cmp.Ordered, V any] struct {
+	*core.M0[K, V]
+}
+
+// NewM0 creates an M0 map. cnt may be nil.
+func NewM0[K cmp.Ordered, V any](cnt *WorkCounter) *M0[K, V] {
+	return &M0[K, V]{core.NewM0[K, V](cnt)}
+}
+
+// Iacono is Iacono's sequential working-set structure (reference [29] of
+// the paper). Not safe for concurrent use.
+type Iacono[K cmp.Ordered, V any] struct {
+	*iacono.Map[K, V]
+}
+
+// NewIacono creates an Iacono working-set structure. cnt may be nil.
+func NewIacono[K cmp.Ordered, V any](cnt *WorkCounter) *Iacono[K, V] {
+	return &Iacono[K, V]{iacono.New[K, V](cnt)}
+}
+
+// Splay is a top-down splay tree (amortized self-adjusting baseline). Not
+// safe for concurrent use.
+type Splay[K cmp.Ordered, V any] struct {
+	*splay.Tree[K, V]
+}
+
+// NewSplay creates a splay tree. cnt may be nil.
+func NewSplay[K cmp.Ordered, V any](cnt *WorkCounter) *Splay[K, V] {
+	return &Splay[K, V]{splay.New[K, V](cnt)}
+}
+
+// BatchedTree is the non-adaptive batched parallel 2-3 tree map — the
+// baseline the paper compares against analytically. Safe for concurrent
+// use.
+type BatchedTree[K cmp.Ordered, V any] struct {
+	*baseline.BatchedTree[K, V]
+}
+
+// NewBatchedTree creates a batched 2-3 tree map. Close it after use.
+func NewBatchedTree[K cmp.Ordered, V any](o Options) *BatchedTree[K, V] {
+	return &BatchedTree[K, V]{baseline.NewBatchedTree[K, V](o.P, o.Counter)}
+}
+
+// Locked wraps any sequential Map behind a global mutex, producing a
+// concurrent (but serialized) map for baseline comparisons.
+func Locked[K cmp.Ordered, V any](m Map[K, V]) Map[K, V] {
+	return baseline.NewLocked[K, V](m)
+}
