@@ -8,7 +8,9 @@ package pws
 //	go test -bench BenchmarkE4   # one experiment
 
 import (
+	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/experiments"
@@ -106,6 +108,72 @@ func BenchmarkM2Get_Zipf(b *testing.B) { benchConcMap(b, NewM2[int, int](Options
 
 func BenchmarkBatchedTreeGet_Zipf(b *testing.B) {
 	benchConcMap(b, NewBatchedTree[int, int](Options{}), "zipf")
+}
+
+// --- Sharded vs single-instance throughput across goroutine counts ---
+
+// benchAtGoroutines drives b.N Gets through m from exactly g goroutines on
+// a Zipf-hot key mix, so ns/op across sub-benchmarks compares throughput
+// at each concurrency level.
+func benchAtGoroutines(b *testing.B, mk func() ConcurrentMap[int, int], g int) {
+	b.Helper()
+	m := mk()
+	defer m.Close()
+	keys := benchKeys("zipf")
+	for i := 0; i < benchMapSize; i++ {
+		m.Insert(i, i)
+	}
+	b.ResetTimer()
+	// Split exactly b.N ops across the g goroutines so ns/op stays
+	// per-operation at every concurrency level.
+	base, rem := b.N/g, b.N%g
+	var wg sync.WaitGroup
+	for c := 0; c < g; c++ {
+		n := base
+		if c < rem {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(c, n int) {
+			defer wg.Done()
+			off := c * 7919
+			for i := 0; i < n; i++ {
+				m.Get(keys[(off+i)%len(keys)])
+			}
+		}(c, n)
+	}
+	wg.Wait()
+	b.StopTimer() // keep shard drain/teardown out of the measurement
+}
+
+// BenchmarkShardedVsSingle compares the sharded front-end against
+// single-instance M1/M2 at several goroutine counts:
+//
+//	go test -bench Sharded -benchtime=1x
+func BenchmarkShardedVsSingle(b *testing.B) {
+	impls := []struct {
+		name string
+		mk   func() ConcurrentMap[int, int]
+	}{
+		{"m1", func() ConcurrentMap[int, int] { return NewM1[int, int](Options{}) }},
+		{"sharded-m1", func() ConcurrentMap[int, int] {
+			return NewSharded[int, int](ShardedOptions{Engine: EngineM1})
+		}},
+		{"m2", func() ConcurrentMap[int, int] { return NewM2[int, int](Options{}) }},
+		{"sharded-m2", func() ConcurrentMap[int, int] {
+			return NewSharded[int, int](ShardedOptions{Engine: EngineM2})
+		}},
+	}
+	for _, g := range []int{1, 4, 16} {
+		for _, tc := range impls {
+			b.Run(fmt.Sprintf("impl=%s/goroutines=%d", tc.name, g), func(b *testing.B) {
+				benchAtGoroutines(b, tc.mk, g)
+			})
+		}
+	}
 }
 
 func BenchmarkM1InsertDelete(b *testing.B) {

@@ -9,6 +9,8 @@
 //	wsbench -exp e4,e7      # run selected experiments
 //	wsbench -quick          # reduced sizes (seconds instead of minutes)
 //	wsbench -list           # list experiments
+//	wsbench -sweep          # sharding sweep: throughput vs shard count
+//	wsbench -shards 8       # shard count for e17 and -sweep (0 = GOMAXPROCS)
 package main
 
 import (
@@ -43,13 +45,19 @@ var all = []experiment{
 	{"e14", "ablation: entropy sort in M1 (Section 6)", experiments.E14AblationSort},
 	{"e15", "ablation: batch-size parameter p (Sections 6/7)", experiments.E15AblationBatch},
 	{"e16", "scheduler model: Brent bound + weak priority (Sections 4, 7.2)", experiments.E16SchedulerModel},
+	{"e17", "sharded front-end throughput scaling (sharding thesis)",
+		func(s experiments.Scale) experiments.Table { return experiments.E17ShardedScaling(s, *shardsFlag) }},
 }
+
+// shardsFlag is read by e17 and -sweep after flag.Parse.
+var shardsFlag = flag.Int("shards", 0, "shard count for e17 and -sweep (0 = GOMAXPROCS)")
 
 func main() {
 	var (
 		expFlag = flag.String("exp", "", "comma-separated experiment ids (default: all)")
 		quick   = flag.Bool("quick", false, "run at reduced scale")
 		list    = flag.Bool("list", false, "list experiments and exit")
+		sweep   = flag.Bool("sweep", false, "run the sharding scaling sweep (throughput vs shard count) and exit")
 	)
 	flag.Parse()
 
@@ -63,6 +71,14 @@ func main() {
 	scale := experiments.Full
 	if *quick {
 		scale = experiments.Quick
+	}
+
+	if *sweep {
+		start := time.Now()
+		table := experiments.ShardSweep(scale, *shardsFlag)
+		fmt.Println(table.String())
+		fmt.Printf("   (sweep in %.1fs)\n", time.Since(start).Seconds())
+		return
 	}
 
 	selected := map[string]bool{}

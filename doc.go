@@ -28,6 +28,11 @@
 //     but the segment structure is pipelined so a cheap (recent) operation
 //     is not blocked behind an expensive one; operations on recent items
 //     complete in O((log p)² + log r) span independent of the map size.
+//   - NewSharded: a hash-sharded front-end over S per-shard M1 or M2
+//     instances. Operations route by key hash, so cross-shard operations
+//     never serialize on one segment structure while each shard keeps the
+//     working-set bound for the keys it owns — the scaling layer for
+//     multi-core throughput.
 //   - NewM0: the amortized sequential working-set map of Section 5.
 //   - NewIacono: Iacono's classic working-set structure.
 //   - NewSplay: a splay tree (amortized self-adjusting baseline).

@@ -83,7 +83,7 @@ func ESort[K cmp.Ordered](keys []K) []int {
 		for i, it := range items {
 			level[i] = kv{it.Key, it.Val}
 		}
-		merged = mergeBy(merged, level, func(x, y kv) bool { return x.key < y.key })
+		merged = Merge(merged, level, func(x, y kv) bool { return x.key < y.key })
 	})
 	out := make([]int, 0, len(keys))
 	for _, e := range merged {
@@ -92,8 +92,9 @@ func ESort[K cmp.Ordered](keys []K) []int {
 	return out
 }
 
-// mergeBy merges two sorted slices into one. O(len(a) + len(b)).
-func mergeBy[E any](a, b []E, less func(x, y E) bool) []E {
+// Merge merges two sorted slices into one, preferring elements of a on
+// ties (stability). O(len(a) + len(b)).
+func Merge[E any](a, b []E, less func(x, y E) bool) []E {
 	if len(a) == 0 {
 		return b
 	}
@@ -113,6 +114,38 @@ func mergeBy[E any](a, b []E, less func(x, y E) bool) []E {
 	}
 	out = append(out, a[i:]...)
 	return append(out, b[j:]...)
+}
+
+// MergeK merges k sorted slices into one by a balanced tournament of
+// pairwise Merges, preferring earlier slices on ties. O(n·log k) work for n
+// total elements; the two tournament halves merge in parallel when the
+// input is large. It is the k-way merge behind cross-shard ordered
+// iteration.
+func MergeK[E any](lists [][]E, less func(x, y E) bool) []E {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return lists[0]
+	case 2:
+		return Merge(lists[0], lists[1], less)
+	}
+	mid := len(lists) / 2
+	var left, right []E
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	if total >= parCutoff {
+		parallel.Do(
+			func() { left = MergeK(lists[:mid], less) },
+			func() { right = MergeK(lists[mid:], less) },
+		)
+	} else {
+		left = MergeK(lists[:mid], less)
+		right = MergeK(lists[mid:], less)
+	}
+	return Merge(left, right, less)
 }
 
 // PESort is the parallel entropy sort: a stable quicksort with

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/shard"
+	"repro/internal/workload"
+)
+
+// E17ShardedScaling measures end-to-end throughput of the sharded
+// front-end against single-instance M1/M2 as the client count grows. The
+// single instances funnel every operation through one segment structure;
+// the sharded map routes by key hash to S independent engines, so its
+// throughput should keep scaling after the single instances flatten.
+func E17ShardedScaling(s Scale, shards int) Table {
+	t := Table{
+		Title: fmt.Sprintf("E17: sharded front-end throughput scaling (S=%d shards)", shardCount(shards)),
+		Header: []string{"clients", "M1 Mop/s", "sharded-M1 Mop/s",
+			"M2 Mop/s", "sharded-M2 Mop/s"},
+		Note: "sharding thesis: per-shard batching removes the single-segment ceiling; reproduced if sharded scales past the single instance",
+	}
+	rng := rand.New(rand.NewSource(17))
+	universe := 1 << 16
+	keys := workload.ZipfKeys(rng, s.N, universe, 0.9)
+	accs := workload.GetsOf(keys)
+	for _, clients := range s.Clients {
+		row := []string{d(clients)}
+		for _, mk := range shardedContenders(shards) {
+			m := mk()
+			for i := 0; i < universe; i++ {
+				m.Insert(i, i)
+			}
+			el := driveConcurrent(m, accs, clients)
+			if c, ok := m.(interface{ Close() }); ok {
+				c.Close()
+			}
+			row = append(row, f2(float64(len(accs))/el.Seconds()/1e6))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// ShardSweep is the wsbench -sweep mode: it sweeps the shard count S at a
+// fixed (maximum) client count, for both per-shard engines, exposing the
+// throughput-vs-shards curve directly.
+func ShardSweep(s Scale, maxShards int) Table {
+	maxShards = shardCount(maxShards)
+	t := Table{
+		Title: fmt.Sprintf("sharding sweep: throughput vs shard count (%d clients)",
+			s.MaxClients()),
+		Header: []string{"shards", "sharded-M1 Mop/s", "sharded-M2 Mop/s"},
+		Note:   "S=1 is the single-engine baseline; the curve shows what each added shard buys",
+	}
+	rng := rand.New(rand.NewSource(18))
+	universe := 1 << 16
+	keys := workload.ZipfKeys(rng, s.N, universe, 0.9)
+	accs := workload.GetsOf(keys)
+	var counts []int
+	for sc := 1; sc < maxShards; sc *= 2 {
+		counts = append(counts, sc)
+	}
+	counts = append(counts, maxShards) // always measure the requested bound
+	for _, sc := range counts {
+		row := []string{d(sc)}
+		for _, eng := range []shard.Engine{shard.EngineM1, shard.EngineM2} {
+			m := shard.New[int, int](shard.Config{Shards: sc, Engine: eng})
+			for i := 0; i < universe; i++ {
+				m.Insert(i, i)
+			}
+			el := driveConcurrent(m, accs, s.MaxClients())
+			m.Close()
+			row = append(row, f2(float64(len(accs))/el.Seconds()/1e6))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// shardedContenders builds the four E17 contenders in column order.
+func shardedContenders(shards int) []func() cmap {
+	sc := shardCount(shards)
+	return []func() cmap{
+		func() cmap { return core.NewM1[int, int](core.Config{}) },
+		func() cmap {
+			return shard.New[int, int](shard.Config{Shards: sc, Engine: shard.EngineM1})
+		},
+		func() cmap { return core.NewM2[int, int](core.Config{}) },
+		func() cmap {
+			return shard.New[int, int](shard.Config{Shards: sc, Engine: shard.EngineM2})
+		},
+	}
+}
+
+func shardCount(s int) int {
+	if s >= 1 {
+		return s
+	}
+	return runtime.GOMAXPROCS(0)
+}

@@ -1,0 +1,305 @@
+// Package shard implements a hash-sharded front-end over the parallel
+// working-set maps: every operation is routed by key hash to one of S
+// independent per-shard engines (each an M1 or M2 instance), so the
+// per-shard implicit batches never serialize on one segment structure.
+//
+// Sharding composes with, rather than replaces, the paper's batching: each
+// shard still combines duplicate operations and adapts to the temporal
+// locality of the keys it owns, so the working-set bound holds per shard
+// while cross-shard operations proceed in parallel. The working-set bound
+// is preserved up to the hash split: an access with recency r in the global
+// sequence has recency at most r in its shard's subsequence, so per-shard
+// work is still O(1 + log r) per access.
+//
+// Ordered queries (Items, Range) see the union of the shards: each shard
+// yields its own key-sorted snapshot and the front-end k-way merges them
+// with esort.MergeK.
+package shard
+
+import (
+	"cmp"
+	"hash/maphash"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/esort"
+)
+
+// Engine selects the per-shard working-set map implementation.
+type Engine int
+
+const (
+	// EngineM1 uses the batched map of Section 6 per shard (throughput).
+	EngineM1 Engine = iota
+	// EngineM2 uses the pipelined map of Section 7 per shard (latency).
+	EngineM2
+)
+
+// Config configures a sharded map.
+type Config struct {
+	// Shards is the shard count S. Defaults to runtime.GOMAXPROCS(0).
+	Shards int
+	// Engine selects the per-shard map implementation.
+	Engine Engine
+	// Shard configures each per-shard engine. If Shard.P is unset it
+	// defaults to max(2, GOMAXPROCS/S) so the shards divide the machine
+	// instead of each sizing its batches for the whole machine.
+	Shard core.Config
+}
+
+// engineMap is the per-shard surface shared by core.M1 and core.M2.
+type engineMap[K cmp.Ordered, V any] interface {
+	Get(k K) (V, bool)
+	Insert(k K, v V) (V, bool)
+	Delete(k K) (V, bool)
+	Apply(ops []core.Op[K, V]) []core.Result[V]
+	Items(visit func(k K, v V) bool)
+	Len() int
+	Batches() int64
+	Close()
+	CheckInvariants() error
+}
+
+// Map is the hash-sharded concurrent ordered map. All methods are safe for
+// concurrent use; Close drains in-flight operations before releasing the
+// shards.
+type Map[K cmp.Ordered, V any] struct {
+	seed   maphash.Seed
+	shards []engineMap[K, V]
+
+	pending atomic.Int64
+	closed  atomic.Bool
+	closing sync.Once
+}
+
+// New creates a sharded map.
+func New[K cmp.Ordered, V any](cfg Config) *Map[K, V] {
+	s := cfg.Shards
+	if s < 1 {
+		s = runtime.GOMAXPROCS(0)
+	}
+	sub := cfg.Shard
+	if sub.P < 1 {
+		sub.P = runtime.GOMAXPROCS(0) / s
+		if sub.P < 2 {
+			sub.P = 2
+		}
+	}
+	m := &Map[K, V]{
+		seed:   maphash.MakeSeed(),
+		shards: make([]engineMap[K, V], s),
+	}
+	for i := range m.shards {
+		switch cfg.Engine {
+		case EngineM2:
+			m.shards[i] = core.NewM2[K, V](sub)
+		default:
+			m.shards[i] = core.NewM1[K, V](sub)
+		}
+	}
+	return m
+}
+
+// shardOf returns the shard index owning key k.
+func (m *Map[K, V]) shardOf(k K) int {
+	return int(maphash.Comparable(m.seed, k) % uint64(len(m.shards)))
+}
+
+// enter registers an in-flight operation, panicking if the map is closed.
+// The pending increment is published before the closed check, so an
+// operation that passes the check is always seen by Close's drain loop.
+func (m *Map[K, V]) enter() {
+	m.pending.Add(1)
+	if m.closed.Load() {
+		m.pending.Add(-1)
+		panic("shard: Map used after Close")
+	}
+}
+
+// Get searches for key k.
+func (m *Map[K, V]) Get(k K) (V, bool) {
+	m.enter()
+	defer m.pending.Add(-1)
+	return m.shards[m.shardOf(k)].Get(k)
+}
+
+// Insert adds k with value v, or updates it if present; it returns the
+// previous value and whether the key existed.
+func (m *Map[K, V]) Insert(k K, v V) (V, bool) {
+	m.enter()
+	defer m.pending.Add(-1)
+	return m.shards[m.shardOf(k)].Insert(k, v)
+}
+
+// Delete removes k; it returns the removed value and whether the key
+// existed.
+func (m *Map[K, V]) Delete(k K) (V, bool) {
+	m.enter()
+	defer m.pending.Add(-1)
+	return m.shards[m.shardOf(k)].Delete(k)
+}
+
+// Apply submits a whole batch of operations at once and waits for all of
+// their results, returned in input order. The batch is split by shard
+// (preserving per-shard input order, so per-key semantics match sequential
+// submission) and the per-shard sub-batches run concurrently — the sharded
+// bulk-load path.
+func (m *Map[K, V]) Apply(ops []core.Op[K, V]) []core.Result[V] {
+	m.enter()
+	defer m.pending.Add(-1)
+	byShard := make([][]int, len(m.shards))
+	for i, op := range ops {
+		s := m.shardOf(op.Key)
+		byShard[s] = append(byShard[s], i)
+	}
+	out := make([]core.Result[V], len(ops))
+	var wg sync.WaitGroup
+	for s, idxs := range byShard {
+		if len(idxs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int, idxs []int) {
+			defer wg.Done()
+			sub := make([]core.Op[K, V], len(idxs))
+			for j, i := range idxs {
+				sub[j] = ops[i]
+			}
+			res := m.shards[s].Apply(sub)
+			for j, i := range idxs {
+				out[i] = res[j]
+			}
+		}(s, idxs)
+	}
+	wg.Wait()
+	return out
+}
+
+// Len returns the current number of items (racy snapshot, summed across
+// shards).
+func (m *Map[K, V]) Len() int {
+	n := 0
+	for _, s := range m.shards {
+		n += s.Len()
+	}
+	return n
+}
+
+// Shards returns the shard count.
+func (m *Map[K, V]) Shards() int { return len(m.shards) }
+
+// Batches returns the total number of cut batches processed across all
+// shards (diagnostics).
+func (m *Map[K, V]) Batches() int64 {
+	var n int64
+	for _, s := range m.shards {
+		n += s.Batches()
+	}
+	return n
+}
+
+// Close marks the map closed, waits for in-flight operations to drain, and
+// closes every shard. Close is idempotent: concurrent and repeated calls
+// all block until the first one finishes.
+func (m *Map[K, V]) Close() {
+	m.closing.Do(func() {
+		m.closed.Store(true)
+		for m.pending.Load() != 0 {
+			time.Sleep(50 * time.Microsecond)
+		}
+		var wg sync.WaitGroup
+		for _, s := range m.shards {
+			wg.Add(1)
+			go func(s engineMap[K, V]) {
+				defer wg.Done()
+				s.Close()
+			}(s)
+		}
+		wg.Wait()
+	})
+}
+
+// CheckInvariants verifies every shard's segment structure. Only valid
+// while the map is quiescent (test hook).
+func (m *Map[K, V]) CheckInvariants() error {
+	for _, s := range m.shards {
+		if err := s.CheckInvariants(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Entry is one key/value pair of an ordered snapshot.
+type Entry[K cmp.Ordered, V any] struct {
+	Key K
+	Val V
+}
+
+// snapshot collects every shard's key-sorted contents and k-way merges
+// them into one globally ordered slice.
+func (m *Map[K, V]) snapshot() []Entry[K, V] {
+	lists := make([][]Entry[K, V], len(m.shards))
+	var wg sync.WaitGroup
+	for i, s := range m.shards {
+		wg.Add(1)
+		go func(i int, s engineMap[K, V]) {
+			defer wg.Done()
+			var l []Entry[K, V]
+			s.Items(func(k K, v V) bool {
+				l = append(l, Entry[K, V]{k, v})
+				return true
+			})
+			lists[i] = l
+		}(i, s)
+	}
+	wg.Wait()
+	return esort.MergeK(lists, func(a, b Entry[K, V]) bool { return a.Key < b.Key })
+}
+
+// Items visits every item in ascending key order, merging the per-shard
+// orders. Like the per-engine Items, it is only valid while the map is
+// quiescent (no operations in flight); it exists for draining, debugging
+// and tests, not as a concurrent query. O(n·log S).
+func (m *Map[K, V]) Items(visit func(k K, v V) bool) {
+	for _, e := range m.snapshot() {
+		if !visit(e.Key, e.Val) {
+			return
+		}
+	}
+}
+
+// Range visits every item with lo <= key < hi in ascending key order. Keys
+// hash across shards, so every shard may own keys in the range and all are
+// consulted. Quiescence rules as for Items.
+func (m *Map[K, V]) Range(lo, hi K, visit func(k K, v V) bool) {
+	lists := make([][]Entry[K, V], len(m.shards))
+	var wg sync.WaitGroup
+	for i, s := range m.shards {
+		wg.Add(1)
+		go func(i int, s engineMap[K, V]) {
+			defer wg.Done()
+			var l []Entry[K, V]
+			s.Items(func(k K, v V) bool {
+				if k >= hi {
+					return false // per-shard order is ascending: done
+				}
+				if k >= lo {
+					l = append(l, Entry[K, V]{k, v})
+				}
+				return true
+			})
+			lists[i] = l
+		}(i, s)
+	}
+	wg.Wait()
+	merged := esort.MergeK(lists, func(a, b Entry[K, V]) bool { return a.Key < b.Key })
+	for _, e := range merged {
+		if !visit(e.Key, e.Val) {
+			return
+		}
+	}
+}

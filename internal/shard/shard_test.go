@@ -1,0 +1,209 @@
+package shard
+
+import (
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func engines() []struct {
+	name string
+	eng  Engine
+} {
+	return []struct {
+		name string
+		eng  Engine
+	}{{"m1", EngineM1}, {"m2", EngineM2}}
+}
+
+// TestShardedAgainstReference drives a random operation sequence through a
+// sharded map and a builtin map and checks every result.
+func TestShardedAgainstReference(t *testing.T) {
+	for _, e := range engines() {
+		t.Run(e.name, func(t *testing.T) {
+			m := New[int, int](Config{Shards: 4, Engine: e.eng, Shard: core.Config{P: 2}})
+			defer m.Close()
+			rng := rand.New(rand.NewSource(3))
+			ref := map[int]int{}
+			for step := 0; step < 5000; step++ {
+				k := rng.Intn(300)
+				want, wantOK := ref[k]
+				switch rng.Intn(3) {
+				case 0:
+					old, existed := m.Insert(k, step)
+					if existed != wantOK || (existed && old != want) {
+						t.Fatalf("step %d: Insert(%d) = (%d, %v), want (%d, %v)",
+							step, k, old, existed, want, wantOK)
+					}
+					ref[k] = step
+				case 1:
+					got, ok := m.Delete(k)
+					if ok != wantOK || (ok && got != want) {
+						t.Fatalf("step %d: Delete(%d) = (%d, %v), want (%d, %v)",
+							step, k, got, ok, want, wantOK)
+					}
+					delete(ref, k)
+				default:
+					got, ok := m.Get(k)
+					if ok != wantOK || (ok && got != want) {
+						t.Fatalf("step %d: Get(%d) = (%d, %v), want (%d, %v)",
+							step, k, got, ok, want, wantOK)
+					}
+				}
+			}
+			if m.Len() != len(ref) {
+				t.Fatalf("Len = %d, want %d", m.Len(), len(ref))
+			}
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestShardedApply checks the sharded bulk-load path: results come back in
+// input order with sequential per-key semantics.
+func TestShardedApply(t *testing.T) {
+	for _, e := range engines() {
+		t.Run(e.name, func(t *testing.T) {
+			m := New[int, string](Config{Shards: 3, Engine: e.eng, Shard: core.Config{P: 2}})
+			defer m.Close()
+			const n = 20000
+			ops := make([]core.Op[int, string], n)
+			for i := range ops {
+				ops[i] = core.Op[int, string]{Kind: core.OpInsert, Key: i % 500, Val: "v"}
+			}
+			res := m.Apply(ops)
+			if len(res) != n {
+				t.Fatalf("got %d results", len(res))
+			}
+			// Keys repeat n/500 times; only the first insert of each key may
+			// report "absent", and per-shard input order means it must.
+			for i, r := range res {
+				wantOK := i >= 500
+				if r.OK != wantOK {
+					t.Fatalf("result %d: OK = %v, want %v", i, r.OK, wantOK)
+				}
+			}
+			if m.Len() != 500 {
+				t.Fatalf("Len = %d, want 500", m.Len())
+			}
+		})
+	}
+}
+
+// TestShardedItemsOrdered checks the cross-shard k-way merged iteration.
+func TestShardedItemsOrdered(t *testing.T) {
+	m := New[int, int](Config{Shards: 5, Shard: core.Config{P: 2}})
+	defer m.Close()
+	rng := rand.New(rand.NewSource(4))
+	ref := map[int]int{}
+	for i := 0; i < 3000; i++ {
+		k := rng.Intn(10000)
+		m.Insert(k, i)
+		ref[k] = i
+	}
+	var got []int
+	m.Items(func(k, v int) bool {
+		if ref[k] != v {
+			t.Fatalf("Items: key %d has value %d, want %d", k, v, ref[k])
+		}
+		got = append(got, k)
+		return true
+	})
+	if len(got) != len(ref) {
+		t.Fatalf("Items visited %d keys, want %d", len(got), len(ref))
+	}
+	if !sort.IntsAreSorted(got) {
+		t.Fatal("Items not in ascending key order")
+	}
+}
+
+// TestShardedRange checks the half-open range scan and early termination.
+func TestShardedRange(t *testing.T) {
+	m := New[int, int](Config{Shards: 4, Shard: core.Config{P: 2}})
+	defer m.Close()
+	for i := 0; i < 1000; i++ {
+		m.Insert(i, i*10)
+	}
+	var got []int
+	m.Range(100, 200, func(k, v int) bool {
+		if v != k*10 {
+			t.Fatalf("Range: key %d has value %d", k, v)
+		}
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 100 || got[0] != 100 || got[99] != 199 {
+		t.Fatalf("Range [100,200) visited %d keys (first %d, last %d)",
+			len(got), got[0], got[len(got)-1])
+	}
+	// Early termination.
+	count := 0
+	m.Range(0, 1000, func(k, v int) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("early-terminated Range visited %d keys", count)
+	}
+}
+
+// TestShardedConcurrent hammers one sharded map from many goroutines with
+// disjoint key ranges and checks exact per-client results.
+func TestShardedConcurrent(t *testing.T) {
+	for _, e := range engines() {
+		t.Run(e.name, func(t *testing.T) {
+			m := New[int, int](Config{Shards: 4, Engine: e.eng, Shard: core.Config{P: 2}})
+			defer m.Close()
+			var wg sync.WaitGroup
+			for c := 0; c < 8; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(c)))
+					base := c * 10000
+					ref := map[int]int{}
+					for i := 0; i < 1500; i++ {
+						k := base + rng.Intn(200)
+						switch rng.Intn(3) {
+						case 0:
+							m.Insert(k, i)
+							ref[k] = i
+						case 1:
+							got, ok := m.Delete(k)
+							want, wantOK := ref[k]
+							if ok != wantOK || (ok && got != want) {
+								t.Errorf("client %d: Delete(%d) mismatch", c, k)
+								return
+							}
+							delete(ref, k)
+						default:
+							got, ok := m.Get(k)
+							want, wantOK := ref[k]
+							if ok != wantOK || (ok && got != want) {
+								t.Errorf("client %d: Get(%d) mismatch", c, k)
+								return
+							}
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// TestShardedDefaultShards checks the zero-value shard count falls back to
+// GOMAXPROCS.
+func TestShardedDefaultShards(t *testing.T) {
+	m := New[int, int](Config{})
+	defer m.Close()
+	if got, want := m.Shards(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("Shards() = %d, want GOMAXPROCS = %d", got, want)
+	}
+}

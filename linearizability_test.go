@@ -1,0 +1,138 @@
+package pws
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// Concurrent linearizability-style property test: many goroutines hammer
+// one map with a randomized Get/Insert/Delete mix over a shared key space,
+// and every single result is cross-checked against a mutex-guarded
+// reference model.
+//
+// The reference is striped per key: an operation holds its key's stripe
+// lock across (map op + model op), so same-key operations are serialized
+// and exactly checkable, while operations on different keys run fully
+// concurrently through the engines' batching machinery. Under -race this
+// doubles as a data-race hunt through the whole submit/sort/segment path.
+
+type refEntry struct {
+	val int
+	ok  bool
+}
+
+func runLinearizabilityTest(t *testing.T, m ConcurrentMap[int, int]) {
+	t.Helper()
+	defer m.Close()
+
+	const (
+		numKeys = 128
+		workers = 8
+	)
+	opsPer := 4000
+	if testing.Short() {
+		opsPer = 500
+	}
+
+	var stripes [numKeys]sync.Mutex
+	var model [numKeys]refEntry
+
+	var wg sync.WaitGroup
+	var failed sync.Once
+	fail := func(format string, args ...any) {
+		failed.Do(func() { t.Errorf(format, args...) })
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) * 7919))
+			for i := 0; i < opsPer; i++ {
+				k := rng.Intn(numKeys)
+				v := w*1_000_000 + i // unique per (worker, step)
+				stripes[k].Lock()
+				want := model[k]
+				switch rng.Intn(5) {
+				case 0, 1: // insert
+					old, existed := m.Insert(k, v)
+					if existed != want.ok || (existed && old != want.val) {
+						fail("worker %d: Insert(%d) = (%d, %v), model (%d, %v)",
+							w, k, old, existed, want.val, want.ok)
+					}
+					model[k] = refEntry{v, true}
+				case 2: // delete
+					got, ok := m.Delete(k)
+					if ok != want.ok || (ok && got != want.val) {
+						fail("worker %d: Delete(%d) = (%d, %v), model (%d, %v)",
+							w, k, got, ok, want.val, want.ok)
+					}
+					model[k] = refEntry{}
+				default: // get
+					got, ok := m.Get(k)
+					if ok != want.ok || (ok && got != want.val) {
+						fail("worker %d: Get(%d) = (%d, %v), model (%d, %v)",
+							w, k, got, ok, want.val, want.ok)
+					}
+				}
+				stripes[k].Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Final contents must match the model exactly.
+	wantLen := 0
+	for _, e := range model {
+		if e.ok {
+			wantLen++
+		}
+	}
+	if m.Len() != wantLen {
+		t.Fatalf("final Len = %d, model has %d keys", m.Len(), wantLen)
+	}
+	type snapshotter interface {
+		Items(visit func(k, v int) bool)
+	}
+	if s, ok := any(m).(snapshotter); ok {
+		var keys []int
+		s.Items(func(k, v int) bool {
+			if k < 0 || k >= numKeys || !model[k].ok || model[k].val != v {
+				t.Errorf("final Items: (%d, %d) not in model", k, v)
+				return false
+			}
+			keys = append(keys, k)
+			return true
+		})
+		if len(keys) != wantLen {
+			t.Fatalf("final Items visited %d keys, model has %d", len(keys), wantLen)
+		}
+		if !sort.IntsAreSorted(keys) {
+			t.Fatal("final Items not in ascending key order")
+		}
+	}
+}
+
+func TestLinearizabilityM1(t *testing.T) {
+	runLinearizabilityTest(t, NewM1[int, int](Options{P: 4}))
+}
+
+func TestLinearizabilityM2(t *testing.T) {
+	runLinearizabilityTest(t, NewM2[int, int](Options{P: 4}))
+}
+
+func TestLinearizabilityShardedM1(t *testing.T) {
+	runLinearizabilityTest(t, NewSharded[int, int](ShardedOptions{
+		Options: Options{P: 2}, Shards: 4, Engine: EngineM1,
+	}))
+}
+
+func TestLinearizabilityShardedM2(t *testing.T) {
+	runLinearizabilityTest(t, NewSharded[int, int](ShardedOptions{
+		Options: Options{P: 2}, Shards: 4, Engine: EngineM2,
+	}))
+}

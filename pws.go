@@ -8,6 +8,7 @@ import (
 	"repro/internal/esort"
 	"repro/internal/iacono"
 	"repro/internal/metrics"
+	"repro/internal/shard"
 	"repro/internal/splay"
 )
 
@@ -164,4 +165,49 @@ func NewBatchedTree[K cmp.Ordered, V any](o Options) *BatchedTree[K, V] {
 // concurrent (but serialized) map for baseline comparisons.
 func Locked[K cmp.Ordered, V any](m Map[K, V]) Map[K, V] {
 	return baseline.NewLocked[K, V](m)
+}
+
+// Engine selects the per-shard map implementation used by NewSharded.
+type Engine = shard.Engine
+
+// Per-shard engines for ShardedOptions.Engine.
+const (
+	// EngineM1 runs an M1 (batched) map per shard: best raw throughput.
+	EngineM1 = shard.EngineM1
+	// EngineM2 runs an M2 (pipelined) map per shard: best hot-op latency.
+	EngineM2 = shard.EngineM2
+)
+
+// ShardedOptions configures NewSharded. The embedded Options configure
+// each per-shard engine; Options.P left at zero defaults to
+// GOMAXPROCS/Shards (each shard gets a slice of the machine, not the whole
+// machine).
+type ShardedOptions struct {
+	Options
+	// Shards is the shard count. Defaults to runtime.GOMAXPROCS(0).
+	Shards int
+	// Engine selects the per-shard map implementation (default EngineM1).
+	Engine Engine
+}
+
+// Sharded is a hash-sharded concurrent ordered map: operations are routed
+// by key hash to one of S independent per-shard working-set maps, so
+// cross-shard operations never serialize on one segment structure while
+// each shard still batches, combines duplicates, and adapts to the
+// temporal locality of the keys it owns. Safe for concurrent use.
+//
+// Beyond the Map interface it offers Apply (sharded bulk-load), Items and
+// Range (globally ordered iteration via a k-way merge of the per-shard
+// orders), Shards, and Batches.
+type Sharded[K cmp.Ordered, V any] struct {
+	*shard.Map[K, V]
+}
+
+// NewSharded creates a sharded map. Close it after use.
+func NewSharded[K cmp.Ordered, V any](o ShardedOptions) *Sharded[K, V] {
+	return &Sharded[K, V]{shard.New[K, V](shard.Config{
+		Shards: o.Shards,
+		Engine: o.Engine,
+		Shard:  o.toConfig(),
+	})}
 }
