@@ -11,6 +11,7 @@
 //	wsbench -list           # list experiments
 //	wsbench -sweep          # sharding sweep: throughput vs shard count
 //	wsbench -shards 8       # shard count for e17 and -sweep (0 = GOMAXPROCS)
+//	wsbench -json           # one JSON object per row (for BENCH_*.json)
 package main
 
 import (
@@ -52,12 +53,27 @@ var all = []experiment{
 // shardsFlag is read by e17 and -sweep after flag.Parse.
 var shardsFlag = flag.Int("shards", 0, "shard count for e17 and -sweep (0 = GOMAXPROCS)")
 
+// emit prints one experiment table, as JSON lines or as an aligned
+// table; it reports whether the caller should print its timing footer
+// (suppressed in JSON mode to keep the output machine-readable).
+func emit(table experiments.Table, id string, jsonOut bool) bool {
+	if jsonOut {
+		for _, line := range table.JSONRows(id) {
+			fmt.Println(line)
+		}
+		return false
+	}
+	fmt.Println(table.String())
+	return true
+}
+
 func main() {
 	var (
 		expFlag = flag.String("exp", "", "comma-separated experiment ids (default: all)")
 		quick   = flag.Bool("quick", false, "run at reduced scale")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		sweep   = flag.Bool("sweep", false, "run the sharding scaling sweep (throughput vs shard count) and exit")
+		jsonOut = flag.Bool("json", false, "emit one JSON object per experiment row instead of tables")
 	)
 	flag.Parse()
 
@@ -76,8 +92,9 @@ func main() {
 	if *sweep {
 		start := time.Now()
 		table := experiments.ShardSweep(scale, *shardsFlag)
-		fmt.Println(table.String())
-		fmt.Printf("   (sweep in %.1fs)\n", time.Since(start).Seconds())
+		if emit(table, "sweep", *jsonOut) {
+			fmt.Printf("   (sweep in %.1fs)\n", time.Since(start).Seconds())
+		}
 		return
 	}
 
@@ -95,8 +112,9 @@ func main() {
 		}
 		start := time.Now()
 		table := e.run(scale)
-		fmt.Println(table.String())
-		fmt.Printf("   (%s in %.1fs)\n\n", e.id, time.Since(start).Seconds())
+		if emit(table, e.id, *jsonOut) {
+			fmt.Printf("   (%s in %.1fs)\n\n", e.id, time.Since(start).Seconds())
+		}
 		ran++
 	}
 	if ran == 0 {

@@ -1,0 +1,82 @@
+// Wsd serves the sharded parallel working-set map over TCP, speaking the
+// RESP-like internal/wire protocol (GET/SET/DEL/MGET/MSET/SCAN/LEN/
+// STATS/PING/QUIT). Each connection's pipelined requests are drained
+// into one batch Apply, so the paper's duplicate combining and
+// working-set adaptivity survive the network hop.
+//
+// Usage:
+//
+//	wsd                          # serve on :6380, M1 engine, GOMAXPROCS shards
+//	wsd -addr :7000 -engine m2   # pipelined engine for latency
+//	wsd -shards 8 -p 4           # fixed shard count and per-shard p
+//
+// Drive it with cmd/wsload, or any client speaking the wire protocol.
+// SIGINT/SIGTERM trigger a graceful shutdown: in-flight batches finish
+// and write their replies before the map closes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	pws "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":6380", "TCP listen address")
+		shards   = flag.Int("shards", 0, "shard count (0 = GOMAXPROCS)")
+		engine   = flag.String("engine", "m1", "per-shard engine: m1 (batched) or m2 (pipelined)")
+		p        = flag.Int("p", 0, "per-shard processor parameter p (0 = auto)")
+		maxConns = flag.Int("maxconns", 1024, "max concurrent connections")
+		maxPipe  = flag.Int("maxpipeline", 256, "max pipelined commands per batch")
+	)
+	flag.Parse()
+
+	var eng pws.Engine
+	switch *engine {
+	case "m1":
+		eng = pws.EngineM1
+	case "m2":
+		eng = pws.EngineM2
+	default:
+		fmt.Fprintf(os.Stderr, "wsd: unknown engine %q (want m1 or m2)\n", *engine)
+		os.Exit(2)
+	}
+
+	srv := server.New(server.Config{
+		Shards:      *shards,
+		Engine:      eng,
+		P:           *p,
+		MaxConns:    *maxConns,
+		MaxPipeline: *maxPipe,
+	})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("wsd: %v", err)
+	}
+	log.Printf("wsd: serving on %s (engine=%s shards=%d)", l.Addr(), srv.Engine(), srv.Shards())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		log.Printf("wsd: %v: draining in-flight batches", s)
+		srv.Close()
+	}()
+
+	if err := srv.Serve(l); err != nil {
+		log.Fatalf("wsd: %v", err)
+	}
+	srv.Close()
+	st := srv.Stats()
+	log.Printf("wsd: stopped after %d conns, %d batches, %d ops (avg batch %.1f)",
+		st.TotalConns, st.Batches, st.Ops, st.AvgBatch())
+}

@@ -1,0 +1,99 @@
+// Wsload is a closed-loop load generator for wsd: N connections each
+// drive a pipeline of depth D of mixed GET/SET requests drawn from the
+// internal/workload generators, and report throughput and latency
+// percentiles per workload.
+//
+// Usage:
+//
+//	wsload                                  # zipf + working-set, 8 conns, depth 16
+//	wsload -addr host:6380 -conns 32 -depth 64
+//	wsload -workloads uniform,zipf -n 1000000
+//	wsload -depth 1                         # unpipelined baseline
+//	wsload -json                            # one JSON object per workload
+//
+// Pipeline depth is the interesting knob: the server drains each
+// connection's pipelined requests into one batch Apply, so deeper
+// pipelines mean fewer, larger batches (see the server's STATS:
+// avg_batch) — the network realization of the paper's batching.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+
+	"repro/internal/loadgen"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:6380", "wsd server address")
+		conns     = flag.Int("conns", 8, "concurrent connections")
+		depth     = flag.Int("depth", 16, "pipeline depth per connection (1 = no pipelining)")
+		n         = flag.Int("n", 200_000, "total operations per workload")
+		workloads = flag.String("workloads", "zipf,working-set", "comma-separated workloads: uniform, zipf, working-set")
+		universe  = flag.Int("universe", 1<<16, "key-space size")
+		zipfS     = flag.Float64("zipf", 0.99, "zipf skew s")
+		recency   = flag.Int("recency", 64, "mean recency for the working-set workload")
+		getFrac   = flag.Float64("get", 0.9, "fraction of GETs (rest are SETs)")
+		preload   = flag.Bool("preload", true, "insert every universe key before measuring")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		jsonOut   = flag.Bool("json", false, "emit one JSON object per workload")
+	)
+	flag.Parse()
+
+	dial := func() (net.Conn, error) { return net.Dial("tcp", *addr) }
+
+	// The flags default to the library defaults, so an explicit 0 on the
+	// command line means zero — map it to the library's negative
+	// "really zero" sentinel.
+	gf, zs := *getFrac, *zipfS
+	if gf == 0 {
+		gf = -1
+	}
+	if zs == 0 {
+		zs = -1
+	}
+
+	ok := true
+	for _, w := range strings.Split(*workloads, ",") {
+		w = strings.TrimSpace(w)
+		if w == "" {
+			continue
+		}
+		rep, err := loadgen.Run(loadgen.Config{
+			Conns:       *conns,
+			Depth:       *depth,
+			Ops:         *n,
+			Workload:    loadgen.Workload(w),
+			Universe:    *universe,
+			ZipfS:       zs,
+			MeanRecency: *recency,
+			GetFrac:     gf,
+			Preload:     *preload,
+			Seed:        *seed,
+		}, dial)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wsload: %s: %v\n", w, err)
+			ok = false
+			continue
+		}
+		if *jsonOut {
+			b, err := json.Marshal(rep)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "wsload: %v\n", err)
+				ok = false
+				continue
+			}
+			fmt.Println(string(b))
+		} else {
+			fmt.Println(rep.String())
+		}
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}

@@ -52,6 +52,15 @@
 //	v, ok := m.Get("k")
 //	m.Delete("k")
 //
+// # Network service
+//
+// The maps are also servable over a socket: cmd/wsd fronts a Sharded
+// map with a RESP-like text protocol (internal/wire) and turns network
+// pipelining into the paper's batching — each connection's pipelined
+// requests are drained into one batch Apply, so duplicate combining and
+// working-set adaptivity survive the network hop (internal/server).
+// cmd/wsload is the matching closed-loop load generator; see README.md.
+//
 // See EXPERIMENTS.md for the measured reproduction of every bound in the
 // paper, and DESIGN.md for the system inventory.
 package pws

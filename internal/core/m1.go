@@ -135,6 +135,17 @@ func (m *M1[K, V]) Close() {
 // (RecordLinearization mode only).
 func (m *M1[K, V]) DrainLinearization() []Op[K, V] { return m.rec.take() }
 
+// Quiesce blocks until no client operations are in flight and the engine
+// activation has gone idle. Results are delivered on forked goroutines
+// before the activation run finishes its structural tail work (capacity
+// restoration), so waiting for pending alone does not imply quiescence.
+// Only meaningful once clients have stopped submitting operations.
+func (m *M1[K, V]) Quiesce() {
+	for m.pending.Load() != 0 || m.act.Running() {
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
 // engineRun processes one cut batch. It runs under the activation
 // interface, so engine state is single-threaded.
 func (m *M1[K, V]) engineRun() bool {

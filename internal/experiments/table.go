@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 )
@@ -53,6 +54,37 @@ func (t *Table) String() string {
 		fmt.Fprintf(&sb, "-- %s\n", t.Note)
 	}
 	return sb.String()
+}
+
+// jsonRow is the machine-readable form of one table row.
+type jsonRow struct {
+	Exp   string            `json:"exp"`
+	Title string            `json:"title"`
+	Cols  map[string]string `json:"cols"`
+}
+
+// JSONRows renders the table as JSON lines — one object per row, keyed
+// by the experiment id and the column headers — so bench trajectories
+// (BENCH_*.json) can be recorded from CI or scripts with
+// `wsbench -json`.
+func (t Table) JSONRows(id string) []string {
+	out := make([]string, 0, len(t.Rows))
+	for _, r := range t.Rows {
+		cols := make(map[string]string, len(r))
+		for i, c := range r {
+			key := fmt.Sprintf("col%d", i)
+			if i < len(t.Header) {
+				key = t.Header[i]
+			}
+			cols[key] = c
+		}
+		b, err := json.Marshal(jsonRow{Exp: id, Title: t.Title, Cols: cols})
+		if err != nil {
+			continue // string maps cannot fail to marshal
+		}
+		out = append(out, string(b))
+	}
+	return out
 }
 
 func f1(v float64) string { return fmt.Sprintf("%.1f", v) }

@@ -1,0 +1,304 @@
+// Package loadgen is the closed-loop load generator behind cmd/wsload:
+// N connections each drive a pipeline of depth D against a wsd server,
+// drawing keys from the internal/workload generators, and report
+// throughput and latency percentiles. It is transport-agnostic (the
+// caller supplies a dial function), so the same loop drives a TCP
+// server and an in-process net.Pipe server in tests.
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// Workload names an access-sequence generator.
+type Workload string
+
+// Supported workloads.
+const (
+	// Uniform draws keys uniformly from the universe.
+	Uniform Workload = "uniform"
+	// Zipf draws keys from a Zipf(s) distribution (hot keys by rank).
+	Zipf Workload = "zipf"
+	// WorkingSet draws keys with geometrically distributed recency —
+	// the temporal-locality regime working-set structures are built for.
+	WorkingSet Workload = "working-set"
+)
+
+// Config configures one load run. Zero fields take the defaults noted.
+type Config struct {
+	// Conns is the number of concurrent connections (default 8).
+	Conns int
+	// Depth is the pipeline depth per connection: how many requests are
+	// written before replies are read (default 16; 1 = no pipelining).
+	// Pipelining is synchronous, so one batch must fit the transport's
+	// buffering (see wire.Client); at typical command sizes any depth up
+	// to the server's MaxPipeline is safe.
+	Depth int
+	// Ops is the total operation count across connections (default 64k).
+	Ops int
+	// Workload selects the key generator (default Zipf).
+	Workload Workload
+	// Universe is the key-space size (default 65536).
+	Universe int
+	// ZipfS is the Zipf skew for the zipf workload (default 0.99; any
+	// negative value means 0, i.e. unskewed).
+	ZipfS float64
+	// MeanRecency is the mean access recency for the working-set
+	// workload (default 64).
+	MeanRecency int
+	// GetFrac is the fraction of GETs; the rest are SETs (default 0.9;
+	// any negative value means 0, i.e. a pure-SET workload).
+	GetFrac float64
+	// Preload, when set, inserts every universe key before measuring so
+	// GETs hit (default off; cmd/wsload turns it on).
+	Preload bool
+	// Seed seeds the generators (default 1).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Conns < 1 {
+		c.Conns = 8
+	}
+	if c.Depth < 1 {
+		c.Depth = 16
+	}
+	if c.Ops < 1 {
+		c.Ops = 64 << 10
+	}
+	if c.Workload == "" {
+		c.Workload = Zipf
+	}
+	if c.Universe < 1 {
+		c.Universe = 1 << 16
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 0.99
+	} else if c.ZipfS < 0 {
+		c.ZipfS = 0
+	}
+	if c.MeanRecency < 1 {
+		c.MeanRecency = 64
+	}
+	if c.GetFrac == 0 {
+		c.GetFrac = 0.9
+	} else if c.GetFrac < 0 {
+		c.GetFrac = 0
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Report is the outcome of one load run.
+type Report struct {
+	Workload  Workload      `json:"workload"`
+	Conns     int           `json:"conns"`
+	Depth     int           `json:"depth"`
+	Ops       int           `json:"ops"`
+	Errors    int           `json:"errors"`
+	Duration  time.Duration `json:"duration_ns"`
+	OpsPerSec float64       `json:"ops_per_sec"`
+	P50       time.Duration `json:"p50_ns"`
+	P95       time.Duration `json:"p95_ns"`
+	P99       time.Duration `json:"p99_ns"`
+	Max       time.Duration `json:"max_ns"`
+}
+
+// String renders the report as one aligned line.
+func (r Report) String() string {
+	return fmt.Sprintf("%-12s conns=%-3d depth=%-3d ops=%-8d err=%-3d %10.0f ops/s  p50=%-9s p99=%-9s max=%s",
+		r.Workload, r.Conns, r.Depth, r.Ops, r.Errors,
+		r.OpsPerSec, r.P50, r.P99, r.Max)
+}
+
+// Key renders key index k in the fixed-width form the server stores, so
+// lexicographic key order matches numeric order (SCAN-friendly).
+func Key(k int) string { return fmt.Sprintf("k%08d", k) }
+
+// genKeys produces one connection's key sequence.
+func genKeys(cfg Config, seed int64, n int) ([]int, error) {
+	rng := rand.New(rand.NewSource(seed))
+	switch cfg.Workload {
+	case Uniform:
+		return workload.UniformKeys(rng, n, cfg.Universe), nil
+	case Zipf:
+		return workload.ZipfKeys(rng, n, cfg.Universe, cfg.ZipfS), nil
+	case WorkingSet:
+		return workload.RecencyBoundedKeys(rng, n, cfg.Universe, cfg.MeanRecency), nil
+	default:
+		return nil, fmt.Errorf("loadgen: unknown workload %q", cfg.Workload)
+	}
+}
+
+// Preload inserts every universe key (value "0") over one pipelined
+// connection, so a measured run's GETs hit. Run calls it when
+// Config.Preload is set; examples share it for their own warm-up.
+func Preload(cfg Config, dial func() (net.Conn, error)) error {
+	cfg = cfg.withDefaults()
+	nc, err := dial()
+	if err != nil {
+		return err
+	}
+	defer nc.Close()
+	cl := wire.NewClient(nc)
+	const chunk = 256
+	for base := 0; base < cfg.Universe; base += chunk {
+		n := chunk
+		if base+n > cfg.Universe {
+			n = cfg.Universe - base
+		}
+		for i := 0; i < n; i++ {
+			if err := cl.Send("SET", Key(base+i), "0"); err != nil {
+				return err
+			}
+		}
+		if err := cl.Flush(); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			rep, err := cl.Recv()
+			if err != nil {
+				return err
+			}
+			if rep.IsError() {
+				return fmt.Errorf("loadgen: preload: %s", rep.Str)
+			}
+		}
+	}
+	_, err = cl.Do("QUIT")
+	return err
+}
+
+// connResult is one connection's measurements.
+type connResult struct {
+	lats []time.Duration
+	errs int
+	err  error
+}
+
+// Run executes one closed-loop load run against whatever dial connects
+// to. Latency is measured per operation as time from pipeline submission
+// to that operation's reply (so with depth D it includes queueing behind
+// the up-to-D-1 requests ahead of it, as a closed-loop client
+// experiences it).
+func Run(cfg Config, dial func() (net.Conn, error)) (Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Preload {
+		if err := Preload(cfg, dial); err != nil {
+			return Report{}, err
+		}
+	}
+	perConn := cfg.Ops / cfg.Conns
+	if perConn < 1 {
+		perConn = 1
+	}
+	results := make([]connResult, cfg.Conns)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = runConn(cfg, cfg.Seed+int64(i)*7919, perConn, dial)
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var all []time.Duration
+	errs := 0
+	for _, r := range results {
+		if r.err != nil {
+			return Report{}, r.err
+		}
+		all = append(all, r.lats...)
+		errs += r.errs
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	rep := Report{
+		Workload: cfg.Workload,
+		Conns:    cfg.Conns,
+		Depth:    cfg.Depth,
+		Ops:      len(all),
+		Errors:   errs,
+		Duration: wall,
+	}
+	if wall > 0 {
+		rep.OpsPerSec = float64(len(all)) / wall.Seconds()
+	}
+	if len(all) > 0 {
+		rep.P50 = percentile(all, 0.50)
+		rep.P95 = percentile(all, 0.95)
+		rep.P99 = percentile(all, 0.99)
+		rep.Max = all[len(all)-1]
+	}
+	return rep, nil
+}
+
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// runConn drives one connection: write Depth requests, flush, read
+// Depth replies, repeat.
+func runConn(cfg Config, seed int64, n int, dial func() (net.Conn, error)) connResult {
+	keys, err := genKeys(cfg, seed, n)
+	if err != nil {
+		return connResult{err: err}
+	}
+	nc, err := dial()
+	if err != nil {
+		return connResult{err: err}
+	}
+	defer nc.Close()
+	cl := wire.NewClient(nc)
+	rng := rand.New(rand.NewSource(seed ^ 0x9e3779b9))
+	res := connResult{lats: make([]time.Duration, 0, n)}
+	for off := 0; off < len(keys); off += cfg.Depth {
+		end := off + cfg.Depth
+		if end > len(keys) {
+			end = len(keys)
+		}
+		chunk := keys[off:end]
+		t0 := time.Now()
+		for _, k := range chunk {
+			if rng.Float64() < cfg.GetFrac {
+				err = cl.Send("GET", Key(k))
+			} else {
+				err = cl.Send("SET", Key(k), "v")
+			}
+			if err != nil {
+				res.err = err
+				return res
+			}
+		}
+		if err := cl.Flush(); err != nil {
+			res.err = err
+			return res
+		}
+		for range chunk {
+			rep, err := cl.Recv()
+			if err != nil {
+				res.err = err
+				return res
+			}
+			if rep.IsError() {
+				res.errs++
+			}
+			res.lats = append(res.lats, time.Since(t0))
+		}
+	}
+	cl.Do("QUIT")
+	return res
+}

@@ -1,0 +1,302 @@
+package server
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	pws "repro"
+	"repro/internal/wire"
+)
+
+// conn is one client connection. Its goroutine alternates between one
+// blocking read and a non-blocking drain of everything else already on
+// the wire, so a connection's pipelined requests become exactly one
+// batch Apply against the sharded map.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+	r   *wire.Reader
+	w   *wire.Writer
+
+	// batch state, reused across pipelines.
+	ops     []pws.Op[string, string]
+	pending []pendingReply
+}
+
+// shutdownGrace is how long past Close a connection may keep reading, so
+// pipelined commands already in the transport's buffers (e.g. the kernel
+// socket buffer, which an already-expired read deadline abandons even
+// when data is readable) are still drained and answered. Close sets each
+// connection's read deadline this far in the future — the single
+// deadline writer — and the expiry both unblocks idle reads and bounds
+// how long Close waits for stragglers.
+const shutdownGrace = 50 * time.Millisecond
+
+// pendingReply records how to render one command's reply from the batch
+// results it consumed.
+type pendingReply struct {
+	kind replyKind
+	n    int // ops consumed from the result slice
+}
+
+type replyKind uint8
+
+const (
+	replyGet replyKind = iota
+	replySet
+	replyDel
+	replyMGet
+	replyMSet
+)
+
+// serve runs the connection loop: read one command (blocking), drain the
+// rest of the pipeline (non-blocking), process as one batch, flush.
+//
+// Shutdown needs no check here: Close sets the read deadline to the
+// grace window, so commands that reach the server's buffers before it
+// expires are still read (bufio serves buffered bytes regardless of the
+// deadline), batched and answered — then the blocking read fails with
+// the deadline error and the connection ends silently. A frame cut in
+// half by the deadline simply ends the connection; its bytes were never
+// fully accepted, so no reply is owed.
+func (c *conn) serve() {
+	for {
+		cmd, err := c.r.ReadCommand()
+		if err != nil {
+			c.finish(err)
+			return
+		}
+		cmds := []wire.Command{cmd}
+		var readErr error
+		for len(cmds) < c.srv.cfg.MaxPipeline && c.r.Buffered() > 0 {
+			next, err := c.r.ReadCommand()
+			if err != nil {
+				readErr = err
+				break
+			}
+			cmds = append(cmds, next)
+		}
+		quit := c.process(cmds)
+		if readErr != nil {
+			c.finish(readErr)
+			return
+		}
+		if err := c.w.Flush(); err != nil {
+			return
+		}
+		if quit {
+			return
+		}
+	}
+}
+
+// finish handles a terminal read error: clean disconnects and shutdown
+// deadlines end the connection silently; protocol violations get one
+// final error reply. Either way the connection is done.
+func (c *conn) finish(err error) {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, os.ErrDeadlineExceeded) {
+		c.w.Flush()
+		return
+	}
+	c.srv.st.errors.Add(1)
+	c.w.WriteError("ERR " + trunc(err.Error()))
+	c.w.Flush()
+}
+
+// trunc bounds client-supplied text echoed into error replies, so the
+// reply line always fits a conforming decoder's line limit no matter
+// how long the offending argument was.
+func trunc(s string) string {
+	const max = 128
+	if len(s) <= max {
+		return s
+	}
+	return s[:max] + "..."
+}
+
+// process executes one drained pipeline. Consecutive map commands
+// accumulate into a single batch Apply; non-map commands (LEN, STATS,
+// SCAN, PING, QUIT and errors) act as barriers that flush the
+// accumulated batch first, preserving reply order. It reports whether
+// the client asked to quit.
+func (c *conn) process(cmds []wire.Command) (quit bool) {
+	c.ops = c.ops[:0]
+	c.pending = c.pending[:0]
+	for _, cmd := range cmds {
+		switch name := strings.ToUpper(cmd.Name); name {
+		case "GET":
+			if !c.wantArgs(cmd, len(cmd.Args) == 1) {
+				continue
+			}
+			c.ops = append(c.ops, pws.Op[string, string]{Kind: pws.OpGet, Key: cmd.Args[0]})
+			c.pending = append(c.pending, pendingReply{replyGet, 1})
+			c.srv.st.gets.Add(1)
+		case "SET":
+			if !c.wantArgs(cmd, len(cmd.Args) == 2) {
+				continue
+			}
+			c.ops = append(c.ops, pws.Op[string, string]{Kind: pws.OpInsert, Key: cmd.Args[0], Val: cmd.Args[1]})
+			c.pending = append(c.pending, pendingReply{replySet, 1})
+			c.srv.st.sets.Add(1)
+		case "DEL":
+			if !c.wantArgs(cmd, len(cmd.Args) >= 1) {
+				continue
+			}
+			for _, k := range cmd.Args {
+				c.ops = append(c.ops, pws.Op[string, string]{Kind: pws.OpDelete, Key: k})
+			}
+			c.pending = append(c.pending, pendingReply{replyDel, len(cmd.Args)})
+			c.srv.st.dels.Add(int64(len(cmd.Args)))
+		case "MGET":
+			if !c.wantArgs(cmd, len(cmd.Args) >= 1) {
+				continue
+			}
+			for _, k := range cmd.Args {
+				c.ops = append(c.ops, pws.Op[string, string]{Kind: pws.OpGet, Key: k})
+			}
+			c.pending = append(c.pending, pendingReply{replyMGet, len(cmd.Args)})
+			c.srv.st.gets.Add(int64(len(cmd.Args)))
+		case "MSET":
+			if !c.wantArgs(cmd, len(cmd.Args) >= 2 && len(cmd.Args)%2 == 0) {
+				continue
+			}
+			for i := 0; i < len(cmd.Args); i += 2 {
+				c.ops = append(c.ops, pws.Op[string, string]{Kind: pws.OpInsert, Key: cmd.Args[i], Val: cmd.Args[i+1]})
+			}
+			c.pending = append(c.pending, pendingReply{replyMSet, len(cmd.Args) / 2})
+			c.srv.st.sets.Add(int64(len(cmd.Args) / 2))
+		case "LEN":
+			c.flushBatch()
+			c.w.WriteInt(int64(c.srv.store.Len()))
+		case "PING":
+			c.flushBatch()
+			c.w.WriteSimple("PONG")
+		case "STATS":
+			c.flushBatch()
+			c.w.WriteBulk(c.srv.statsText())
+		case "SCAN":
+			c.flushBatch()
+			c.scan(cmd)
+		case "QUIT":
+			c.flushBatch()
+			c.w.WriteSimple("OK")
+			return true
+		default:
+			c.flushBatch()
+			c.srv.st.errors.Add(1)
+			c.w.WriteError("ERR unknown command '" + trunc(cmd.Name) + "'")
+		}
+	}
+	c.flushBatch()
+	return false
+}
+
+// wantArgs validates a command's arity; on failure it flushes the batch
+// (to keep reply order) and writes an arity error.
+func (c *conn) wantArgs(cmd wire.Command, ok bool) bool {
+	if ok {
+		return true
+	}
+	c.flushBatch()
+	c.srv.st.errors.Add(1)
+	c.w.WriteError("ERR wrong number of arguments for '" + trunc(strings.ToLower(cmd.Name)) + "'")
+	return false
+}
+
+// flushBatch submits the accumulated operations as one batch Apply and
+// writes the per-command replies in order.
+func (c *conn) flushBatch() {
+	if len(c.ops) == 0 {
+		return
+	}
+	s := c.srv
+	s.scanMu.RLock()
+	res := s.store.Apply(c.ops)
+	s.scanMu.RUnlock()
+	s.st.recordBatch(len(c.ops))
+	i := 0
+	for _, p := range c.pending {
+		switch p.kind {
+		case replyGet:
+			c.writeGet(res[i])
+			i++
+		case replySet:
+			c.w.WriteSimple("OK")
+			i++
+		case replyDel:
+			n := 0
+			for j := 0; j < p.n; j++ {
+				if res[i].OK {
+					n++
+				}
+				i++
+			}
+			c.w.WriteInt(int64(n))
+		case replyMGet:
+			c.w.WriteArrayHeader(p.n)
+			for j := 0; j < p.n; j++ {
+				c.writeGet(res[i])
+				i++
+			}
+		case replyMSet:
+			i += p.n
+			c.w.WriteSimple("OK")
+		}
+	}
+	c.ops = c.ops[:0]
+	c.pending = c.pending[:0]
+}
+
+func (c *conn) writeGet(r pws.Result[string]) {
+	if r.OK {
+		c.w.WriteBulk(r.Val)
+	} else {
+		c.w.WriteNil()
+	}
+}
+
+// scan serves SCAN lo hi [count]: an ordered range read over the merged
+// shard snapshots. It takes scanMu exclusively (no batch Applies in
+// flight) and quiesces the map, satisfying Range's quiescence contract
+// while other connections simply queue behind the lock.
+func (c *conn) scan(cmd wire.Command) {
+	if len(cmd.Args) != 2 && len(cmd.Args) != 3 {
+		c.srv.st.errors.Add(1)
+		c.w.WriteError("ERR wrong number of arguments for 'scan'")
+		return
+	}
+	lo, hi := cmd.Args[0], cmd.Args[1]
+	max := c.srv.cfg.MaxScan
+	if len(cmd.Args) == 3 {
+		n, err := strconv.Atoi(cmd.Args[2])
+		if err != nil || n < 1 {
+			c.srv.st.errors.Add(1)
+			c.w.WriteError("ERR invalid scan count '" + trunc(cmd.Args[2]) + "'")
+			return
+		}
+		if n < max {
+			max = n
+		}
+	}
+	s := c.srv
+	var kv []string
+	s.scanMu.Lock()
+	s.store.Quiesce()
+	s.store.Range(lo, hi, func(k, v string) bool {
+		kv = append(kv, k, v)
+		return len(kv)/2 < max
+	})
+	s.scanMu.Unlock()
+	s.st.scans.Add(1)
+	c.w.WriteArrayHeader(len(kv))
+	for _, x := range kv {
+		c.w.WriteBulk(x)
+	}
+}

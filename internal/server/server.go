@@ -1,0 +1,362 @@
+// Package server implements wsd, a network server fronting the sharded
+// parallel working-set map. Its load-bearing idea is that network
+// pipelining is the paper's batching: each connection goroutine drains
+// every pipelined request already on the wire into one []pws.Op and
+// submits it as a single batch Apply, so duplicate combining and
+// working-set adaptivity survive the network hop — a connection's
+// pipeline window plays the role of the parallel buffer's implicit
+// batch, the way batch-parallel structures amortize per-operation cost
+// over batches.
+//
+// The server speaks the internal/wire protocol (GET/SET/DEL/MGET/MSET/
+// SCAN/LEN/STATS/PING/QUIT), enforces connection and pipeline limits,
+// keeps per-op and aggregate batch statistics, and closes gracefully:
+// Close stops accepting, unblocks idle connections, lets in-flight
+// batches finish writing their replies, and only then closes the map.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	pws "repro"
+	"repro/internal/wire"
+)
+
+// ErrClosed is returned by Serve, ListenAndServe and Pipe after Close.
+var ErrClosed = errors.New("server: closed")
+
+// ErrConnLimit is returned by Pipe when MaxConns is reached; over TCP
+// the rejected connection gets an error reply instead.
+var ErrConnLimit = errors.New("server: connection limit reached")
+
+// Config configures a Server. The zero value serves a GOMAXPROCS-sharded
+// EngineM1 map with default limits.
+type Config struct {
+	// Shards is the shard count of the underlying map (0 = GOMAXPROCS).
+	Shards int
+	// Engine selects the per-shard engine (pws.EngineM1 or pws.EngineM2).
+	Engine pws.Engine
+	// P is the per-shard processor parameter (0 = auto).
+	P int
+	// MaxConns caps concurrent connections (default 1024).
+	MaxConns int
+	// MaxPipeline caps how many pipelined commands one connection drains
+	// into a single batch (default 256).
+	MaxPipeline int
+	// MaxScan caps the pairs one SCAN may return (default 1000).
+	MaxScan int
+	// Limits are the wire-protocol frame limits.
+	Limits wire.Limits
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConns < 1 {
+		c.MaxConns = 1024
+	}
+	if c.MaxPipeline < 1 {
+		c.MaxPipeline = 256
+	}
+	if c.MaxScan < 1 {
+		c.MaxScan = 1000
+	}
+	return c
+}
+
+// Stats is a snapshot of the server's counters. Batches/Ops are the
+// server-submitted batch Applies and the operations they carried, so
+// Ops/Batches is the realized pipeline batching factor.
+type Stats struct {
+	// ActiveConns and TotalConns count current and lifetime connections;
+	// RejectedConns counts connections turned away at the MaxConns limit.
+	ActiveConns   int64
+	TotalConns    int64
+	RejectedConns int64
+	// Batches is the number of batch Applies submitted; Ops the total
+	// map operations in them; MaxBatch the largest single batch.
+	Batches  int64
+	Ops      int64
+	MaxBatch int64
+	// Per-op counters (MGET counts toward Gets, MSET toward Sets).
+	Gets  int64
+	Sets  int64
+	Dels  int64
+	Scans int64
+	// Errors counts error replies written (bad arity, unknown commands).
+	Errors int64
+}
+
+// AvgBatch returns the mean operations per submitted batch.
+func (s Stats) AvgBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.Ops) / float64(s.Batches)
+}
+
+// counters is the live, atomically updated form of Stats.
+type counters struct {
+	activeConns   atomic.Int64
+	totalConns    atomic.Int64
+	rejectedConns atomic.Int64
+	batches       atomic.Int64
+	ops           atomic.Int64
+	maxBatch      atomic.Int64
+	gets          atomic.Int64
+	sets          atomic.Int64
+	dels          atomic.Int64
+	scans         atomic.Int64
+	errors        atomic.Int64
+}
+
+func (c *counters) recordBatch(n int) {
+	c.batches.Add(1)
+	c.ops.Add(int64(n))
+	for {
+		cur := c.maxBatch.Load()
+		if int64(n) <= cur || c.maxBatch.CompareAndSwap(cur, int64(n)) {
+			return
+		}
+	}
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		ActiveConns:   c.activeConns.Load(),
+		TotalConns:    c.totalConns.Load(),
+		RejectedConns: c.rejectedConns.Load(),
+		Batches:       c.batches.Load(),
+		Ops:           c.ops.Load(),
+		MaxBatch:      c.maxBatch.Load(),
+		Gets:          c.gets.Load(),
+		Sets:          c.sets.Load(),
+		Dels:          c.dels.Load(),
+		Scans:         c.scans.Load(),
+		Errors:        c.errors.Load(),
+	}
+}
+
+// Server is a wsd instance: a listener front-end over one sharded
+// working-set map. Create with New, serve with Serve/ListenAndServe/
+// ServeConn/Pipe, stop with Close.
+type Server struct {
+	cfg   Config
+	store *pws.Sharded[string, string]
+
+	// scanMu lets SCAN exclude batch Applies: batches hold it shared,
+	// SCAN exclusively (plus a store Quiesce) so the quiescence contract
+	// of Range holds while other connections keep their order.
+	scanMu sync.RWMutex
+
+	mu        sync.Mutex
+	conns     map[*conn]struct{}
+	listeners map[net.Listener]struct{}
+	closed    bool
+
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	closedCh  chan struct{}
+
+	st counters
+}
+
+// New creates a Server and its underlying sharded map.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg: cfg,
+		store: pws.NewSharded[string, string](pws.ShardedOptions{
+			Options: pws.Options{P: cfg.P},
+			Shards:  cfg.Shards,
+			Engine:  cfg.Engine,
+		}),
+		conns:     make(map[*conn]struct{}),
+		listeners: make(map[net.Listener]struct{}),
+		closedCh:  make(chan struct{}),
+	}
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() Stats { return s.st.snapshot() }
+
+// Shards returns the shard count of the underlying map.
+func (s *Server) Shards() int { return s.store.Shards() }
+
+// Engine returns the configured per-shard engine name.
+func (s *Server) Engine() string {
+	if s.cfg.Engine == pws.EngineM2 {
+		return "m2"
+	}
+	return "m1"
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// register adds a connection under the limits; ok reports acceptance.
+func (s *Server) register(nc net.Conn) (*conn, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if len(s.conns) >= s.cfg.MaxConns {
+		s.st.rejectedConns.Add(1)
+		return nil, ErrConnLimit
+	}
+	c := &conn{
+		srv: s,
+		nc:  nc,
+		r:   wire.NewReaderLimits(nc, s.cfg.Limits),
+		w:   wire.NewWriter(nc),
+	}
+	s.conns[c] = struct{}{}
+	s.wg.Add(1)
+	s.st.totalConns.Add(1)
+	s.st.activeConns.Add(1)
+	return c, nil
+}
+
+func (s *Server) deregister(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	c.nc.Close()
+	s.st.activeConns.Add(-1)
+	s.wg.Done()
+}
+
+// ServeConn serves one established connection until it closes, errors,
+// quits, or the server shuts down. It blocks; rejected connections (over
+// the limit, or after Close) get an error reply and are closed.
+func (s *Server) ServeConn(nc net.Conn) error {
+	c, err := s.register(nc)
+	if err != nil {
+		w := wire.NewWriter(nc)
+		w.WriteError("ERR " + err.Error())
+		w.Flush()
+		nc.Close()
+		return err
+	}
+	defer s.deregister(c)
+	c.serve()
+	return nil
+}
+
+// Pipe connects an in-process client over a synchronous net.Pipe: the
+// server end is served on its own goroutine (participating in limits,
+// stats and graceful Close exactly like a TCP connection) and the client
+// end is returned. This is the deterministic, race-clean transport the
+// tests and examples use.
+func (s *Server) Pipe() (net.Conn, error) {
+	cl, sv := net.Pipe()
+	c, err := s.register(sv)
+	if err != nil {
+		cl.Close()
+		sv.Close()
+		return nil, err
+	}
+	go func() {
+		defer s.deregister(c)
+		c.serve()
+	}()
+	return cl, nil
+}
+
+// Serve accepts connections on l until Close (returning nil) or a
+// listener error (returned).
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return ErrClosed
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+		l.Close()
+	}()
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			if s.isClosed() {
+				return nil
+			}
+			return err
+		}
+		go s.ServeConn(nc)
+	}
+}
+
+// ListenAndServe listens on the TCP address addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Close shuts the server down gracefully: it stops accepting, unblocks
+// connections idle in a read (via a read deadline), grants each
+// connection one short grace window to drain commands already in the
+// transport's buffers (a read deadline abandons kernel-buffered bytes
+// otherwise), waits for every in-flight batch to finish and write its
+// replies, and then closes the map. Safe to call repeatedly and
+// concurrently; every call blocks until shutdown completes.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		ls := make([]net.Listener, 0, len(s.listeners))
+		for l := range s.listeners {
+			ls = append(ls, l)
+		}
+		cs := make([]*conn, 0, len(s.conns))
+		for c := range s.conns {
+			cs = append(cs, c)
+		}
+		s.mu.Unlock()
+		for _, l := range ls {
+			l.Close()
+		}
+		// Deadline only reads, and only after the grace window: a
+		// connection mid-batch still writes and flushes its replies, and
+		// commands already in the transport's buffers are still drained
+		// and answered before the deadline ends the connection (see
+		// conn.serve). Close is the single deadline writer, so there is
+		// no race with the connection goroutines.
+		for _, c := range cs {
+			c.nc.SetReadDeadline(time.Now().Add(shutdownGrace))
+		}
+		s.wg.Wait()
+		s.store.Close()
+		close(s.closedCh)
+	})
+	<-s.closedCh
+	return nil
+}
+
+// statsText renders the STATS reply body: one "name value" per line.
+func (s *Server) statsText() string {
+	st := s.Stats()
+	return fmt.Sprintf(
+		"engine %s\nshards %d\nkeys %d\nconns %d\ntotal_conns %d\nrejected_conns %d\n"+
+			"batches %d\nops %d\nmax_batch %d\navg_batch %.2f\n"+
+			"gets %d\nsets %d\ndels %d\nscans %d\nerrors %d\n",
+		s.Engine(), s.store.Shards(), s.store.Len(),
+		st.ActiveConns, st.TotalConns, st.RejectedConns,
+		st.Batches, st.Ops, st.MaxBatch, st.AvgBatch(),
+		st.Gets, st.Sets, st.Dels, st.Scans, st.Errors)
+}

@@ -59,6 +59,7 @@ type engineMap[K cmp.Ordered, V any] interface {
 	Items(visit func(k K, v V) bool)
 	Len() int
 	Batches() int64
+	Quiesce()
 	Close()
 	CheckInvariants() error
 }
@@ -199,6 +200,16 @@ func (m *Map[K, V]) Batches() int64 {
 		n += s.Batches()
 	}
 	return n
+}
+
+// Quiesce blocks until every shard's engine has drained all in-flight
+// work, including the structural tail work that continues after results
+// are delivered. Only meaningful once clients have stopped submitting
+// operations; Items/Range/CheckInvariants are safe after Quiesce returns.
+func (m *Map[K, V]) Quiesce() {
+	for _, s := range m.shards {
+		s.Quiesce()
+	}
 }
 
 // Close marks the map closed, waits for in-flight operations to drain, and

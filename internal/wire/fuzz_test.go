@@ -1,0 +1,109 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// fuzzLimits are deliberately tight so the fuzzer exercises every limit
+// branch with small inputs.
+var fuzzLimits = Limits{MaxArgs: 8, MaxBulk: 64, MaxElems: 16, MaxDepth: 3}
+
+// FuzzWire feeds arbitrary bytes to both decoders (malformed frames must
+// error, never panic, and never exceed the configured limits) and
+// round-trips commands derived from the input through the encoder (what
+// the Writer emits, the Reader must decode back verbatim).
+func FuzzWire(f *testing.F) {
+	f.Add([]byte("*1\r\n$4\r\nPING\r\n"))
+	f.Add([]byte("*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$1\r\nv\r\n"))
+	f.Add([]byte("+OK\r\n-ERR x\r\n:42\r\n$-1\r\n$2\r\nhi\r\n"))
+	f.Add([]byte("*2\r\n$1\r\na\r\n*1\r\n+x\r\n"))
+	f.Add([]byte("*999999999999999999999\r\n"))
+	f.Add([]byte{'*', 0, '\r', '\n'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Arbitrary bytes as a command stream: decode until error, and
+		// check every decoded command respects the limits.
+		r := NewReaderLimits(bytes.NewReader(data), fuzzLimits)
+		for i := 0; i < 64; i++ {
+			cmd, err := r.ReadCommand()
+			if err != nil {
+				break
+			}
+			if 1+len(cmd.Args) > fuzzLimits.MaxArgs {
+				t.Fatalf("decoded command with %d args over limit %d",
+					1+len(cmd.Args), fuzzLimits.MaxArgs)
+			}
+			if len(cmd.Name) > fuzzLimits.MaxBulk {
+				t.Fatalf("decoded name of %d bytes over limit", len(cmd.Name))
+			}
+			for _, a := range cmd.Args {
+				if len(a) > fuzzLimits.MaxBulk {
+					t.Fatalf("decoded arg of %d bytes over limit", len(a))
+				}
+			}
+		}
+
+		// Arbitrary bytes as a reply stream: must terminate without
+		// panicking; array elements of decoded replies must respect the
+		// element limit.
+		rr := NewReaderLimits(bytes.NewReader(data), fuzzLimits)
+		for i := 0; i < 64; i++ {
+			rep, err := rr.ReadReply()
+			if err != nil {
+				break
+			}
+			if len(rep.Elems) > fuzzLimits.MaxElems {
+				t.Fatalf("decoded array with %d elements over limit %d",
+					len(rep.Elems), fuzzLimits.MaxElems)
+			}
+		}
+
+		// Round trip: derive a small command from the raw bytes, encode
+		// it, and require exact decode (including CRLF/NUL payloads).
+		args := deriveArgs(data)
+		if len(args) == 0 {
+			return
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.WriteCommand(args...); err != nil {
+			t.Fatalf("WriteCommand: %v", err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+		rc := NewReaderLimits(bytes.NewReader(buf.Bytes()), fuzzLimits)
+		got, err := rc.ReadCommand()
+		if err != nil {
+			t.Fatalf("round-trip decode of %q: %v", args, err)
+		}
+		if got.Name != args[0] || !reflect.DeepEqual(got.Args, args[1:]) {
+			t.Fatalf("round trip of %q gave %q %q", args, got.Name, got.Args)
+		}
+	})
+}
+
+// deriveArgs chunks fuzz input into a limits-respecting argument list:
+// first byte picks the arg count, the rest is split evenly.
+func deriveArgs(data []byte) []string {
+	if len(data) < 2 {
+		return nil
+	}
+	n := 1 + int(data[0])%fuzzLimits.MaxArgs
+	rest := data[1:]
+	chunk := len(rest) / n
+	if chunk > fuzzLimits.MaxBulk {
+		chunk = fuzzLimits.MaxBulk
+	}
+	args := make([]string, n)
+	for i := range args {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > len(rest) {
+			hi = len(rest)
+		}
+		args[i] = string(rest[lo:hi])
+	}
+	return args
+}

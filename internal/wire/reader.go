@@ -1,0 +1,227 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// readBufSize is sized so a full pipeline batch from one Writer flush
+// (writeBufSize bytes) fits in a single fill, which keeps Buffered()
+// accurate for batch draining even over unbuffered transports like
+// net.Pipe.
+const readBufSize = 64 << 10
+
+// maxLineLen bounds the one-line frames: type byte plus a length digit
+// string, an integer, or a simple/error text line.
+const maxLineLen = 4 << 10
+
+// Reader decodes commands and replies from a stream, enforcing Limits.
+// Not safe for concurrent use.
+type Reader struct {
+	br  *bufio.Reader
+	lim Limits
+}
+
+// NewReader creates a Reader with DefaultLimits.
+func NewReader(r io.Reader) *Reader { return NewReaderLimits(r, DefaultLimits()) }
+
+// NewReaderLimits creates a Reader with explicit limits.
+func NewReaderLimits(r io.Reader, lim Limits) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, readBufSize), lim: lim.withDefaults()}
+}
+
+// Buffered returns the number of decoded-but-unread bytes sitting in the
+// read buffer: if positive, at least part of another frame has already
+// arrived and a ReadCommand will make progress without blocking on an
+// empty connection.
+func (r *Reader) Buffered() int { return r.br.Buffered() }
+
+// readLine reads one CRLF-terminated line (excluding the CRLF), at most
+// max bytes long. Bare LF and CR not followed by LF are protocol errors.
+func (r *Reader) readLine(max int) (string, error) {
+	var buf []byte
+	for {
+		b, err := r.br.ReadByte()
+		if err != nil {
+			return "", err
+		}
+		switch b {
+		case '\r':
+			nl, err := r.br.ReadByte()
+			if err != nil {
+				return "", err
+			}
+			if nl != '\n' {
+				return "", fmt.Errorf("%w: CR not followed by LF", ErrProtocol)
+			}
+			return string(buf), nil
+		case '\n':
+			return "", fmt.Errorf("%w: bare LF in line", ErrProtocol)
+		default:
+			if len(buf) >= max {
+				return "", fmt.Errorf("%w: line longer than %d bytes", ErrLimit, max)
+			}
+			buf = append(buf, b)
+		}
+	}
+}
+
+// readHeader reads a one-line frame header, returning its type byte and
+// integer payload (e.g. '*' and 3 for "*3").
+func (r *Reader) readHeader() (byte, int64, error) {
+	line, err := r.readLine(maxLineLen)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(line) < 2 {
+		return 0, 0, fmt.Errorf("%w: short frame header %q", ErrProtocol, line)
+	}
+	n, err := strconv.ParseInt(line[1:], 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: bad length in header %q", ErrProtocol, line)
+	}
+	return line[0], n, nil
+}
+
+// readBulkBody reads n payload bytes plus the trailing CRLF. n has
+// already been validated against MaxBulk.
+func (r *Reader) readBulkBody(n int64) (string, error) {
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r.br, buf); err != nil {
+		return "", err
+	}
+	cr, err := r.br.ReadByte()
+	if err != nil {
+		return "", err
+	}
+	lf, err := r.br.ReadByte()
+	if err != nil {
+		return "", err
+	}
+	if cr != '\r' || lf != '\n' {
+		return "", fmt.Errorf("%w: bulk string not CRLF-terminated", ErrProtocol)
+	}
+	return string(buf), nil
+}
+
+// readBulk reads one "$len\r\n<bytes>\r\n" frame. Nil bulks are not
+// valid inside commands.
+func (r *Reader) readBulk() (string, error) {
+	typ, n, err := r.readHeader()
+	if err != nil {
+		return "", err
+	}
+	if typ != '$' {
+		return "", fmt.Errorf("%w: expected bulk string, got type %q", ErrProtocol, typ)
+	}
+	if n < 0 {
+		return "", fmt.Errorf("%w: negative bulk length in command", ErrProtocol)
+	}
+	if n > int64(r.lim.MaxBulk) {
+		return "", fmt.Errorf("%w: bulk of %d bytes exceeds max %d", ErrLimit, n, r.lim.MaxBulk)
+	}
+	return r.readBulkBody(n)
+}
+
+// ReadCommand decodes one client command frame. io.EOF is returned
+// verbatim only at a frame boundary; inside a frame truncation surfaces
+// as io.ErrUnexpectedEOF.
+func (r *Reader) ReadCommand() (Command, error) {
+	typ, argc, err := r.readHeader()
+	if err != nil {
+		return Command{}, err
+	}
+	if typ != '*' {
+		return Command{}, fmt.Errorf("%w: expected command array, got type %q", ErrProtocol, typ)
+	}
+	if argc < 1 {
+		return Command{}, fmt.Errorf("%w: command with %d arguments", ErrProtocol, argc)
+	}
+	if argc > int64(r.lim.MaxArgs) {
+		return Command{}, fmt.Errorf("%w: %d arguments exceeds max %d", ErrLimit, argc, r.lim.MaxArgs)
+	}
+	args := make([]string, argc)
+	for i := range args {
+		if args[i], err = r.readBulk(); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return Command{}, err
+		}
+	}
+	return Command{Name: args[0], Args: args[1:]}, nil
+}
+
+// ReadReply decodes one reply frame (client side).
+func (r *Reader) ReadReply() (Reply, error) {
+	return r.readReply(r.lim.MaxDepth)
+}
+
+func (r *Reader) readReply(depth int) (Reply, error) {
+	line, err := r.readLine(maxLineLen)
+	if err != nil {
+		return Reply{}, err
+	}
+	if len(line) == 0 {
+		return Reply{}, fmt.Errorf("%w: empty reply frame", ErrProtocol)
+	}
+	switch line[0] {
+	case '+':
+		return Reply{Kind: SimpleReply, Str: line[1:]}, nil
+	case '-':
+		return Reply{Kind: ErrorReply, Str: line[1:]}, nil
+	case ':':
+		n, err := strconv.ParseInt(line[1:], 10, 64)
+		if err != nil {
+			return Reply{}, fmt.Errorf("%w: bad integer reply %q", ErrProtocol, line)
+		}
+		return Reply{Kind: IntReply, Int: n}, nil
+	case '$':
+		n, err := strconv.ParseInt(line[1:], 10, 64)
+		if err != nil {
+			return Reply{}, fmt.Errorf("%w: bad bulk length %q", ErrProtocol, line)
+		}
+		if n == -1 {
+			return Reply{Kind: NilReply}, nil
+		}
+		if n < 0 {
+			return Reply{}, fmt.Errorf("%w: negative bulk length %d", ErrProtocol, n)
+		}
+		if n > int64(r.lim.MaxBulk) {
+			return Reply{}, fmt.Errorf("%w: bulk of %d bytes exceeds max %d", ErrLimit, n, r.lim.MaxBulk)
+		}
+		s, err := r.readBulkBody(n)
+		if err != nil {
+			return Reply{}, err
+		}
+		return Reply{Kind: BulkReply, Str: s}, nil
+	case '*':
+		n, err := strconv.ParseInt(line[1:], 10, 64)
+		if err != nil {
+			return Reply{}, fmt.Errorf("%w: bad array length %q", ErrProtocol, line)
+		}
+		if n == -1 {
+			return Reply{Kind: NilReply}, nil
+		}
+		if n < 0 {
+			return Reply{}, fmt.Errorf("%w: negative array length %d", ErrProtocol, n)
+		}
+		if n > int64(r.lim.MaxElems) {
+			return Reply{}, fmt.Errorf("%w: array of %d elements exceeds max %d", ErrLimit, n, r.lim.MaxElems)
+		}
+		if depth <= 1 {
+			return Reply{}, fmt.Errorf("%w: reply nesting deeper than %d", ErrLimit, r.lim.MaxDepth)
+		}
+		elems := make([]Reply, n)
+		for i := range elems {
+			if elems[i], err = r.readReply(depth - 1); err != nil {
+				return Reply{}, err
+			}
+		}
+		return Reply{Kind: ArrayReply, Elems: elems}, nil
+	default:
+		return Reply{}, fmt.Errorf("%w: unknown reply type %q", ErrProtocol, line[0])
+	}
+}

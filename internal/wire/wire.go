@@ -1,0 +1,145 @@
+// Package wire implements the wsd wire protocol: a RESP-like text
+// protocol carrying map operations over a byte stream. It is the codec
+// layer shared by the server (internal/server), the load generator
+// (internal/loadgen / cmd/wsload) and the examples; it knows nothing
+// about maps or sockets, only frames.
+//
+// # Frames
+//
+// A client sends commands as arrays of bulk strings:
+//
+//	*<argc>\r\n            array header: number of arguments
+//	$<len>\r\n<bytes>\r\n  one bulk string per argument
+//
+// e.g. SET k v is "*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$1\r\nv\r\n". The
+// server replies with one frame per command:
+//
+//	+<text>\r\n            simple string (e.g. +OK)
+//	-<text>\r\n            error (e.g. -ERR unknown command)
+//	:<n>\r\n               integer
+//	$<len>\r\n<bytes>\r\n  bulk string; $-1\r\n is the nil bulk
+//	*<n>\r\n<frames...>    array of n reply frames
+//
+// # Pipelining
+//
+// Clients may write any number of commands before reading replies;
+// replies come back in command order. The server drains every fully
+// buffered command into one batch, which is what turns network
+// pipelining into the paper's operation batches (see internal/server).
+// Reader.Buffered exposes how many undecoded bytes are pending, so a
+// server can drain without blocking.
+//
+// # Limits
+//
+// Every frame dimension is bounded by Limits and enforced while
+// decoding, before any allocation proportional to the attacker-supplied
+// length: argument counts, bulk lengths, line lengths, array sizes and
+// reply nesting depth. Violations surface as errors wrapping ErrLimit;
+// malformed framing surfaces as errors wrapping ErrProtocol. Neither is
+// ever a panic (see FuzzWire).
+package wire
+
+import "errors"
+
+// Protocol error categories. Decode errors wrap one of these (or an I/O
+// error from the underlying stream).
+var (
+	// ErrProtocol tags malformed framing: bad type bytes, missing CRLF,
+	// non-numeric lengths.
+	ErrProtocol = errors.New("wire: protocol error")
+	// ErrLimit tags well-formed frames that exceed the configured Limits.
+	ErrLimit = errors.New("wire: frame exceeds limit")
+)
+
+// Limits bounds every frame dimension the decoder will accept. The zero
+// value of any field means its default.
+type Limits struct {
+	// MaxArgs caps the argument count of one command, including the
+	// command name (default 1024).
+	MaxArgs int
+	// MaxBulk caps the byte length of one bulk string (default 1 MiB).
+	MaxBulk int
+	// MaxElems caps the element count of one reply array (default 65536).
+	MaxElems int
+	// MaxDepth caps reply array nesting (default 4).
+	MaxDepth int
+}
+
+// DefaultLimits returns the default protocol limits.
+func DefaultLimits() Limits {
+	return Limits{}.withDefaults()
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxArgs < 1 {
+		l.MaxArgs = 1024
+	}
+	if l.MaxBulk < 1 {
+		l.MaxBulk = 1 << 20
+	}
+	if l.MaxElems < 1 {
+		l.MaxElems = 1 << 16
+	}
+	if l.MaxDepth < 1 {
+		l.MaxDepth = 4
+	}
+	return l
+}
+
+// Command is one decoded client command: the verb and its arguments,
+// exactly as sent (the server upper-cases the name when dispatching).
+type Command struct {
+	Name string
+	Args []string
+}
+
+// ReplyKind identifies a reply frame type.
+type ReplyKind uint8
+
+// Reply frame kinds.
+const (
+	// SimpleReply is a "+text" status line.
+	SimpleReply ReplyKind = iota
+	// ErrorReply is a "-text" error line.
+	ErrorReply
+	// IntReply is a ":n" integer.
+	IntReply
+	// BulkReply is a "$len" counted string.
+	BulkReply
+	// NilReply is the "$-1" (or "*-1") nil marker.
+	NilReply
+	// ArrayReply is a "*n" array of nested replies.
+	ArrayReply
+)
+
+// String returns the reply-kind name.
+func (k ReplyKind) String() string {
+	switch k {
+	case SimpleReply:
+		return "simple"
+	case ErrorReply:
+		return "error"
+	case IntReply:
+		return "int"
+	case BulkReply:
+		return "bulk"
+	case NilReply:
+		return "nil"
+	case ArrayReply:
+		return "array"
+	default:
+		return "invalid"
+	}
+}
+
+// Reply is one decoded reply frame. Str holds simple, error and bulk
+// payloads; Int the integer payload; Elems the array elements.
+type Reply struct {
+	Kind  ReplyKind
+	Str   string
+	Int   int64
+	Elems []Reply
+}
+
+// IsError reports whether the reply is an error frame.
+func (r Reply) IsError() bool { return r.Kind == ErrorReply }

@@ -1,0 +1,195 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestCommandRoundTrip encodes commands and decodes them back.
+func TestCommandRoundTrip(t *testing.T) {
+	cases := [][]string{
+		{"PING"},
+		{"GET", "k"},
+		{"SET", "key", "value with spaces"},
+		{"SET", "bin", "a\r\nb\x00c"}, // bulk payloads may contain CRLF and NUL
+		{"MSET", "a", "1", "b", "2"},
+		{"DEL", ""},
+	}
+	for _, args := range cases {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.WriteCommand(args...); err != nil {
+			t.Fatalf("WriteCommand(%q): %v", args, err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r := NewReader(&buf)
+		cmd, err := r.ReadCommand()
+		if err != nil {
+			t.Fatalf("ReadCommand(%q): %v", args, err)
+		}
+		if cmd.Name != args[0] || !reflect.DeepEqual(cmd.Args, args[1:]) {
+			t.Fatalf("round trip of %q gave %q %q", args, cmd.Name, cmd.Args)
+		}
+	}
+}
+
+// TestReplyRoundTrip encodes every reply kind and decodes it back.
+func TestReplyRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WriteSimple("OK")
+	w.WriteError("ERR boom")
+	w.WriteInt(-42)
+	w.WriteBulk("hello\r\nworld")
+	w.WriteNil()
+	w.WriteArrayHeader(2)
+	w.WriteBulk("a")
+	w.WriteNil()
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	want := []Reply{
+		{Kind: SimpleReply, Str: "OK"},
+		{Kind: ErrorReply, Str: "ERR boom"},
+		{Kind: IntReply, Int: -42},
+		{Kind: BulkReply, Str: "hello\r\nworld"},
+		{Kind: NilReply},
+		{Kind: ArrayReply, Elems: []Reply{{Kind: BulkReply, Str: "a"}, {Kind: NilReply}}},
+	}
+	for i, exp := range want {
+		got, err := r.ReadReply()
+		if err != nil {
+			t.Fatalf("reply %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, exp) {
+			t.Fatalf("reply %d: got %+v, want %+v", i, got, exp)
+		}
+	}
+	if _, err := r.ReadReply(); err != io.EOF {
+		t.Fatalf("trailing read: got %v, want EOF", err)
+	}
+}
+
+// TestSanitizedLines checks that CR/LF in simple and error payloads
+// cannot break framing.
+func TestSanitizedLines(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WriteSimple("a\r\nb")
+	w.WriteError("ERR x\ny")
+	w.Flush()
+	r := NewReader(&buf)
+	s, err := r.ReadReply()
+	if err != nil || s.Str != "a  b" {
+		t.Fatalf("simple: %q, %v", s.Str, err)
+	}
+	e, err := r.ReadReply()
+	if err != nil || e.Str != "ERR x y" {
+		t.Fatalf("error: %q, %v", e.Str, err)
+	}
+}
+
+// TestCommandLimits checks that oversized frames are rejected with
+// ErrLimit before their payloads are read.
+func TestCommandLimits(t *testing.T) {
+	lim := Limits{MaxArgs: 3, MaxBulk: 8}
+	cases := []struct {
+		name  string
+		frame string
+	}{
+		{"too many args", "*4\r\n$1\r\na\r\n$1\r\nb\r\n$1\r\nc\r\n$1\r\nd\r\n"},
+		{"bulk too long", "*2\r\n$3\r\nGET\r\n$9\r\n123456789\r\n"},
+		{"huge declared bulk", "*2\r\n$3\r\nGET\r\n$999999999\r\n"},
+	}
+	for _, c := range cases {
+		r := NewReaderLimits(strings.NewReader(c.frame), lim)
+		if _, err := r.ReadCommand(); !errors.Is(err, ErrLimit) {
+			t.Errorf("%s: got %v, want ErrLimit", c.name, err)
+		}
+	}
+}
+
+// TestCommandMalformed checks that malformed frames are protocol errors,
+// not panics or hangs.
+func TestCommandMalformed(t *testing.T) {
+	cases := []struct {
+		name  string
+		frame string
+	}{
+		{"wrong type", "+OK\r\n"},
+		{"zero args", "*0\r\n"},
+		{"negative args", "*-1\r\n"},
+		{"bad argc", "*x\r\n"},
+		{"bare LF", "*1\n"},
+		{"CR without LF", "*1\rx"},
+		{"nil bulk in command", "*1\r\n$-1\r\n"},
+		{"non-bulk arg", "*1\r\n:5\r\n"},
+		{"missing bulk terminator", "*1\r\n$2\r\nab!!"},
+	}
+	for _, c := range cases {
+		r := NewReader(strings.NewReader(c.frame))
+		if _, err := r.ReadCommand(); !errors.Is(err, ErrProtocol) {
+			t.Errorf("%s: got %v, want ErrProtocol", c.name, err)
+		}
+	}
+}
+
+// TestCommandTruncated checks that truncation inside a frame is
+// io.ErrUnexpectedEOF / io.EOF, never success.
+func TestCommandTruncated(t *testing.T) {
+	full := "*2\r\n$3\r\nGET\r\n$1\r\nk\r\n"
+	for i := 0; i < len(full); i++ {
+		r := NewReader(strings.NewReader(full[:i]))
+		if _, err := r.ReadCommand(); err == nil {
+			t.Fatalf("truncated at %d: decoded successfully", i)
+		}
+	}
+}
+
+// TestReplyLimits checks array and nesting limits on the reply side.
+func TestReplyLimits(t *testing.T) {
+	lim := Limits{MaxElems: 4, MaxDepth: 2, MaxBulk: 8}
+	r := NewReaderLimits(strings.NewReader("*5\r\n"), lim)
+	if _, err := r.ReadReply(); !errors.Is(err, ErrLimit) {
+		t.Errorf("oversized array: got %v, want ErrLimit", err)
+	}
+	r = NewReaderLimits(strings.NewReader("*1\r\n*1\r\n+x\r\n"), lim)
+	if _, err := r.ReadReply(); !errors.Is(err, ErrLimit) {
+		t.Errorf("deep nesting: got %v, want ErrLimit", err)
+	}
+	// Depth 2 allows one level of array.
+	r = NewReaderLimits(strings.NewReader("*1\r\n+x\r\n"), lim)
+	if _, err := r.ReadReply(); err != nil {
+		t.Errorf("flat array: %v", err)
+	}
+}
+
+// TestBuffered checks the pipelining probe: after one decode, the second
+// fully buffered command is visible via Buffered.
+func TestBuffered(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WriteCommand("GET", "a")
+	w.WriteCommand("GET", "b")
+	w.Flush()
+	r := NewReader(&buf)
+	if _, err := r.ReadCommand(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Buffered() == 0 {
+		t.Fatal("second pipelined command not visible via Buffered")
+	}
+	if _, err := r.ReadCommand(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Buffered() != 0 {
+		t.Fatalf("Buffered = %d after draining", r.Buffered())
+	}
+}

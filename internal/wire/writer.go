@@ -1,0 +1,126 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// writeBufSize matches readBufSize so one flushed pipeline batch lands
+// in the peer's read buffer in a single transfer.
+const writeBufSize = 64 << 10
+
+// Writer encodes commands and replies onto a stream through an internal
+// buffer; call Flush to push a pipeline batch out. Not safe for
+// concurrent use.
+type Writer struct {
+	bw *bufio.Writer
+}
+
+// NewWriter creates a Writer.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, writeBufSize)}
+}
+
+// Flush writes all buffered frames to the underlying stream.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// writeLen writes a "<type><n>\r\n" header.
+func (w *Writer) writeLen(typ byte, n int64) error {
+	if err := w.bw.WriteByte(typ); err != nil {
+		return err
+	}
+	if _, err := w.bw.WriteString(strconv.FormatInt(n, 10)); err != nil {
+		return err
+	}
+	return w.crlf()
+}
+
+func (w *Writer) crlf() error {
+	_, err := w.bw.WriteString("\r\n")
+	return err
+}
+
+// sanitizeLine strips CR and LF from one-line payloads (simple strings
+// and errors), which would otherwise break framing.
+func sanitizeLine(s string) string {
+	if !strings.ContainsAny(s, "\r\n") {
+		return s
+	}
+	return strings.Map(func(r rune) rune {
+		if r == '\r' || r == '\n' {
+			return ' '
+		}
+		return r
+	}, s)
+}
+
+// WriteCommand encodes one command as an array of bulk strings. The
+// first argument is the command name.
+func (w *Writer) WriteCommand(args ...string) error {
+	if len(args) == 0 {
+		return errors.New("wire: empty command")
+	}
+	if err := w.writeLen('*', int64(len(args))); err != nil {
+		return err
+	}
+	for _, a := range args {
+		if err := w.WriteBulk(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSimple writes a "+text" status reply.
+func (w *Writer) WriteSimple(s string) error {
+	if err := w.bw.WriteByte('+'); err != nil {
+		return err
+	}
+	if _, err := w.bw.WriteString(sanitizeLine(s)); err != nil {
+		return err
+	}
+	return w.crlf()
+}
+
+// WriteError writes a "-text" error reply; the conventional text starts
+// with an upper-case code, e.g. "ERR unknown command".
+func (w *Writer) WriteError(msg string) error {
+	if err := w.bw.WriteByte('-'); err != nil {
+		return err
+	}
+	if _, err := w.bw.WriteString(sanitizeLine(msg)); err != nil {
+		return err
+	}
+	return w.crlf()
+}
+
+// WriteInt writes a ":n" integer reply.
+func (w *Writer) WriteInt(n int64) error {
+	return w.writeLen(':', n)
+}
+
+// WriteBulk writes a "$len" counted string; the payload may contain any
+// bytes, including CRLF.
+func (w *Writer) WriteBulk(s string) error {
+	if err := w.writeLen('$', int64(len(s))); err != nil {
+		return err
+	}
+	if _, err := w.bw.WriteString(s); err != nil {
+		return err
+	}
+	return w.crlf()
+}
+
+// WriteNil writes the "$-1" nil bulk reply.
+func (w *Writer) WriteNil() error {
+	return w.writeLen('$', -1)
+}
+
+// WriteArrayHeader writes a "*n" array header; the caller then writes n
+// element frames.
+func (w *Writer) WriteArrayHeader(n int) error {
+	return w.writeLen('*', int64(n))
+}
