@@ -1,0 +1,52 @@
+package pws
+
+// The hot-path benchmark suite of EXPERIMENTS.md E18: allocation and
+// constant-factor costs of the wire→server→shard→core request path,
+// measured end-to-end at three depths. Every benchmark reports allocs/op
+// so the allocation discipline of DESIGN.md is visible in CI:
+//
+//	go test -run='^$' -bench=BenchmarkHotPath -benchmem
+//
+// The companion regression ceilings live in hotpath_test.go.
+
+import (
+	"testing"
+)
+
+// BenchmarkHotPathM1Get measures a warm single-key Get on one M1 engine:
+// the key sits in S[0], so this is the pure per-operation overhead of the
+// call frame, parallel buffer, cut batch and completion handoff.
+func BenchmarkHotPathM1Get(b *testing.B) {
+	m := NewM1[int, int](Options{})
+	defer m.Close()
+	for i := 0; i < 1024; i++ {
+		m.Insert(i, i)
+	}
+	m.Get(7) // warm: promote to S[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Get(7)
+	}
+}
+
+// BenchmarkHotPathShardedApply measures a warm batch Apply through the
+// sharded front-end: one reused 64-op Get batch spanning every shard, the
+// server's submission shape without the network.
+func BenchmarkHotPathShardedApply(b *testing.B) {
+	m := NewSharded[int, int](ShardedOptions{})
+	defer m.Close()
+	for i := 0; i < 4096; i++ {
+		m.Insert(i, i)
+	}
+	ops := make([]Op[int, int], 64)
+	for i := range ops {
+		ops[i] = Op[int, int]{Kind: OpGet, Key: i * 13 % 4096}
+	}
+	m.Apply(ops) // warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Apply(ops)
+	}
+}

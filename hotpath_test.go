@@ -1,0 +1,57 @@
+package pws
+
+// Allocation-regression ceilings for the hot path (EXPERIMENTS.md E18):
+// testing.AllocsPerRun bounds on the warm steady-state cost of the two
+// map-side request shapes, so a future change cannot silently reintroduce
+// per-operation garbage. The ceilings are ~2x the measured values — loose
+// enough to absorb tree-rebalancing variance (segment split/join node
+// churn is data-dependent), tight enough that losing any pooled layer
+// (call frames, batch arenas, pbuffer recycling, shard Apply scratch)
+// blows through them. The server-side ceiling lives in
+// internal/server/hotpath_test.go. Skipped under -race, whose
+// instrumentation inflates counts.
+
+import "testing"
+
+func TestAllocsWarmM1Get(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts inflated under -race")
+	}
+	m := NewM1[int, int](Options{})
+	defer m.Close()
+	for i := 0; i < 1024; i++ {
+		m.Insert(i, i)
+	}
+	m.Get(7)
+	// Measured ~8 allocs/op (2-3 tree node churn of the front-segment
+	// promotion); was 42 before the zero-allocation work.
+	const ceiling = 20
+	if n := testing.AllocsPerRun(200, func() { m.Get(7) }); n > ceiling {
+		t.Errorf("warm M1 Get: %.1f allocs/op, ceiling %d", n, ceiling)
+	}
+}
+
+func TestAllocsWarmShardedApply(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts inflated under -race")
+	}
+	m := NewSharded[int, int](ShardedOptions{})
+	defer m.Close()
+	for i := 0; i < 4096; i++ {
+		m.Insert(i, i)
+	}
+	ops := make([]Op[int, int], 64)
+	for i := range ops {
+		ops[i] = Op[int, int]{Kind: OpGet, Key: i * 13 % 4096}
+	}
+	var res []Result[int]
+	apply := func() { res = m.ApplyInto(ops, res[:0]) }
+	apply()
+	// Measured ~1250 allocs per 64-op batch (~20/op, all segment-tree
+	// node churn); was ~2340 before. The routing itself — counting-sort
+	// split, submission frames, result buffers — is allocation-free.
+	const ceiling = 2000
+	if n := testing.AllocsPerRun(50, apply); n > ceiling {
+		t.Errorf("warm sharded 64-op Apply: %.1f allocs/batch, ceiling %d", n, ceiling)
+	}
+}

@@ -1,49 +1,125 @@
 package core
 
-import "cmp"
+import (
+	"cmp"
+	"sync"
+
+	"repro/internal/locks"
+)
+
+// batchPool recycles the []*call slices used by the batch API, so a
+// steady stream of Apply batches (the server's pipelined connections)
+// reuses its submission frames.
+type batchPool[K cmp.Ordered, V any] struct {
+	p sync.Pool
+}
+
+func (bp *batchPool[K, V]) get(n int) []*call[K, V] {
+	if v := bp.p.Get(); v != nil {
+		s := *v.(*[]*call[K, V])
+		if cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]*call[K, V], n)
+}
+
+func (bp *batchPool[K, V]) put(s []*call[K, V]) {
+	clear(s)
+	bp.p.Put(&s)
+}
+
+// Pending is a submitted, not-yet-collected batch: the handle returned by
+// ApplyAsync. Collect must be called exactly once; it drives the engine
+// (first collector activates it), waits for every result, and recycles
+// the batch's call frames. The split lets a caller fan one input batch
+// out to several engines without spawning a goroutine per engine — the
+// sharded front-end's Apply is built on it.
+type Pending[K cmp.Ordered, V any] struct {
+	calls []*call[K, V]
+	cp    *callPool[K, V]
+	bp    *batchPool[K, V]
+	act   *locks.Activation
+	pend  *locks.WaitCounter
+}
+
+// Collect waits for all results of the batch, storing them into dst,
+// which must have length equal to the submitted ops. Exactly-once.
+func (p Pending[K, V]) Collect(dst []Result[V]) {
+	if p.act == nil {
+		return // zero Pending: empty batch
+	}
+	p.act.Activate()
+	for i, c := range p.calls {
+		dst[i] = c.wait()
+		p.cp.put(c)
+	}
+	p.bp.put(p.calls)
+	p.pend.Done()
+}
+
+// applyAsync is the shared ApplyAsync body.
+func applyAsync[K cmp.Ordered, V any](
+	ops []Op[K, V], closed bool,
+	pend *locks.WaitCounter, cp *callPool[K, V], bp *batchPool[K, V],
+	addAll func([]*call[K, V]), act *locks.Activation,
+) Pending[K, V] {
+	if closed {
+		panic("core: map used after Close")
+	}
+	if len(ops) == 0 {
+		return Pending[K, V]{}
+	}
+	pend.Add()
+	calls := bp.get(len(ops))
+	for i, op := range ops {
+		calls[i] = cp.get(op)
+	}
+	addAll(calls)
+	return Pending[K, V]{calls: calls, cp: cp, bp: bp, act: act, pend: pend}
+}
+
+// collectInto sizes dst for the pending batch and collects into it.
+func collectInto[K cmp.Ordered, V any](p Pending[K, V], n int, dst []Result[V]) []Result[V] {
+	dst = grow(dst, n)
+	p.Collect(dst)
+	return dst
+}
+
+// ApplyAsync submits a whole batch of operations at once without waiting:
+// the returned Pending's Collect delivers the results in input order.
+// Semantically identical to running the operations from len(ops)
+// concurrent goroutines — they may be combined into the same cut batch
+// and grouped per key in input order — but costs one blocking client
+// instead of many, and no goroutine at all until Collect.
+func (m *M1[K, V]) ApplyAsync(ops []Op[K, V]) Pending[K, V] {
+	return applyAsync(ops, m.closed.Load(), &m.pending, &m.calls, &m.batch, m.pb.AddAll, m.act)
+}
+
+// ApplyInto is Apply collecting into dst (grown as needed and returned),
+// so a caller issuing batches in a loop reuses one result buffer.
+func (m *M1[K, V]) ApplyInto(ops []Op[K, V], dst []Result[V]) []Result[V] {
+	return collectInto(m.ApplyAsync(ops), len(ops), dst)
+}
 
 // Apply submits a whole batch of operations at once and waits for all of
-// their results, returned in input order. It is semantically identical to
-// running the operations from len(ops) concurrent goroutines — they may be
-// combined into the same cut batch and grouped per key in input order —
-// but costs one blocking client instead of many.
+// their results, returned in input order.
 func (m *M1[K, V]) Apply(ops []Op[K, V]) []Result[V] {
-	if m.closed.Load() {
-		panic("core: M1 used after Close")
-	}
-	m.pending.Add(1)
-	defer m.pending.Add(-1)
-	calls := submitAll(m.pb.AddAll, ops)
-	m.act.Activate()
-	return collect(calls)
+	return m.ApplyInto(ops, nil)
+}
+
+// ApplyAsync submits a batch without waiting. See M1.ApplyAsync.
+func (m *M2[K, V]) ApplyAsync(ops []Op[K, V]) Pending[K, V] {
+	return applyAsync(ops, m.closed.Load(), &m.pending, &m.calls, &m.batch, m.pb.AddAll, m.act)
+}
+
+// ApplyInto is Apply collecting into dst. See M1.ApplyInto.
+func (m *M2[K, V]) ApplyInto(ops []Op[K, V], dst []Result[V]) []Result[V] {
+	return collectInto(m.ApplyAsync(ops), len(ops), dst)
 }
 
 // Apply submits a whole batch of operations at once and waits for all of
 // their results, returned in input order. See M1.Apply.
 func (m *M2[K, V]) Apply(ops []Op[K, V]) []Result[V] {
-	if m.closed.Load() {
-		panic("core: M2 used after Close")
-	}
-	m.pending.Add(1)
-	defer m.pending.Add(-1)
-	calls := submitAll(m.pb.AddAll, ops)
-	m.act.Activate()
-	return collect(calls)
-}
-
-func submitAll[K cmp.Ordered, V any](addAll func([]*call[K, V]), ops []Op[K, V]) []*call[K, V] {
-	calls := make([]*call[K, V], len(ops))
-	for i, op := range ops {
-		calls[i] = newCall(op)
-	}
-	addAll(calls)
-	return calls
-}
-
-func collect[K cmp.Ordered, V any](calls []*call[K, V]) []Result[V] {
-	out := make([]Result[V], len(calls))
-	for i, c := range calls {
-		out[i] = c.wait()
-	}
-	return out
+	return m.ApplyInto(ops, nil)
 }

@@ -10,7 +10,12 @@ type feedBuffer[T any] struct {
 	head     int
 	total    int
 	bunchCap int
+	free     [][]T // spent bunch storage, recycled by add
 }
+
+// maxFree bounds the recycled-bunch list so a one-off burst does not pin
+// its peak footprint forever.
+const maxFree = 64
 
 func newFeedBuffer[T any](bunchCap int) *feedBuffer[T] {
 	if bunchCap < 1 {
@@ -21,17 +26,28 @@ func newFeedBuffer[T any](bunchCap int) *feedBuffer[T] {
 
 func (f *feedBuffer[T]) len() int { return f.total }
 
+// newBunch returns an empty bunch, recycling a spent one when available.
+func (f *feedBuffer[T]) newBunch() []T {
+	if n := len(f.free); n > 0 {
+		b := f.free[n-1]
+		f.free[n-1] = nil
+		f.free = f.free[:n-1]
+		return b[:0]
+	}
+	return make([]T, 0, f.bunchCap)
+}
+
 // add cuts input into the bunch queue.
 func (f *feedBuffer[T]) add(input []T) {
 	f.total += len(input)
 	for len(input) > 0 {
 		if f.head == len(f.bunches) {
-			f.bunches = append(f.bunches, make([]T, 0, f.bunchCap))
+			f.bunches = append(f.bunches, f.newBunch())
 		}
 		last := &f.bunches[len(f.bunches)-1]
 		room := f.bunchCap - len(*last)
 		if room == 0 {
-			f.bunches = append(f.bunches, make([]T, 0, f.bunchCap))
+			f.bunches = append(f.bunches, f.newBunch())
 			continue
 		}
 		take := room
@@ -43,9 +59,13 @@ func (f *feedBuffer[T]) add(input []T) {
 	}
 }
 
-// take removes up to c bunches from the head of the queue and returns their
-// concatenation (the cut batch).
-func (f *feedBuffer[T]) take(c int) []T {
+// take is takeInto with fresh storage (nil when nothing is buffered).
+func (f *feedBuffer[T]) take(c int) []T { return f.takeInto(c, nil) }
+
+// takeInto removes up to c bunches from the head of the queue and appends
+// their concatenation (the cut batch) to dst — pass engine scratch with
+// length 0 to reuse its backing array. Spent bunches go to the free list.
+func (f *feedBuffer[T]) takeInto(c int, dst []T) []T {
 	n := 0
 	end := f.head
 	for i := 0; i < c && end < len(f.bunches); i++ {
@@ -53,12 +73,16 @@ func (f *feedBuffer[T]) take(c int) []T {
 		end++
 	}
 	if n == 0 {
-		return nil
+		return dst
 	}
-	out := make([]T, 0, n)
 	for ; f.head < end; f.head++ {
-		out = append(out, f.bunches[f.head]...)
+		b := f.bunches[f.head]
+		dst = append(dst, b...)
 		f.bunches[f.head] = nil
+		if len(f.free) < maxFree {
+			clear(b)
+			f.free = append(f.free, b[:0])
+		}
 	}
 	if f.head == len(f.bunches) {
 		f.bunches = f.bunches[:0]
@@ -68,5 +92,5 @@ func (f *feedBuffer[T]) take(c int) []T {
 		f.head = 0
 	}
 	f.total -= n
-	return out
+	return dst
 }

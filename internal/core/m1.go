@@ -6,7 +6,6 @@ import (
 	"math/bits"
 	"runtime"
 	"sync/atomic"
-	"time"
 
 	"repro/internal/esort"
 	"repro/internal/locks"
@@ -50,20 +49,34 @@ func (c Config) withDefaults() Config {
 // All methods are safe for concurrent use; each call blocks until the
 // engine returns its result, exactly like calling an atomic map.
 type M1[K cmp.Ordered, V any] struct {
-	cfg Config
-	pb  *pbuffer.Buffer[*call[K, V]]
-	act *locks.Activation
-	rec *opRecorder[K, V]
+	cfg   Config
+	pb    *pbuffer.Buffer[*call[K, V]]
+	act   *locks.Activation
+	rec   *opRecorder[K, V]
+	calls callPool[K, V]
+	batch batchPool[K, V]
 
-	// Engine-private state: touched only inside the activation run.
-	feed *feedBuffer[*call[K, V]]
-	slab slab[K, V]
-	size int
+	// Engine-private state: touched only inside the activation run. The
+	// arena fields are per-batch scratch reused across cut batches, so the
+	// steady-state engine loop performs (nearly) no allocation; see
+	// DESIGN.md "Allocation discipline".
+	feed    *feedBuffer[*call[K, V]]
+	slab    slab[K, V]
+	size    int
+	flushSc []*call[K, V]  // pbuffer.FlushInto target
+	batchSc []*call[K, V]  // feed.takeInto target
+	keySc   []K            // processBatch key extraction
+	permSc  []int          // esort.PESortInto permutation
+	sortSc  []int          // esort.PESortInto partition scratch
+	groupSc []*group[K, V] // buildGroups output
+	groups  groupArena[K, V]
+	insKeys []K // finishBatch insertion keys
+	insVals []V // finishBatch insertion values
 
 	sizeA   atomic.Int64 // published size for Len()
 	feedA   atomic.Int64 // published feed-buffer size for the ready condition
 	batches atomic.Int64 // processed cut batches (diagnostics)
-	pending atomic.Int64
+	pending locks.WaitCounter
 	closed  atomic.Bool
 }
 
@@ -109,12 +122,14 @@ func (m *M1[K, V]) do(op Op[K, V]) Result[V] {
 	if m.closed.Load() {
 		panic("core: M1 used after Close")
 	}
-	m.pending.Add(1)
-	defer m.pending.Add(-1)
-	c := newCall(op)
+	m.pending.Add()
+	defer m.pending.Done()
+	c := m.calls.get(op)
 	m.pb.Add(c)
 	m.act.Activate()
-	return c.wait()
+	r := c.wait()
+	m.calls.put(c)
+	return r
 }
 
 // Len returns the current number of items (racy snapshot).
@@ -126,9 +141,7 @@ func (m *M1[K, V]) Batches() int64 { return m.batches.Load() }
 // Close marks the map closed and waits for in-flight operations to drain.
 func (m *M1[K, V]) Close() {
 	m.closed.Store(true)
-	for m.pending.Load() != 0 {
-		time.Sleep(50 * time.Microsecond)
-	}
+	m.pending.Wait()
 }
 
 // DrainLinearization returns and clears the recorded linearization
@@ -136,24 +149,27 @@ func (m *M1[K, V]) Close() {
 func (m *M1[K, V]) DrainLinearization() []Op[K, V] { return m.rec.take() }
 
 // Quiesce blocks until no client operations are in flight and the engine
-// activation has gone idle. Results are delivered on forked goroutines
-// before the activation run finishes its structural tail work (capacity
-// restoration), so waiting for pending alone does not imply quiescence.
-// Only meaningful once clients have stopped submitting operations.
+// activation has gone idle. Results are delivered before the activation
+// run finishes its structural tail work (capacity restoration), so waiting
+// for pending alone does not imply quiescence. Only meaningful once
+// clients have stopped submitting operations: with no new submissions,
+// pending drains to zero (so the feed is empty) and the activation then
+// winds down monotonically, making the two-step wait sufficient.
 func (m *M1[K, V]) Quiesce() {
-	for m.pending.Load() != 0 || m.act.Running() {
-		time.Sleep(50 * time.Microsecond)
-	}
+	m.pending.Wait()
+	m.act.WaitIdle()
 }
 
 // engineRun processes one cut batch. It runs under the activation
 // interface, so engine state is single-threaded.
 func (m *M1[K, V]) engineRun() bool {
-	m.feed.add(m.pb.Flush())
+	m.flushSc = m.pb.FlushInto(m.flushSc[:0])
+	m.feed.add(m.flushSc)
 	if m.feed.len() == 0 {
 		return false
 	}
-	batch := m.feed.take(m.numBunches())
+	batch := m.feed.takeInto(m.numBunches(), m.batchSc[:0])
+	m.batchSc = batch
 	m.feedA.Store(int64(m.feed.len()))
 	m.processBatch(batch)
 	m.batches.Add(1)
@@ -173,12 +189,16 @@ func (m *M1[K, V]) numBunches() int {
 }
 
 func (m *M1[K, V]) processBatch(batch []*call[K, V]) {
-	keys := make([]K, len(batch))
-	for i, c := range batch {
-		keys[i] = c.op.Key
+	keys := m.keySc[:0]
+	for _, c := range batch {
+		keys = append(keys, c.op.Key)
 	}
-	perm := esort.PESort(keys, m.cfg.Pivot)
-	groups := buildGroups(batch, perm)
+	m.keySc = keys
+	perm, sortSc := esort.PESortInto(keys, m.cfg.Pivot, m.permSc, m.sortSc)
+	m.permSc, m.sortSc = perm, sortSc
+	m.groups.reset()
+	groups := buildGroups(batch, perm, m.groupSc[:0], &m.groups)
+	m.groupSc = groups
 	m.rec.recordGroups(groups)
 	m.runSegments(groups)
 }
@@ -199,8 +219,8 @@ func (m *M1[K, V]) runSegments(groups []*group[K, V]) {
 // unsuccessful searches, deletions (already resolved when found) and
 // insertions, which are appended at the back of the last segment.
 func (m *M1[K, V]) finishBatch(pending []*group[K, V]) {
-	var insKeys []K
-	var insVals []V
+	insKeys := m.insKeys[:0]
+	insVals := m.insVals[:0]
 	for _, g := range pending {
 		if g.resolved {
 			continue // deletion resolved when its item was found
@@ -212,6 +232,7 @@ func (m *M1[K, V]) finishBatch(pending []*group[K, V]) {
 			insVals = append(insVals, v)
 		}
 	}
+	m.insKeys, m.insVals = insKeys, insVals
 	if len(insKeys) > 0 {
 		m.slab.appendNew(insKeys, insVals, 0)
 		m.size += len(insKeys)

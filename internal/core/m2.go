@@ -6,7 +6,6 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"repro/internal/esort"
 	"repro/internal/locks"
@@ -102,16 +101,27 @@ type fseg[K cmp.Ordered, V any] struct {
 // All methods are safe for concurrent use; each call blocks until the
 // engine returns its result.
 type M2[K cmp.Ordered, V any] struct {
-	cfg  Config
-	mSeg int // number of first slab segments (the paper's m)
-	pb   *pbuffer.Buffer[*call[K, V]]
-	pool *sched.Pool
-	act  *locks.Activation
-	rec  *opRecorder[K, V]
+	cfg   Config
+	mSeg  int // number of first slab segments (the paper's m)
+	pb    *pbuffer.Buffer[*call[K, V]]
+	pool  *sched.Pool
+	act   *locks.Activation
+	rec   *opRecorder[K, V]
+	calls callPool[K, V]
+	batch batchPool[K, V]
 
-	// Interface-private (activation-guarded) state.
-	feed  *feedBuffer[*call[K, V]]
-	feedA atomic.Int64
+	// Interface-private (activation-guarded) state. The scratch fields
+	// are reused across interface batches; group frames themselves are
+	// NOT pooled in M2 — they outlive the batch inside the filter and
+	// final slab (see groupArena).
+	feed    *feedBuffer[*call[K, V]]
+	feedA   atomic.Int64
+	flushSc []*call[K, V]
+	batchSc []*call[K, V]
+	keySc   []K
+	permSc  []int
+	sortSc  []int
+	groupSc []*group[K, V]
 
 	first slab[K, V] // S[0..m-1]; S[m-1] additionally under nlock0+FL[0]
 
@@ -124,7 +134,7 @@ type M2[K cmp.Ordered, V any] struct {
 
 	sizeA   atomic.Int64
 	batches atomic.Int64
-	pending atomic.Int64
+	pending locks.WaitCounter
 	closed  atomic.Bool
 }
 
@@ -190,12 +200,14 @@ func (m *M2[K, V]) do(op Op[K, V]) Result[V] {
 	if m.closed.Load() {
 		panic("core: M2 used after Close")
 	}
-	m.pending.Add(1)
-	defer m.pending.Add(-1)
-	c := newCall(op)
+	m.pending.Add()
+	defer m.pending.Done()
+	c := m.calls.get(op)
 	m.pb.Add(c)
 	m.act.Activate()
-	return c.wait()
+	r := c.wait()
+	m.calls.put(c)
+	return r
 }
 
 // Len returns the current number of items (racy snapshot).
@@ -213,9 +225,7 @@ func (m *M2[K, V]) SchedStats() sched.Stats { return m.pool.Stats() }
 // Close waits for in-flight operations and releases the scheduler pool.
 func (m *M2[K, V]) Close() {
 	m.closed.Store(true)
-	for m.pending.Load() != 0 {
-		time.Sleep(50 * time.Microsecond)
-	}
+	m.pending.Wait()
 	m.pool.Close()
 }
 
@@ -226,9 +236,7 @@ func (m *M2[K, V]) DrainLinearization() []Op[K, V] { return m.rec.take() }
 // Quiesce blocks until no client operations are in flight and all
 // scheduled engine activity has drained (test hook).
 func (m *M2[K, V]) Quiesce() {
-	for m.pending.Load() != 0 {
-		time.Sleep(50 * time.Microsecond)
-	}
+	m.pending.Wait()
 	m.pool.Wait()
 }
 
@@ -236,20 +244,25 @@ func (m *M2[K, V]) Quiesce() {
 // take a size-p² cut batch, entropy-sort it, pass it through the first
 // slab, then filter the unfinished operations into S[m]'s buffer.
 func (m *M2[K, V]) interfaceRun() bool {
-	m.feed.add(m.pb.Flush())
+	m.flushSc = m.pb.FlushInto(m.flushSc[:0])
+	m.feed.add(m.flushSc)
 	if m.feed.len() == 0 {
 		return false
 	}
-	batch := m.feed.take(1)
+	batch := m.feed.takeInto(1, m.batchSc[:0])
+	m.batchSc = batch
 	m.feedA.Store(int64(m.feed.len()))
 	m.batches.Add(1)
 
-	keys := make([]K, len(batch))
-	for i, c := range batch {
-		keys[i] = c.op.Key
+	keys := m.keySc[:0]
+	for _, c := range batch {
+		keys = append(keys, c.op.Key)
 	}
-	perm := esort.PESort(keys, m.cfg.Pivot)
-	groups := buildGroups(batch, perm)
+	m.keySc = keys
+	perm, sortSc := esort.PESortInto(keys, m.cfg.Pivot, m.permSc, m.sortSc)
+	m.permSc, m.sortSc = perm, sortSc
+	groups := buildGroups(batch, perm, m.groupSc[:0], nil)
+	m.groupSc = groups
 	m.rec.recordGroups(groups)
 
 	// First slab pass over S[0..m-2]: no locks needed, only the interface

@@ -106,7 +106,7 @@ func TestCapOf(t *testing.T) {
 func TestGroupResolveReplaysArrivalOrder(t *testing.T) {
 	g := &group[int, string]{key: 7}
 	mk := func(kind OpKind, val string) *call[int, string] {
-		return newCall(Op[int, string]{Kind: kind, Key: 7, Val: val})
+		return &call[int, string]{op: Op[int, string]{Kind: kind, Key: 7, Val: val}, done: make(chan struct{}, 1)}
 	}
 	cs := []*call[int, string]{
 		mk(OpGet, ""), mk(OpInsert, "a"), mk(OpGet, ""), mk(OpDelete, ""), mk(OpGet, ""), mk(OpInsert, "b"),

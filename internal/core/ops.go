@@ -59,21 +59,52 @@ type Result[V any] struct {
 	OK  bool
 }
 
-// call is an operation in flight: the op, its future result, and a done
-// channel closed when the result is ready.
+// call is an operation in flight: the op, its future result, and a
+// completion channel. The channel has capacity 1 and is signalled (not
+// closed), so the whole frame — channel included — is recycled through the
+// engine's callPool instead of being garbage per operation: the submitter
+// takes a frame from the pool, the engine fills res and signals done, the
+// submitter wakes, copies the result out and returns the frame. The engine
+// never touches a call after signalling it (the completion protocol of
+// DESIGN.md's allocation-discipline section).
 type call[K cmp.Ordered, V any] struct {
 	op   Op[K, V]
 	res  Result[V]
 	done chan struct{}
 }
 
-func newCall[K cmp.Ordered, V any](op Op[K, V]) *call[K, V] {
-	return &call[K, V]{op: op, done: make(chan struct{})}
-}
-
 func (c *call[K, V]) wait() Result[V] {
 	<-c.done
 	return c.res
+}
+
+// complete delivers the result. Never blocks: done is buffered and each
+// recycle of the frame pairs exactly one complete with one wait.
+func (c *call[K, V]) complete() { c.done <- struct{}{} }
+
+// callPool recycles call frames (and their completion channels) for one
+// engine. Frames may be recycled by any submitting goroutine, hence
+// sync.Pool rather than an engine-private free list.
+type callPool[K cmp.Ordered, V any] struct {
+	p sync.Pool
+}
+
+func (cp *callPool[K, V]) get(op Op[K, V]) *call[K, V] {
+	if v := cp.p.Get(); v != nil {
+		c := v.(*call[K, V])
+		c.op = op
+		return c
+	}
+	return &call[K, V]{op: op, done: make(chan struct{}, 1)}
+}
+
+// put returns a waited-on frame to the pool, dropping key/value references
+// so recycled frames do not pin client data.
+func (cp *callPool[K, V]) put(c *call[K, V]) {
+	var zeroOp Op[K, V]
+	var zeroRes Result[V]
+	c.op, c.res = zeroOp, zeroRes
+	cp.p.Put(c)
 }
 
 // group is the paper's group-operation (Section 6.1, footnote 7): all
@@ -97,6 +128,15 @@ type group[K cmp.Ordered, V any] struct {
 // and fills in every call's result. It returns the item's state after the
 // group. An item counts as accessed — i.e. it moves to the front — exactly
 // when it is present after the group.
+//
+// Replaying an insert also re-points g.key at the inserting call's key.
+// The two are equal by value, but not necessarily by backing: a group may
+// combine a search and an insert on the same key, and g.key starts as the
+// first arrival's — possibly the search's. Downstream insertion paths
+// (M1.finishBatch, M2's terminal resolution) store g.key in the segment
+// trees, and only insert keys carry the caller's guarantee of a stable
+// backing (the server hands out transient arena-backed strings for search
+// keys but copies inserted ones; see wire.Reader's aliasing contract).
 func (g *group[K, V]) resolve(present bool, val V) (netPresent bool, netVal V) {
 	for _, c := range g.calls {
 		switch c.op.Kind {
@@ -105,6 +145,7 @@ func (g *group[K, V]) resolve(present bool, val V) (netPresent bool, netVal V) {
 		case OpInsert:
 			c.res = Result[V]{Val: val, OK: present}
 			val, present = c.op.Val, true
+			g.key = c.op.Key
 		case OpDelete:
 			c.res = Result[V]{Val: val, OK: present}
 			var zero V
@@ -115,39 +156,68 @@ func (g *group[K, V]) resolve(present bool, val V) (netPresent bool, netVal V) {
 	return present, val
 }
 
-// complete closes every call's done channel, delivering results.
+// complete signals every call's done channel, delivering results. The
+// sends are non-blocking (buffered completion channels), so results are
+// delivered inline on the engine — the paper's "fork to return the
+// results" is unnecessary once delivery cannot block, and dropping the
+// fork removes a goroutine spawn per batch and bounds group lifetime to
+// the batch (which is what lets M1 recycle group frames).
 func (g *group[K, V]) complete() {
 	for _, c := range g.calls {
-		close(c.done)
+		c.complete()
 	}
 }
 
-// completeAsync delivers results on a separate goroutine (the paper's "fork
-// to return the results").
-func (g *group[K, V]) completeAsync() {
-	go g.complete()
-}
-
-// completeAll delivers results for a set of groups on one forked goroutine.
+// completeAll delivers results for a set of groups.
 func completeAll[K cmp.Ordered, V any](groups []*group[K, V]) {
-	if len(groups) == 0 {
-		return
+	for _, g := range groups {
+		g.complete()
 	}
-	go func() {
-		for _, g := range groups {
-			g.complete()
-		}
-	}()
 }
+
+// groupArena recycles group frames across batches. Only valid when every
+// group of a batch completes before the next batch starts (true for M1,
+// where finishBatch completes all stragglers inline; NOT true for M2,
+// whose groups outlive the interface batch inside the filter and final
+// slab — M2 passes a nil arena and gets fresh frames).
+type groupArena[K cmp.Ordered, V any] struct {
+	frames []*group[K, V]
+	used   int
+}
+
+// get returns a reset frame, reusing a prior batch's when available.
+func (a *groupArena[K, V]) get(key K) *group[K, V] {
+	if a.used < len(a.frames) {
+		g := a.frames[a.used]
+		a.used++
+		g.key = key
+		g.calls = g.calls[:0]
+		g.resolved, g.deleted = false, false
+		return g
+	}
+	g := &group[K, V]{key: key}
+	a.frames = append(a.frames, g)
+	a.used++
+	return g
+}
+
+// reset makes every frame available again (call at batch start).
+func (a *groupArena[K, V]) reset() { a.used = 0 }
 
 // buildGroups combines a batch of calls into key-sorted groups using the
 // provided sorting permutation (from the entropy sort). Calls on the same
-// key keep their arrival order.
-func buildGroups[K cmp.Ordered, V any](batch []*call[K, V], perm []int) []*group[K, V] {
-	var out []*group[K, V]
+// key keep their arrival order. Groups are appended to out (pass scratch
+// with length 0 to reuse its backing array); frames come from ar when
+// non-nil (see groupArena for the lifetime contract).
+func buildGroups[K cmp.Ordered, V any](batch []*call[K, V], perm []int, out []*group[K, V], ar *groupArena[K, V]) []*group[K, V] {
 	for i := 0; i < len(perm); {
 		k := batch[perm[i]].op.Key
-		g := &group[K, V]{key: k}
+		var g *group[K, V]
+		if ar != nil {
+			g = ar.get(k)
+		} else {
+			g = &group[K, V]{key: k}
+		}
 		j := i
 		for j < len(perm) && batch[perm[j]].op.Key == k {
 			g.calls = append(g.calls, batch[perm[j]])

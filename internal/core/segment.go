@@ -3,7 +3,7 @@ package core
 import (
 	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/metrics"
 	"repro/internal/twothree"
@@ -147,7 +147,7 @@ func (s *segment[K, V]) deleteByRecLeaves(recLeaves []*twothree.SeqLeaf[K]) move
 	for i, lf := range recLeaves {
 		keys[i] = lf.Key
 	}
-	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	slices.Sort(keys)
 	kmLeaves := s.km.BatchDelete(keys)
 	for i, lf := range kmLeaves {
 		if lf == nil {
@@ -173,6 +173,32 @@ func (s *segment[K, V]) pushBack(mb moveBatch[K, V]) {
 	}
 	s.km.BatchInsertLeaves(mb.kmLeaves)
 	s.rec.PushBackLeaves(mb.recLeaves)
+}
+
+// keepOnly compacts mb in place, keeping the key-map leaves whose index
+// satisfies keepIdx and the recency leaves whose key satisfies keepKey
+// (the two views are in different orders, hence the two predicates —
+// callers must make them agree). Both internal orders are preserved; the
+// returned moveBatch aliases mb's slices. The allocation-free counterpart
+// of filterByKeys for callers that discard the dropped items.
+func (mb moveBatch[K, V]) keepOnly(keepIdx func(int) bool, keepKey func(K) bool) moveBatch[K, V] {
+	w := 0
+	for i, lf := range mb.kmLeaves {
+		if keepIdx(i) {
+			mb.kmLeaves[w] = lf
+			w++
+		}
+	}
+	kept := moveBatch[K, V]{kmLeaves: mb.kmLeaves[:w]}
+	w = 0
+	for _, lf := range mb.recLeaves {
+		if keepKey(lf.Key) {
+			mb.recLeaves[w] = lf
+			w++
+		}
+	}
+	kept.recLeaves = mb.recLeaves[:w]
+	return kept
 }
 
 // filterByKeys splits mb into (kept, dropped) according to keep, preserving

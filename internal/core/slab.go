@@ -3,15 +3,65 @@ package core
 import (
 	"cmp"
 	"fmt"
+	"sort"
 
 	"repro/internal/metrics"
+	"repro/internal/twothree"
 )
 
 // slab is a run of consecutive working-set segments processed M1-style:
 // M1's whole structure is one slab, and M2's first slab is a bounded one.
+//
+// The scratch fields are per-pass buffers reused across batches; a slab is
+// only ever driven by one engine run at a time (M1's activation, M2's
+// interface activation), so they need no locking. They are what keeps the
+// steady-state segment pass allocation-free (DESIGN.md "Allocation
+// discipline").
 type slab[K cmp.Ordered, V any] struct {
 	segs []*segment[K, V]
 	cnt  *metrics.Counter
+
+	keySc    []K             // groupKeys of the pending batch
+	foundSc  []*kmLeaf[K, V] // BatchGetInto result
+	fKeys    []K             // keys of found groups (sorted subset)
+	fGroups  []*group[K, V]  // groups of found keys, aligned with fKeys
+	fPresent []bool          // net-present after resolve, aligned with fKeys
+	finished []*group[K, V]  // groups completed this pass
+	delSc    []*kmLeaf[K, V] // BatchDeleteInto scratch (removeItems)
+	rankSc   []int           // Seq.RemoveInto rank scratch
+	recSc    []*twothree.SeqLeaf[K]
+	recOrdSc []*twothree.SeqLeaf[K] // removeItems rec-pointer gather
+}
+
+// grow returns s[:n], reallocating when the capacity is short.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// removeItemsInto is segment.removeItems using the slab's scratch: it
+// deletes the given present keys (sorted, distinct) from seg and returns
+// them as a moveBatch whose slices alias slab scratch — valid until the
+// next pass.
+func (s *slab[K, V]) removeItemsInto(seg *segment[K, V], keys []K) moveBatch[K, V] {
+	if len(keys) == 0 {
+		return moveBatch[K, V]{}
+	}
+	s.delSc = grow(s.delSc, len(keys))
+	kmLeaves := seg.km.BatchDeleteInto(keys, s.delSc)
+	s.recOrdSc = grow(s.recOrdSc, len(kmLeaves))
+	for i, lf := range kmLeaves {
+		if lf == nil {
+			panic(fmt.Sprintf("core: removeItems: key %v absent", keys[i]))
+		}
+		s.recOrdSc[i] = lf.Payload.rec
+	}
+	s.rankSc = grow(s.rankSc, len(kmLeaves))
+	s.recSc = grow(s.recSc, len(kmLeaves))
+	recLeaves := seg.rec.RemoveInto(s.recOrdSc, s.rankSc, s.recSc)
+	return moveBatch[K, V]{kmLeaves: kmLeaves, recLeaves: recLeaves}
 }
 
 // pass processes the pending groups at segment k (Section 6.1): search,
@@ -19,39 +69,49 @@ type slab[K cmp.Ordered, V any] struct {
 // restore the capacity invariant for S[0..k-1], and return the groups that
 // continue, along with the map-size delta (negative for net deletions).
 // Successful searches/updates are completed (results delivered) here.
+// pending is compacted in place; the returned slice aliases it.
 func (s *slab[K, V]) pass(k int, pending []*group[K, V]) (next []*group[K, V], sizeDelta int) {
 	seg := s.segs[k]
-	keys := groupKeys(pending)
-	found := seg.km.BatchGet(keys)
+	keys := s.keySc[:0]
+	for _, g := range pending {
+		keys = append(keys, g.key)
+	}
+	s.keySc = keys
+	s.foundSc = grow(s.foundSc, len(keys))
+	found := seg.km.BatchGetInto(keys, s.foundSc)
 
-	var foundKeys []K
-	var foundGroups []*group[K, V]
+	fKeys := s.fKeys[:0]
+	fGroups := s.fGroups[:0]
 	for i, lf := range found {
 		if lf != nil {
-			foundKeys = append(foundKeys, keys[i])
-			foundGroups = append(foundGroups, pending[i])
+			fKeys = append(fKeys, keys[i])
+			fGroups = append(fGroups, pending[i])
 		}
 	}
-	if len(foundKeys) > 0 {
-		mb := seg.removeItems(foundKeys)
-		netPresent := make(map[K]bool, len(foundGroups))
-		newVal := make(map[K]V, len(foundGroups))
-		var finished []*group[K, V]
-		for i, g := range foundGroups {
+	s.fKeys, s.fGroups = fKeys, fGroups
+	if len(fKeys) > 0 {
+		mb := s.removeItemsInto(seg, fKeys)
+		s.fPresent = grow(s.fPresent, len(fGroups))
+		finished := s.finished[:0]
+		for i, g := range fGroups {
 			p, v := g.resolve(true, mb.kmLeaves[i].Payload.val)
+			s.fPresent[i] = p
 			if p {
-				netPresent[g.key] = true
-				newVal[g.key] = v
+				mb.kmLeaves[i].Payload.val = v
 				finished = append(finished, g)
 			} else {
 				g.deleted = true
 				sizeDelta--
 			}
 		}
-		kept, _ := mb.filterByKeys(func(key K) bool { return netPresent[key] })
-		for _, lf := range kept.kmLeaves {
-			lf.Payload.val = newVal[lf.Key]
-		}
+		s.finished = finished
+		// Keep exactly the net-present items. kmLeaves are aligned with
+		// fKeys; recLeaves (recency order) locate their verdict by binary
+		// search over the sorted fKeys.
+		kept := mb.keepOnly(func(i int) bool { return s.fPresent[i] }, func(key K) bool {
+			i := sort.Search(len(fKeys), func(j int) bool { return fKeys[j] >= key })
+			return s.fPresent[i]
+		})
 		tgt := k - 1
 		if tgt < 0 {
 			tgt = 0
@@ -61,13 +121,14 @@ func (s *slab[K, V]) pass(k int, pending []*group[K, V]) (next []*group[K, V], s
 	}
 	s.restore(k)
 
-	next = make([]*group[K, V], 0, len(pending))
+	w := 0
 	for i, g := range pending {
 		if found[i] == nil || g.deleted {
-			next = append(next, g)
+			pending[w] = g
+			w++
 		}
 	}
-	return next, sizeDelta
+	return pending[:w], sizeDelta
 }
 
 // restore re-establishes the capacity invariant for segments S[0..k-1]:

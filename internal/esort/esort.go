@@ -152,21 +152,36 @@ func MergeK[E any](lists [][]E, less func(x, y E) bool) []E {
 // quartile-guaranteed pivots. It returns the stable sorting permutation of
 // keys. O(n·H + n) work and polylogarithmic span.
 func PESort[K cmp.Ordered](keys []K, strat PivotStrategy) []int {
+	idx, _ := PESortInto(keys, strat, nil, nil)
+	return idx
+}
+
+// PESortInto is PESort with caller-provided scratch: idx receives the
+// permutation and scratch backs the partitioning; both are grown as
+// needed and returned for reuse, which lets the engines sort every cut
+// batch without allocating. Pass nil slices to start.
+func PESortInto[K cmp.Ordered](keys []K, strat PivotStrategy, idx, scratch []int) (perm, scratchOut []int) {
 	n := len(keys)
-	idx := make([]int, n)
+	if cap(idx) < n {
+		idx = make([]int, n)
+	}
+	idx = idx[:n]
 	for i := range idx {
 		idx[i] = i
 	}
 	if n <= 1 {
-		return idx
+		return idx, scratch
 	}
 	if strat == StdStable {
 		sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
-		return idx
+		return idx, scratch
 	}
-	scratch := make([]int, n)
+	if cap(scratch) < n {
+		scratch = make([]int, n)
+	}
+	scratch = scratch[:n]
 	qsort(keys, idx, scratch, strat)
-	return idx
+	return idx, scratch
 }
 
 // quick stably sorts idx (positions into keys) by key, using scratch of the

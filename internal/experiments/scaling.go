@@ -67,8 +67,13 @@ func E12ParallelBuffer(s Scale) Table {
 		var wg sync.WaitGroup
 		perProducer := s.N
 		stop := make(chan struct{})
+		done := make(chan struct{})
 		var flushes, total int
 		go func() {
+			// Flushing is single-consumer (pbuffer contract): this
+			// goroutine is the only flusher until it exits, and the main
+			// goroutine joins on done before its final drain flush.
+			defer close(done)
 			for {
 				select {
 				case <-stop:
@@ -94,6 +99,7 @@ func E12ParallelBuffer(s Scale) Table {
 		wg.Wait()
 		el := time.Since(start)
 		close(stop)
+		<-done
 		total += len(b.Flush())
 		flushes++
 		mean := float64(total) / float64(flushes)

@@ -19,8 +19,8 @@ func E17ShardedScaling(s Scale, shards int) Table {
 	t := Table{
 		Title: fmt.Sprintf("E17: sharded front-end throughput scaling (S=%d shards)", shardCount(shards)),
 		Header: []string{"clients", "M1 Mop/s", "sharded-M1 Mop/s",
-			"M2 Mop/s", "sharded-M2 Mop/s"},
-		Note: "sharding thesis: per-shard batching removes the single-segment ceiling; reproduced if sharded scales past the single instance",
+			"M2 Mop/s", "sharded-M2 Mop/s", "sharded-M1 allocs/op"},
+		Note: "sharding thesis: per-shard batching removes the single-segment ceiling; reproduced if sharded scales past the single instance; allocs/op tracks the E18 allocation discipline",
 	}
 	rng := rand.New(rand.NewSource(17))
 	universe := 1 << 16
@@ -28,17 +28,22 @@ func E17ShardedScaling(s Scale, shards int) Table {
 	accs := workload.GetsOf(keys)
 	for _, clients := range s.Clients {
 		row := []string{d(clients)}
-		for _, mk := range shardedContenders(shards) {
+		shardedM1Allocs := 0.0
+		for ci, mk := range shardedContenders(shards) {
 			m := mk()
 			for i := 0; i < universe; i++ {
 				m.Insert(i, i)
 			}
-			el := driveConcurrent(m, accs, clients)
+			el, allocs := driveConcurrentAllocs(m, accs, clients)
 			if c, ok := m.(interface{ Close() }); ok {
 				c.Close()
 			}
 			row = append(row, f2(float64(len(accs))/el.Seconds()/1e6))
+			if ci == 1 { // sharded-M1 column
+				shardedM1Allocs = allocs
+			}
 		}
+		row = append(row, f2(shardedM1Allocs))
 		t.AddRow(row...)
 	}
 	return t
@@ -52,8 +57,9 @@ func ShardSweep(s Scale, maxShards int) Table {
 	t := Table{
 		Title: fmt.Sprintf("sharding sweep: throughput vs shard count (%d clients)",
 			s.MaxClients()),
-		Header: []string{"shards", "sharded-M1 Mop/s", "sharded-M2 Mop/s"},
-		Note:   "S=1 is the single-engine baseline; the curve shows what each added shard buys",
+		Header: []string{"shards", "sharded-M1 Mop/s", "sharded-M2 Mop/s",
+			"M1 allocs/op", "M2 allocs/op"},
+		Note: "S=1 is the single-engine baseline; the curve shows what each added shard buys; allocs/op tracks the E18 allocation discipline",
 	}
 	rng := rand.New(rand.NewSource(18))
 	universe := 1 << 16
@@ -66,16 +72,18 @@ func ShardSweep(s Scale, maxShards int) Table {
 	counts = append(counts, maxShards) // always measure the requested bound
 	for _, sc := range counts {
 		row := []string{d(sc)}
+		var allocCols []string
 		for _, eng := range []shard.Engine{shard.EngineM1, shard.EngineM2} {
 			m := shard.New[int, int](shard.Config{Shards: sc, Engine: eng})
 			for i := 0; i < universe; i++ {
 				m.Insert(i, i)
 			}
-			el := driveConcurrent(m, accs, s.MaxClients())
+			el, allocs := driveConcurrentAllocs(m, accs, s.MaxClients())
 			m.Close()
 			row = append(row, f2(float64(len(accs))/el.Seconds()/1e6))
+			allocCols = append(allocCols, f2(allocs))
 		}
-		t.AddRow(row...)
+		t.AddRow(append(row, allocCols...)...)
 	}
 	return t
 }

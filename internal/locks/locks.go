@@ -10,6 +10,7 @@ package locks
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 )
 
@@ -45,6 +46,14 @@ type Activation struct {
 	cond   func() bool
 	run    func() bool
 	spawn  func(func())
+
+	// Idle-wait support (WaitIdle): same fast-path/notify discipline as
+	// WaitCounter — the run loop only touches the mutex when a waiter is
+	// registered.
+	idleWaiters atomic.Int32
+	idleMu      sync.Mutex
+	idleCond    *sync.Cond
+	idleOnce    sync.Once
 }
 
 // NewActivation creates an activation interface for run guarded by cond.
@@ -90,7 +99,36 @@ func (a *Activation) step1() bool {
 		reactivate = a.run()
 	}
 	a.active.Store(false)
+	if a.idleWaiters.Load() > 0 {
+		a.initIdle()
+		a.idleMu.Lock()
+		a.idleMu.Unlock() //nolint:staticcheck // empty section intended, see WaitCounter.Done
+		a.idleCond.Broadcast()
+	}
 	return !reactivate && !a.cond()
+}
+
+func (a *Activation) initIdle() {
+	a.idleOnce.Do(func() { a.idleCond = sync.NewCond(&a.idleMu) })
+}
+
+// WaitIdle blocks until the guarded process is not executing. Like the
+// polling loop it replaces, it does not promise the process will never
+// run again — callers (Quiesce) first drain their own pending work, after
+// which the activation winds down monotonically and WaitIdle's return
+// means the engine is at rest.
+func (a *Activation) WaitIdle() {
+	if !a.active.Load() {
+		return
+	}
+	a.initIdle()
+	a.idleMu.Lock()
+	a.idleWaiters.Add(1)
+	for a.active.Load() {
+		a.idleCond.Wait()
+	}
+	a.idleWaiters.Add(-1)
+	a.idleMu.Unlock()
 }
 
 // step is the async-mode body: one guarded run, then reschedule if needed.

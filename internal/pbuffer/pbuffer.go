@@ -23,6 +23,10 @@ import (
 	"repro/internal/parallel"
 )
 
+// seqCopyCutoff is the flushed-batch size below which the combining copy
+// runs inline instead of through a parallel loop.
+const seqCopyCutoff = 4096
+
 type shard[T any] struct {
 	mu    sync.Mutex
 	items []T
@@ -31,9 +35,19 @@ type shard[T any] struct {
 
 // Buffer is a sharded concurrent operation buffer. The zero value is not
 // usable; create with New.
+//
+// Any number of goroutines may Add concurrently, but flushing is
+// single-consumer: the data structure's activation run is the only
+// flusher (guaranteed by the activation interface's mutual exclusion),
+// which lets the flush path keep per-buffer scratch and recycle the
+// sub-buffers' backing arrays instead of allocating per flush.
 type Buffer[T any] struct {
 	shards []shard[T]
 	size   atomic.Int64
+
+	// Flush scratch, touched only by the single consumer.
+	parts   [][]T
+	offsets []int
 }
 
 // New creates a buffer with p sub-buffers (p < 1 selects 1).
@@ -75,9 +89,21 @@ func (b *Buffer[T]) Len() int { return int(b.size.Load()) }
 
 // Flush atomically swaps out all sub-buffers and returns their combined
 // contents. Operations added concurrently with a flush land in this batch
-// or the next. O(p + b) work, O(log p + log b) span.
-func (b *Buffer[T]) Flush() []T {
-	parts := make([][]T, len(b.shards))
+// or the next. O(p + b) work, O(log p + log b) span. Single consumer; see
+// the Buffer contract.
+func (b *Buffer[T]) Flush() []T { return b.FlushInto(nil) }
+
+// FlushInto is Flush appending into dst (pass consumer scratch with
+// length 0 to reuse its backing array across flushes). The emptied
+// sub-buffer arrays are handed back to the shards, so at steady state a
+// flush cycle allocates nothing: Add appends into recycled storage and
+// FlushInto copies into recycled scratch.
+func (b *Buffer[T]) FlushInto(dst []T) []T {
+	if b.parts == nil {
+		b.parts = make([][]T, len(b.shards))
+		b.offsets = make([]int, len(b.shards))
+	}
+	parts := b.parts
 	total := 0
 	for i := range b.shards {
 		s := &b.shards[i]
@@ -88,18 +114,54 @@ func (b *Buffer[T]) Flush() []T {
 		total += len(parts[i])
 	}
 	if total == 0 {
-		return nil
+		b.recycle()
+		return dst
 	}
 	b.size.Add(int64(-total))
-	out := make([]T, total)
-	offsets := make([]int, len(parts))
-	off := 0
+	base := len(dst)
+	if need := base + total; cap(dst) < need {
+		grown := make([]T, need)
+		copy(grown, dst)
+		dst = grown
+	} else {
+		dst = dst[:need]
+	}
+	off := base
 	for i, p := range parts {
-		offsets[i] = off
+		b.offsets[i] = off
 		off += len(p)
 	}
-	parallel.For(len(parts), 1, func(i int) {
-		copy(out[offsets[i]:], parts[i])
-	})
-	return out
+	if total <= seqCopyCutoff {
+		// Small flush: a goroutine per sub-buffer costs far more than the
+		// memcpy it parallelizes (and allocates); copy inline.
+		for i, p := range parts {
+			copy(dst[b.offsets[i]:], p)
+		}
+	} else {
+		parallel.For(len(parts), 1, func(i int) {
+			copy(dst[b.offsets[i]:], parts[i])
+		})
+	}
+	b.recycle()
+	return dst
+}
+
+// recycle hands the swapped-out (already copied) sub-buffer arrays back
+// to their shards: a shard that is still empty takes its old storage
+// back. Element references are cleared first so recycled capacity does
+// not pin the flushed values.
+func (b *Buffer[T]) recycle() {
+	for i, p := range b.parts {
+		if cap(p) == 0 {
+			continue
+		}
+		clear(p)
+		s := &b.shards[i]
+		s.mu.Lock()
+		if s.items == nil {
+			s.items = p[:0]
+		}
+		s.mu.Unlock()
+		b.parts[i] = nil
+	}
 }

@@ -23,8 +23,18 @@ type conn struct {
 	r   *wire.Reader
 	w   *wire.Writer
 
-	// batch state, reused across pipelines.
+	// cloneAllKeys makes every key (not just inserted keys/values) a
+	// private copy before it reaches the map. Set for M2 engines: M2's
+	// filter tree can retain search keys as interior separators past the
+	// pipeline, which the reader's arena reuse would corrupt. M1 engines
+	// never store a key that is not inserted, so only inserts copy.
+	cloneAllKeys bool
+
+	// batch state, reused across pipelines so a long-lived connection's
+	// steady state allocates nothing per pipeline.
+	cmds    []wire.Command
 	ops     []pws.Op[string, string]
+	res     []pws.Result[string]
 	pending []pendingReply
 }
 
@@ -71,17 +81,17 @@ func (c *conn) serve() {
 			c.finish(err)
 			return
 		}
-		cmds := []wire.Command{cmd}
+		c.cmds = append(c.cmds[:0], cmd)
 		var readErr error
-		for len(cmds) < c.srv.cfg.MaxPipeline && c.r.Buffered() > 0 {
+		for len(c.cmds) < c.srv.cfg.MaxPipeline && c.r.Buffered() > 0 {
 			next, err := c.r.ReadCommand()
 			if err != nil {
 				readErr = err
 				break
 			}
-			cmds = append(cmds, next)
+			c.cmds = append(c.cmds, next)
 		}
-		quit := c.process(cmds)
+		quit := c.process(c.cmds)
 		if readErr != nil {
 			c.finish(readErr)
 			return
@@ -92,6 +102,10 @@ func (c *conn) serve() {
 		if quit {
 			return
 		}
+		// The pipeline is fully processed and replied to, and nothing of
+		// it is retained (inserted keys/values were copied): recycle the
+		// reader's command arena (wire.Reader aliasing contract).
+		c.r.Reset()
 	}
 }
 
@@ -135,14 +149,17 @@ func (c *conn) process(cmds []wire.Command) (quit bool) {
 			if !c.wantArgs(cmd, len(cmd.Args) == 1) {
 				continue
 			}
-			c.ops = append(c.ops, pws.Op[string, string]{Kind: pws.OpGet, Key: cmd.Args[0]})
+			c.ops = append(c.ops, pws.Op[string, string]{Kind: pws.OpGet, Key: c.key(cmd.Args[0])})
 			c.pending = append(c.pending, pendingReply{replyGet, 1})
 			c.srv.st.gets.Add(1)
 		case "SET":
 			if !c.wantArgs(cmd, len(cmd.Args) == 2) {
 				continue
 			}
-			c.ops = append(c.ops, pws.Op[string, string]{Kind: pws.OpInsert, Key: cmd.Args[0], Val: cmd.Args[1]})
+			// Inserted keys and values outlive the pipeline inside the
+			// map; copy them out of the reader's arena.
+			c.ops = append(c.ops, pws.Op[string, string]{Kind: pws.OpInsert,
+				Key: strings.Clone(cmd.Args[0]), Val: strings.Clone(cmd.Args[1])})
 			c.pending = append(c.pending, pendingReply{replySet, 1})
 			c.srv.st.sets.Add(1)
 		case "DEL":
@@ -150,7 +167,7 @@ func (c *conn) process(cmds []wire.Command) (quit bool) {
 				continue
 			}
 			for _, k := range cmd.Args {
-				c.ops = append(c.ops, pws.Op[string, string]{Kind: pws.OpDelete, Key: k})
+				c.ops = append(c.ops, pws.Op[string, string]{Kind: pws.OpDelete, Key: c.key(k)})
 			}
 			c.pending = append(c.pending, pendingReply{replyDel, len(cmd.Args)})
 			c.srv.st.dels.Add(int64(len(cmd.Args)))
@@ -159,7 +176,7 @@ func (c *conn) process(cmds []wire.Command) (quit bool) {
 				continue
 			}
 			for _, k := range cmd.Args {
-				c.ops = append(c.ops, pws.Op[string, string]{Kind: pws.OpGet, Key: k})
+				c.ops = append(c.ops, pws.Op[string, string]{Kind: pws.OpGet, Key: c.key(k)})
 			}
 			c.pending = append(c.pending, pendingReply{replyMGet, len(cmd.Args)})
 			c.srv.st.gets.Add(int64(len(cmd.Args)))
@@ -168,7 +185,8 @@ func (c *conn) process(cmds []wire.Command) (quit bool) {
 				continue
 			}
 			for i := 0; i < len(cmd.Args); i += 2 {
-				c.ops = append(c.ops, pws.Op[string, string]{Kind: pws.OpInsert, Key: cmd.Args[i], Val: cmd.Args[i+1]})
+				c.ops = append(c.ops, pws.Op[string, string]{Kind: pws.OpInsert,
+					Key: strings.Clone(cmd.Args[i]), Val: strings.Clone(cmd.Args[i+1])})
 			}
 			c.pending = append(c.pending, pendingReply{replyMSet, len(cmd.Args) / 2})
 			c.srv.st.sets.Add(int64(len(cmd.Args) / 2))
@@ -210,6 +228,17 @@ func (c *conn) wantArgs(cmd wire.Command, ok bool) bool {
 	return false
 }
 
+// key prepares one search/delete key for the map: a private copy under
+// cloneAllKeys (M2 engines), the arena-backed string otherwise — search
+// keys never outlive the batch in M1, so the common GET path is
+// zero-copy end to end.
+func (c *conn) key(k string) string {
+	if c.cloneAllKeys {
+		return strings.Clone(k)
+	}
+	return k
+}
+
 // flushBatch submits the accumulated operations as one batch Apply and
 // writes the per-command replies in order.
 func (c *conn) flushBatch() {
@@ -218,7 +247,8 @@ func (c *conn) flushBatch() {
 	}
 	s := c.srv
 	s.scanMu.RLock()
-	res := s.store.Apply(c.ops)
+	res := s.store.ApplyInto(c.ops, c.res[:0])
+	c.res = res
 	s.scanMu.RUnlock()
 	s.st.recordBatch(len(c.ops))
 	i := 0

@@ -1,0 +1,97 @@
+package server
+
+// The pipelined-server member of the hot-path benchmark suite (see the
+// root package's hotpath_bench_test.go and EXPERIMENTS.md E18); it lives
+// here because internal/server cannot be imported from the root package's
+// tests (import cycle).
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// BenchmarkHotPathServerPipe measures the full pipelined server path: 16
+// in-process connections, each writing a depth-16 GET pipeline and reading
+// its 16 replies per iteration — wire decode, batch assembly, sharded
+// Apply, reply encode. ns/op and allocs/op are per round-trip of one
+// whole pipeline on one connection.
+func BenchmarkHotPathServerPipe(b *testing.B) {
+	const conns, depth = 16, 16
+	srv := New(Config{})
+	defer srv.Close()
+
+	clients := make([]*wire.Client, conns)
+	ncs := make([]net.Conn, conns)
+	for i := range clients {
+		nc, err := srv.Pipe()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ncs[i] = nc
+		clients[i] = wire.NewClient(nc)
+	}
+	// Populate and warm every connection once.
+	for i, cl := range clients {
+		if _, err := cl.Do("SET", fmt.Sprintf("key-%d", i), "value"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	pipeline := func(cl *wire.Client, id int) error {
+		keys := [depth]string{}
+		for j := range keys {
+			keys[j] = fmt.Sprintf("key-%d", (id+j)%conns)
+		}
+		for _, k := range keys {
+			if err := cl.Send("GET", k); err != nil {
+				return err
+			}
+		}
+		if err := cl.Flush(); err != nil {
+			return err
+		}
+		for range keys {
+			if _, err := cl.Recv(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i, cl := range clients {
+		if err := pipeline(cl, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N / conns
+	ext := b.N % conns
+	for i, cl := range clients {
+		n := per
+		if i < ext {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(cl *wire.Client, id, n int) {
+			defer wg.Done()
+			for it := 0; it < n; it++ {
+				if err := pipeline(cl, id); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(cl, i, n)
+	}
+	wg.Wait()
+	b.StopTimer()
+	for _, nc := range ncs {
+		nc.Close()
+	}
+}

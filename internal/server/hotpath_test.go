@@ -1,0 +1,130 @@
+package server
+
+// The server-side allocation ceiling and the aliasing-safety tests of the
+// zero-copy reader path (EXPERIMENTS.md E18, DESIGN.md "Allocation
+// discipline").
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	pws "repro"
+	"repro/internal/wire"
+)
+
+// TestAllocsServerPipeRoundTrip bounds the allocations of one pipelined
+// round trip (depth-8 GET pipeline) over Server.Pipe, covering wire
+// decode, batch assembly, sharded Apply and reply encode. Skipped under
+// -race (instrumentation inflates counts).
+func TestAllocsServerPipeRoundTrip(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts inflated under -race")
+	}
+	srv := New(Config{})
+	defer srv.Close()
+	nc, err := srv.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	cl := wire.NewClient(nc)
+	const depth = 8
+	keys := [depth]string{}
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+		if err := cl.Set(keys[i], "value"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pipeline := func() {
+		for _, k := range keys {
+			if err := cl.Send("GET", k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := cl.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		for range keys {
+			if r, err := cl.Recv(); err != nil || r.Kind != wire.BulkReply {
+				t.Fatalf("reply %+v, err %v", r, err)
+			}
+		}
+	}
+	pipeline() // warm both codecs and the batch path
+	// Measured ~100 allocs per depth-8 pipeline, about half of it
+	// client-side reply decoding and segment-tree node churn; was ~430
+	// before the zero-allocation work.
+	const ceiling = 250
+	if n := testing.AllocsPerRun(50, pipeline); n > ceiling {
+		t.Errorf("depth-%d pipelined round trip: %.1f allocs, ceiling %d", depth, n, ceiling)
+	}
+}
+
+// TestServerNoArenaRetention is the server half of the wire.Reader
+// aliasing contract: nothing the server stores may alias a connection's
+// read arena. It stores values through every insert form, churns the
+// connection's arena with unrelated traffic of the same byte shapes, and
+// checks the stored data is intact — on both engines (M1 relies on
+// insert-key cloning plus the engine's insert-key rebinding for combined
+// search+insert groups; M2 additionally clones search keys, which its
+// filter tree can retain as interior separators).
+func TestServerNoArenaRetention(t *testing.T) {
+	for _, engine := range []struct {
+		name string
+		e    pws.Engine
+	}{{"m1", pws.EngineM1}, {"m2", pws.EngineM2}} {
+		t.Run(engine.name, func(t *testing.T) {
+			srv := New(Config{Engine: engine.e})
+			defer srv.Close()
+			nc, err := srv.Pipe()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer nc.Close()
+			cl := wire.NewClient(nc)
+
+			// One pipeline that combines a miss-GET and a SET of the same
+			// key in a single batch: the engine groups them, and the
+			// group's insertion must store the SET's copied key, not the
+			// GET's arena-backed one.
+			cl.Send("GET", "combined")
+			cl.Send("SET", "combined", "cv")
+			cl.Send("MSET", "mk1", "mv1", "mk2", "mv2")
+			if err := cl.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 3; i++ {
+				if _, err := cl.Recv(); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Churn the arena: same-shaped traffic overwrites the bytes
+			// the previous pipeline's strings lived in.
+			for i := 0; i < 8; i++ {
+				cl.Send("GET", "XXXXXXXX")
+				cl.Send("SET", "YYYYYYYY", "ZZ")
+				cl.Send("MSET", "AB1", "CD1", "AB2", "CD2")
+				if err := cl.Flush(); err != nil {
+					t.Fatal(err)
+				}
+				for j := 0; j < 3; j++ {
+					if _, err := cl.Recv(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+
+			for k, want := range map[string]string{
+				"combined": "cv", "mk1": "mv1", "mk2": "mv2",
+			} {
+				v, ok, err := cl.Get(strings.Clone(k))
+				if err != nil || !ok || v != want {
+					t.Fatalf("GET %s = (%q, %v, %v), want %q", k, v, ok, err, want)
+				}
+			}
+		})
+	}
+}

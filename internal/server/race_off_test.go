@@ -1,0 +1,7 @@
+//go:build !race
+
+package server
+
+// raceEnabled reports whether the race detector is active; see the root
+// package's race_off_test.go.
+const raceEnabled = false

@@ -212,10 +212,11 @@ func (s *Server) register(nc net.Conn) (*conn, error) {
 		return nil, ErrConnLimit
 	}
 	c := &conn{
-		srv: s,
-		nc:  nc,
-		r:   wire.NewReaderLimits(nc, s.cfg.Limits),
-		w:   wire.NewWriter(nc),
+		srv:          s,
+		nc:           nc,
+		r:            wire.NewReaderLimits(nc, s.cfg.Limits),
+		w:            wire.NewWriter(nc),
+		cloneAllKeys: s.cfg.Engine == pws.EngineM2,
 	}
 	s.conns[c] = struct{}{}
 	s.wg.Add(1)

@@ -22,10 +22,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/esort"
+	"repro/internal/locks"
 )
 
 // Engine selects the per-shard working-set map implementation.
@@ -56,6 +56,8 @@ type engineMap[K cmp.Ordered, V any] interface {
 	Insert(k K, v V) (V, bool)
 	Delete(k K) (V, bool)
 	Apply(ops []core.Op[K, V]) []core.Result[V]
+	ApplyInto(ops []core.Op[K, V], dst []core.Result[V]) []core.Result[V]
+	ApplyAsync(ops []core.Op[K, V]) core.Pending[K, V]
 	Items(visit func(k K, v V) bool)
 	Len() int
 	Batches() int64
@@ -71,9 +73,40 @@ type Map[K cmp.Ordered, V any] struct {
 	seed   maphash.Seed
 	shards []engineMap[K, V]
 
-	pending atomic.Int64
+	// workers are the persistent per-shard collectors behind Apply: one
+	// long-lived goroutine per shard that drives the shard's engine and
+	// collects its sub-batch results, replacing the goroutine-per-shard
+	// spawn of each Apply call. Jobs are plain struct sends, so the
+	// multi-shard fan-out costs channel operations, not goroutine churn.
+	workers []chan applyJob[K, V]
+	scratch sync.Pool // *applyScratch[K, V]
+
+	pending locks.WaitCounter
 	closed  atomic.Bool
 	closing sync.Once
+}
+
+// applyJob asks shard worker s to collect one submitted sub-batch into
+// dst and tick wg.
+type applyJob[K cmp.Ordered, V any] struct {
+	pend core.Pending[K, V]
+	dst  []core.Result[V]
+	wg   *sync.WaitGroup
+}
+
+// applyScratch is the pooled per-Apply working memory: the two-pass
+// counting-sort split writes into these reused slices, so routing a batch
+// allocates nothing at steady state. Pooled (not per-Map) because any
+// number of connections may Apply concurrently.
+type applyScratch[K cmp.Ordered, V any] struct {
+	shardOf []int32          // shard index per op
+	counts  []int            // per-shard op count, then offset cursor
+	starts  []int            // per-shard sub-batch start offset
+	pos     []int            // op i's slot in the shard-ordered layout
+	subOps  []core.Op[K, V]  // ops regrouped contiguously by shard
+	subRes  []core.Result[V] // results in the same layout
+	pend    []core.Pending[K, V]
+	wg      sync.WaitGroup
 }
 
 // New creates a sharded map.
@@ -101,6 +134,17 @@ func New[K cmp.Ordered, V any](cfg Config) *Map[K, V] {
 			m.shards[i] = core.NewM1[K, V](sub)
 		}
 	}
+	m.workers = make([]chan applyJob[K, V], s)
+	for i := range m.workers {
+		ch := make(chan applyJob[K, V], 4)
+		m.workers[i] = ch
+		go func() {
+			for job := range ch {
+				job.pend.Collect(job.dst)
+				job.wg.Done()
+			}
+		}()
+	}
 	return m
 }
 
@@ -111,11 +155,11 @@ func (m *Map[K, V]) shardOf(k K) int {
 
 // enter registers an in-flight operation, panicking if the map is closed.
 // The pending increment is published before the closed check, so an
-// operation that passes the check is always seen by Close's drain loop.
+// operation that passes the check is always seen by Close's drain wait.
 func (m *Map[K, V]) enter() {
-	m.pending.Add(1)
+	m.pending.Add()
 	if m.closed.Load() {
-		m.pending.Add(-1)
+		m.pending.Done()
 		panic("shard: Map used after Close")
 	}
 }
@@ -123,7 +167,7 @@ func (m *Map[K, V]) enter() {
 // Get searches for key k.
 func (m *Map[K, V]) Get(k K) (V, bool) {
 	m.enter()
-	defer m.pending.Add(-1)
+	defer m.pending.Done()
 	return m.shards[m.shardOf(k)].Get(k)
 }
 
@@ -131,7 +175,7 @@ func (m *Map[K, V]) Get(k K) (V, bool) {
 // previous value and whether the key existed.
 func (m *Map[K, V]) Insert(k K, v V) (V, bool) {
 	m.enter()
-	defer m.pending.Add(-1)
+	defer m.pending.Done()
 	return m.shards[m.shardOf(k)].Insert(k, v)
 }
 
@@ -139,7 +183,7 @@ func (m *Map[K, V]) Insert(k K, v V) (V, bool) {
 // existed.
 func (m *Map[K, V]) Delete(k K) (V, bool) {
 	m.enter()
-	defer m.pending.Add(-1)
+	defer m.pending.Done()
 	return m.shards[m.shardOf(k)].Delete(k)
 }
 
@@ -149,34 +193,120 @@ func (m *Map[K, V]) Delete(k K) (V, bool) {
 // submission) and the per-shard sub-batches run concurrently — the sharded
 // bulk-load path.
 func (m *Map[K, V]) Apply(ops []core.Op[K, V]) []core.Result[V] {
-	m.enter()
-	defer m.pending.Add(-1)
-	byShard := make([][]int, len(m.shards))
-	for i, op := range ops {
-		s := m.shardOf(op.Key)
-		byShard[s] = append(byShard[s], i)
+	return m.ApplyInto(ops, nil)
+}
+
+// grow returns s[:n], reallocating when the capacity is short.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
 	}
-	out := make([]core.Result[V], len(ops))
-	var wg sync.WaitGroup
-	for s, idxs := range byShard {
-		if len(idxs) == 0 {
+	return s[:n]
+}
+
+// ApplyInto is Apply collecting into dst (grown as needed and returned),
+// so a caller issuing batches in a loop — the server's pipelined
+// connections — reuses one result buffer.
+//
+// The split is a two-pass counting sort into pooled scratch: pass one
+// routes every op and counts per shard, pass two lays the ops out
+// contiguously by shard. A batch that lands entirely in one shard is
+// submitted as-is and collected on the calling goroutine — no scatter,
+// no handoff. Multi-shard batches are submitted shard by shard (cheap,
+// non-blocking) and collected by the persistent per-shard workers, the
+// caller taking the last sub-batch itself.
+func (m *Map[K, V]) ApplyInto(ops []core.Op[K, V], dst []core.Result[V]) []core.Result[V] {
+	m.enter()
+	defer m.pending.Done()
+	dst = grow(dst, len(ops))
+	if len(ops) == 0 {
+		return dst
+	}
+	if len(m.shards) == 1 {
+		m.shards[0].ApplyAsync(ops).Collect(dst)
+		return dst
+	}
+
+	sc, _ := m.scratch.Get().(*applyScratch[K, V])
+	if sc == nil {
+		sc = &applyScratch[K, V]{}
+	}
+	defer func() {
+		// Drop op/result contents so pooled scratch does not pin client
+		// keys/values (same discipline as callPool.put/batchPool.put).
+		clear(sc.subOps)
+		clear(sc.subRes)
+		m.scratch.Put(sc)
+	}()
+	sc.shardOf = grow(sc.shardOf, len(ops))
+	sc.counts = grow(sc.counts, len(m.shards))
+	clear(sc.counts)
+	single := int32(-1)
+	for i, op := range ops {
+		s := int32(m.shardOf(op.Key))
+		sc.shardOf[i] = s
+		sc.counts[s]++
+		single = s
+	}
+	nonEmpty := 0
+	for _, c := range sc.counts {
+		if c > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 1 {
+		// Single-shard fast path: input order is already sub-batch order.
+		m.shards[single].ApplyAsync(ops).Collect(dst)
+		return dst
+	}
+
+	// Pass two: contiguous by-shard layout via prefix offsets.
+	sc.starts = grow(sc.starts, len(m.shards))
+	off := 0
+	for s, c := range sc.counts {
+		sc.starts[s] = off
+		off += c
+	}
+	sc.subOps = grow(sc.subOps, len(ops))
+	sc.subRes = grow(sc.subRes, len(ops))
+	sc.pos = grow(sc.pos, len(ops))
+	cursor := sc.counts // reuse as per-shard fill cursor
+	copy(cursor, sc.starts)
+	for i, op := range ops {
+		p := cursor[sc.shardOf[i]]
+		cursor[sc.shardOf[i]]++
+		sc.subOps[p] = op
+		sc.pos[i] = p
+	}
+
+	// Submit every sub-batch first (non-blocking), then hand the collects
+	// to the per-shard workers; the caller collects the last one itself.
+	sc.pend = grow(sc.pend, len(m.shards))
+	last := -1
+	for s := range m.shards {
+		lo, hi := sc.starts[s], cursor[s]
+		if lo == hi {
+			sc.pend[s] = core.Pending[K, V]{}
 			continue
 		}
-		wg.Add(1)
-		go func(s int, idxs []int) {
-			defer wg.Done()
-			sub := make([]core.Op[K, V], len(idxs))
-			for j, i := range idxs {
-				sub[j] = ops[i]
-			}
-			res := m.shards[s].Apply(sub)
-			for j, i := range idxs {
-				out[i] = res[j]
-			}
-		}(s, idxs)
+		sc.pend[s] = m.shards[s].ApplyAsync(sc.subOps[lo:hi])
+		last = s
 	}
-	wg.Wait()
-	return out
+	for s := range m.shards {
+		lo, hi := sc.starts[s], cursor[s]
+		if lo == hi || s == last {
+			continue
+		}
+		sc.wg.Add(1)
+		m.workers[s] <- applyJob[K, V]{pend: sc.pend[s], dst: sc.subRes[lo:hi], wg: &sc.wg}
+	}
+	sc.pend[last].Collect(sc.subRes[sc.starts[last]:cursor[last]])
+	sc.wg.Wait()
+
+	for i := range ops {
+		dst[i] = sc.subRes[sc.pos[i]]
+	}
+	return dst
 }
 
 // Len returns the current number of items (racy snapshot, summed across
@@ -212,15 +342,14 @@ func (m *Map[K, V]) Quiesce() {
 	}
 }
 
-// Close marks the map closed, waits for in-flight operations to drain, and
-// closes every shard. Close is idempotent: concurrent and repeated calls
-// all block until the first one finishes.
+// Close marks the map closed, waits for in-flight operations to drain,
+// closes every shard and stops the per-shard workers. Close is
+// idempotent: concurrent and repeated calls all block until the first one
+// finishes.
 func (m *Map[K, V]) Close() {
 	m.closing.Do(func() {
 		m.closed.Store(true)
-		for m.pending.Load() != 0 {
-			time.Sleep(50 * time.Microsecond)
-		}
+		m.pending.Wait()
 		var wg sync.WaitGroup
 		for _, s := range m.shards {
 			wg.Add(1)
@@ -230,6 +359,9 @@ func (m *Map[K, V]) Close() {
 			}(s)
 		}
 		wg.Wait()
+		for _, ch := range m.workers {
+			close(ch)
+		}
 	})
 }
 

@@ -120,13 +120,21 @@ func (s *Seq[K]) Remove(leaves []*SeqLeaf[K]) []*SeqLeaf[K] {
 	if len(leaves) == 0 {
 		return nil
 	}
+	return s.RemoveInto(leaves, make([]int, len(leaves)), make([]*SeqLeaf[K], len(leaves)))
+}
+
+// RemoveInto is Remove with caller scratch: ranks and out must both have
+// length len(leaves); out is filled and returned.
+func (s *Seq[K]) RemoveInto(leaves []*SeqLeaf[K], ranks []int, out []*SeqLeaf[K]) []*SeqLeaf[K] {
+	if len(leaves) == 0 {
+		return out[:0]
+	}
 	s.chargeBatch(len(leaves))
-	ranks := make([]int, len(leaves))
 	for i, lf := range leaves {
 		ranks[i] = Rank(lf)
 	}
 	sort.Ints(ranks)
-	out := make([]*SeqLeaf[K], len(ranks))
+	clear(out)
 	s.root = batchDeleteRanks(s.root, ranks, 0, out)
 	return out
 }

@@ -153,8 +153,15 @@ func (t *Tree[K, P]) Validate() error { return validate(t.root, true) }
 // found leaves aligned with keys (nil where absent). Θ(b log n) work,
 // read-only, parallel.
 func (t *Tree[K, P]) BatchGet(keys []K) []*Node[K, P] {
+	return t.BatchGetInto(keys, make([]*Node[K, P], len(keys)))
+}
+
+// BatchGetInto is BatchGet writing into caller scratch: out must have
+// length len(keys) and is cleared, filled and returned. The engines use
+// it to keep their per-batch segment passes allocation-free.
+func (t *Tree[K, P]) BatchGetInto(keys []K, out []*Node[K, P]) []*Node[K, P] {
 	t.chargeBatch(len(keys))
-	out := make([]*Node[K, P], len(keys))
+	clear(out)
 	batchGet(t.root, keys, out)
 	return out
 }
@@ -193,6 +200,15 @@ func batchGet[K cmp.Ordered, P any](n *Node[K, P], keys []K, out []*Node[K, P]) 
 		if nonEmpty <= 1 {
 			n, keys, out = n.child[only], keys[lo[only]:lo[only+1]], out[lo[only]:lo[only+1]]
 			continue
+		}
+		if len(keys) < batchGrain {
+			// Sequential recursion: no closures, no forking overhead.
+			for ci := int8(0); ci < n.nc; ci++ {
+				if lo[ci+1] > lo[ci] {
+					batchGet(n.child[ci], keys[lo[ci]:lo[ci+1]], out[lo[ci]:lo[ci+1]])
+				}
+			}
+			return
 		}
 		var fns [3]func()
 		nf := 0
@@ -259,10 +275,15 @@ func batchUpsert[K cmp.Ordered, P any](n *Node[K, P], items []Item[K, P], out []
 	}
 	out[mid] = eq
 	var lt, rt *Node[K, P]
-	runForked(len(items), []func(){
-		func() { lt = batchUpsert(l, items[:mid], out[:mid]) },
-		func() { rt = batchUpsert(r, items[mid+1:], out[mid+1:]) },
-	})
+	if len(items) < batchGrain {
+		lt = batchUpsert(l, items[:mid], out[:mid])
+		rt = batchUpsert(r, items[mid+1:], out[mid+1:])
+	} else {
+		runForked(len(items), []func(){
+			func() { lt = batchUpsert(l, items[:mid], out[:mid]) },
+			func() { rt = batchUpsert(r, items[mid+1:], out[mid+1:]) },
+		})
+	}
 	return join(join(lt, eq), rt)
 }
 
@@ -288,18 +309,29 @@ func batchInsertLeaves[K cmp.Ordered, P any](n *Node[K, P], leaves []*Node[K, P]
 		panic("twothree: BatchInsertLeaves: key already present")
 	}
 	var lt, rt *Node[K, P]
-	runForked(len(leaves), []func(){
-		func() { lt = batchInsertLeaves(l, leaves[:mid]) },
-		func() { rt = batchInsertLeaves(r, leaves[mid+1:]) },
-	})
+	if len(leaves) < batchGrain {
+		lt = batchInsertLeaves(l, leaves[:mid])
+		rt = batchInsertLeaves(r, leaves[mid+1:])
+	} else {
+		runForked(len(leaves), []func(){
+			func() { lt = batchInsertLeaves(l, leaves[:mid]) },
+			func() { rt = batchInsertLeaves(r, leaves[mid+1:]) },
+		})
+	}
 	return join(join(lt, detach(leaves[mid])), rt)
 }
 
 // BatchDelete removes every key of the sorted, distinct batch and returns
 // the removed leaves aligned with keys (nil where absent). Θ(b log n) work.
 func (t *Tree[K, P]) BatchDelete(keys []K) []*Node[K, P] {
+	return t.BatchDeleteInto(keys, make([]*Node[K, P], len(keys)))
+}
+
+// BatchDeleteInto is BatchDelete writing into caller scratch: out must
+// have length len(keys) and is cleared, filled and returned.
+func (t *Tree[K, P]) BatchDeleteInto(keys []K, out []*Node[K, P]) []*Node[K, P] {
 	t.chargeBatch(len(keys))
-	out := make([]*Node[K, P], len(keys))
+	clear(out)
 	t.root = batchDelete(t.root, keys, out)
 	return out
 }
@@ -312,10 +344,15 @@ func batchDelete[K cmp.Ordered, P any](n *Node[K, P], keys []K, out []*Node[K, P
 	l, eq, r := splitKey(n, keys[mid])
 	out[mid] = eq
 	var lt, rt *Node[K, P]
-	runForked(len(keys), []func(){
-		func() { lt = batchDelete(l, keys[:mid], out[:mid]) },
-		func() { rt = batchDelete(r, keys[mid+1:], out[mid+1:]) },
-	})
+	if len(keys) < batchGrain {
+		lt = batchDelete(l, keys[:mid], out[:mid])
+		rt = batchDelete(r, keys[mid+1:], out[mid+1:])
+	} else {
+		runForked(len(keys), []func(){
+			func() { lt = batchDelete(l, keys[:mid], out[:mid]) },
+			func() { rt = batchDelete(r, keys[mid+1:], out[mid+1:]) },
+		})
+	}
 	return join(lt, rt)
 }
 
@@ -339,9 +376,14 @@ func batchDeleteRanks[K cmp.Ordered, P any](n *Node[K, P], ranks []int, off int,
 	leaf, b := splitRank(rest, 1)
 	out[mid] = leaf
 	var at, bt *Node[K, P]
-	runForked(len(ranks), []func(){
-		func() { at = batchDeleteRanks(a, ranks[:mid], off, out[:mid]) },
-		func() { bt = batchDeleteRanks(b, ranks[mid+1:], ranks[mid]+1, out[mid+1:]) },
-	})
+	if len(ranks) < batchGrain {
+		at = batchDeleteRanks(a, ranks[:mid], off, out[:mid])
+		bt = batchDeleteRanks(b, ranks[mid+1:], ranks[mid]+1, out[mid+1:])
+	} else {
+		runForked(len(ranks), []func(){
+			func() { at = batchDeleteRanks(a, ranks[:mid], off, out[:mid]) },
+			func() { bt = batchDeleteRanks(b, ranks[mid+1:], ranks[mid]+1, out[mid+1:]) },
+		})
+	}
 	return join(at, bt)
 }

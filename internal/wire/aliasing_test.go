@@ -1,0 +1,98 @@
+package wire
+
+// Tests for the Reader aliasing contract (see the Reader doc comment):
+// decoded strings alias a reusable arena; Reset recycles it, so strings
+// retained across a Reset are not safe — and without Reset they are.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func cmdBytes(args ...string) []byte {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WriteCommand(args...)
+	w.Flush()
+	return buf.Bytes()
+}
+
+// TestReaderArgsStableWithoutReset: a Reader that is never Reset keeps
+// every decoded command valid for its lifetime (the client/fuzzer usage).
+func TestReaderArgsStableWithoutReset(t *testing.T) {
+	var stream bytes.Buffer
+	stream.Write(cmdBytes("SET", "key-one", "value-one"))
+	stream.Write(cmdBytes("SET", "key-two", "value-two"))
+	r := NewReader(&stream)
+	c1, err := r.ReadCommand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := r.ReadCommand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Name != "SET" || c1.Args[0] != "key-one" || c1.Args[1] != "value-one" {
+		t.Fatalf("command 1 corrupted after later read: %+v", c1)
+	}
+	if c2.Args[0] != "key-two" || c2.Args[1] != "value-two" {
+		t.Fatalf("command 2 wrong: %+v", c2)
+	}
+}
+
+// TestReaderResetInvalidatesRetainedArgs: a Command retained across Reset
+// is NOT safe — the arena is recycled and same-shaped traffic overwrites
+// the retained string's bytes in place. This is the negative half of the
+// contract: it pins down that the zero-copy reader really does alias (so
+// the server's copy-on-insert discipline is load-bearing), and documents
+// exactly what a retaining caller would observe.
+func TestReaderResetInvalidatesRetainedArgs(t *testing.T) {
+	var stream bytes.Buffer
+	stream.Write(cmdBytes("SET", "AAAAAAAA", "11111111"))
+	stream.Write(cmdBytes("SET", "BBBBBBBB", "22222222"))
+	r := NewReader(&stream)
+	c1, err := r.ReadCommand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	retainedKey := c1.Args[0] // aliases the arena
+	if retainedKey != "AAAAAAAA" {
+		t.Fatalf("decoded key %q", retainedKey)
+	}
+	safeCopy := strings.Clone(retainedKey)
+
+	r.Reset()
+	if _, err := r.ReadCommand(); err != nil {
+		t.Fatal(err)
+	}
+	if retainedKey != "BBBBBBBB" {
+		t.Fatalf("retained arg should have been overwritten by the recycled arena, got %q", retainedKey)
+	}
+	if safeCopy != "AAAAAAAA" {
+		t.Fatalf("cloned copy must survive Reset, got %q", safeCopy)
+	}
+}
+
+// TestReaderResetReusesStorage: at steady state a Reset-per-pipeline
+// reader decodes without growing — the arena and argument storage are
+// recycled, not reallocated.
+func TestReaderResetReusesStorage(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts inflated under -race")
+	}
+	payload := cmdBytes("SET", "some-key", strings.Repeat("v", 256))
+	var stream bytes.Buffer
+	r := NewReader(&stream)
+	run := func() {
+		stream.Write(payload)
+		if _, err := r.ReadCommand(); err != nil {
+			t.Fatal(err)
+		}
+		r.Reset()
+	}
+	run() // provision arena and scratch
+	if n := testing.AllocsPerRun(100, run); n > 1 {
+		t.Errorf("Reset-per-command decode: %.1f allocs, want ~0", n)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"unsafe"
 )
 
 // readBufSize is sized so a full pipeline batch from one Writer flush
@@ -17,11 +18,36 @@ const readBufSize = 64 << 10
 // string, an integer, or a simple/error text line.
 const maxLineLen = 4 << 10
 
+// arenaChunk is the default bulk-arena chunk size. One chunk absorbs the
+// payloads of a whole pipeline at steady state, so a drained-and-Reset
+// pipeline decodes without allocating.
+const arenaChunk = 64 << 10
+
 // Reader decodes commands and replies from a stream, enforcing Limits.
 // Not safe for concurrent use.
+//
+// # Aliasing contract
+//
+// Decoded strings — Command.Name, Command.Args elements and Reply.Str —
+// alias an internal byte arena owned by the Reader; building them costs
+// no per-string allocation. They remain valid until Reset is called:
+// Reset recycles the arena, and strings handed out before it may be
+// overwritten by subsequent reads. Callers therefore either
+//
+//   - never call Reset (clients, fuzzers): every string stays valid for
+//     the life of the Reader and is garbage-collected with its chunk once
+//     dropped — the arena only batches allocations; or
+//   - call Reset at a quiescent point and retain nothing across it (the
+//     server: one Reset after each drained pipeline is fully processed
+//     and replied to, having copied anything it stores — see
+//     internal/server).
 type Reader struct {
 	br  *bufio.Reader
 	lim Limits
+
+	line  []byte   // one-line-frame scratch, reused per line
+	args  []string // command argument backing, reused after Reset
+	arena []byte   // active bulk-payload chunk; len = used
 }
 
 // NewReader creates a Reader with DefaultLimits.
@@ -38,30 +64,71 @@ func NewReaderLimits(r io.Reader, lim Limits) *Reader {
 // empty connection.
 func (r *Reader) Buffered() int { return r.br.Buffered() }
 
+// Reset recycles the Reader's string arena and argument storage,
+// invalidating every Command and Reply string previously returned (see
+// the aliasing contract). Call it only when nothing from earlier reads is
+// retained.
+func (r *Reader) Reset() {
+	r.arena = r.arena[:0]
+	clear(r.args) // drop string refs so recycled capacity pins no chunks
+	r.args = r.args[:0]
+}
+
+// bstr views a byte slice as a string without copying. The result aliases
+// b and must not outlive b's next mutation; used for transient parsing
+// and for arena-backed strings (whose backing is never mutated until
+// Reset, per the aliasing contract).
+func bstr(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(unsafe.SliceData(b), len(b))
+}
+
+// arenaAlloc returns n arena bytes for a bulk payload. When the active
+// chunk is full it is dropped and a fresh one started: strings already
+// handed out keep the old chunk alive through their own pointers, so
+// rollover never invalidates anything.
+func (r *Reader) arenaAlloc(n int) []byte {
+	if cap(r.arena)-len(r.arena) < n {
+		c := arenaChunk
+		if n > c {
+			c = n
+		}
+		r.arena = make([]byte, 0, c)
+	}
+	lo := len(r.arena)
+	r.arena = r.arena[:lo+n]
+	return r.arena[lo : lo+n]
+}
+
 // readLine reads one CRLF-terminated line (excluding the CRLF), at most
-// max bytes long. Bare LF and CR not followed by LF are protocol errors.
-func (r *Reader) readLine(max int) (string, error) {
-	var buf []byte
+// max bytes long, into the line scratch — valid until the next readLine.
+// Bare LF and CR not followed by LF are protocol errors.
+func (r *Reader) readLine(max int) ([]byte, error) {
+	buf := r.line[:0]
 	for {
 		b, err := r.br.ReadByte()
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		switch b {
 		case '\r':
 			nl, err := r.br.ReadByte()
 			if err != nil {
-				return "", err
+				return nil, err
 			}
 			if nl != '\n' {
-				return "", fmt.Errorf("%w: CR not followed by LF", ErrProtocol)
+				return nil, fmt.Errorf("%w: CR not followed by LF", ErrProtocol)
 			}
-			return string(buf), nil
+			r.line = buf
+			return buf, nil
 		case '\n':
-			return "", fmt.Errorf("%w: bare LF in line", ErrProtocol)
+			return nil, fmt.Errorf("%w: bare LF in line", ErrProtocol)
 		default:
 			if len(buf) >= max {
-				return "", fmt.Errorf("%w: line longer than %d bytes", ErrLimit, max)
+				r.line = buf
+				return nil, fmt.Errorf("%w: line longer than %d bytes", ErrLimit, max)
 			}
 			buf = append(buf, b)
 		}
@@ -78,17 +145,18 @@ func (r *Reader) readHeader() (byte, int64, error) {
 	if len(line) < 2 {
 		return 0, 0, fmt.Errorf("%w: short frame header %q", ErrProtocol, line)
 	}
-	n, err := strconv.ParseInt(line[1:], 10, 64)
+	n, err := strconv.ParseInt(bstr(line[1:]), 10, 64)
 	if err != nil {
 		return 0, 0, fmt.Errorf("%w: bad length in header %q", ErrProtocol, line)
 	}
 	return line[0], n, nil
 }
 
-// readBulkBody reads n payload bytes plus the trailing CRLF. n has
-// already been validated against MaxBulk.
+// readBulkBody reads n payload bytes plus the trailing CRLF into the
+// arena and returns the arena-backed string. n has already been validated
+// against MaxBulk.
 func (r *Reader) readBulkBody(n int64) (string, error) {
-	buf := make([]byte, n)
+	buf := r.arenaAlloc(int(n))
 	if _, err := io.ReadFull(r.br, buf); err != nil {
 		return "", err
 	}
@@ -103,7 +171,7 @@ func (r *Reader) readBulkBody(n int64) (string, error) {
 	if cr != '\r' || lf != '\n' {
 		return "", fmt.Errorf("%w: bulk string not CRLF-terminated", ErrProtocol)
 	}
-	return string(buf), nil
+	return bstr(buf), nil
 }
 
 // readBulk reads one "$len\r\n<bytes>\r\n" frame. Nil bulks are not
@@ -127,7 +195,8 @@ func (r *Reader) readBulk() (string, error) {
 
 // ReadCommand decodes one client command frame. io.EOF is returned
 // verbatim only at a frame boundary; inside a frame truncation surfaces
-// as io.ErrUnexpectedEOF.
+// as io.ErrUnexpectedEOF. The command's strings follow the Reader's
+// aliasing contract.
 func (r *Reader) ReadCommand() (Command, error) {
 	typ, argc, err := r.readHeader()
 	if err != nil {
@@ -142,19 +211,24 @@ func (r *Reader) ReadCommand() (Command, error) {
 	if argc > int64(r.lim.MaxArgs) {
 		return Command{}, fmt.Errorf("%w: %d arguments exceeds max %d", ErrLimit, argc, r.lim.MaxArgs)
 	}
-	args := make([]string, argc)
-	for i := range args {
-		if args[i], err = r.readBulk(); err != nil {
+	base := len(r.args)
+	for i := 0; i < int(argc); i++ {
+		a, err := r.readBulk()
+		if err != nil {
 			if err == io.EOF {
 				err = io.ErrUnexpectedEOF
 			}
+			r.args = r.args[:base]
 			return Command{}, err
 		}
+		r.args = append(r.args, a)
 	}
+	args := r.args[base:]
 	return Command{Name: args[0], Args: args[1:]}, nil
 }
 
-// ReadReply decodes one reply frame (client side).
+// ReadReply decodes one reply frame (client side). Reply strings follow
+// the Reader's aliasing contract.
 func (r *Reader) ReadReply() (Reply, error) {
 	return r.readReply(r.lim.MaxDepth)
 }
@@ -169,17 +243,17 @@ func (r *Reader) readReply(depth int) (Reply, error) {
 	}
 	switch line[0] {
 	case '+':
-		return Reply{Kind: SimpleReply, Str: line[1:]}, nil
+		return Reply{Kind: SimpleReply, Str: bstr(r.arenaAppend(line[1:]))}, nil
 	case '-':
-		return Reply{Kind: ErrorReply, Str: line[1:]}, nil
+		return Reply{Kind: ErrorReply, Str: bstr(r.arenaAppend(line[1:]))}, nil
 	case ':':
-		n, err := strconv.ParseInt(line[1:], 10, 64)
+		n, err := strconv.ParseInt(bstr(line[1:]), 10, 64)
 		if err != nil {
 			return Reply{}, fmt.Errorf("%w: bad integer reply %q", ErrProtocol, line)
 		}
 		return Reply{Kind: IntReply, Int: n}, nil
 	case '$':
-		n, err := strconv.ParseInt(line[1:], 10, 64)
+		n, err := strconv.ParseInt(bstr(line[1:]), 10, 64)
 		if err != nil {
 			return Reply{}, fmt.Errorf("%w: bad bulk length %q", ErrProtocol, line)
 		}
@@ -198,7 +272,7 @@ func (r *Reader) readReply(depth int) (Reply, error) {
 		}
 		return Reply{Kind: BulkReply, Str: s}, nil
 	case '*':
-		n, err := strconv.ParseInt(line[1:], 10, 64)
+		n, err := strconv.ParseInt(bstr(line[1:]), 10, 64)
 		if err != nil {
 			return Reply{}, fmt.Errorf("%w: bad array length %q", ErrProtocol, line)
 		}
@@ -224,4 +298,13 @@ func (r *Reader) readReply(depth int) (Reply, error) {
 	default:
 		return Reply{}, fmt.Errorf("%w: unknown reply type %q", ErrProtocol, line[0])
 	}
+}
+
+// arenaAppend copies b into the arena (one-line reply payloads live in
+// the line scratch, which the next read reuses; the arena copy gives the
+// returned string the arena lifetime instead).
+func (r *Reader) arenaAppend(b []byte) []byte {
+	dst := r.arenaAlloc(len(b))
+	copy(dst, b)
+	return dst
 }

@@ -16,7 +16,8 @@ const writeBufSize = 64 << 10
 // buffer; call Flush to push a pipeline batch out. Not safe for
 // concurrent use.
 type Writer struct {
-	bw *bufio.Writer
+	bw  *bufio.Writer
+	num []byte // integer-formatting scratch, reused per header
 }
 
 // NewWriter creates a Writer.
@@ -27,12 +28,15 @@ func NewWriter(w io.Writer) *Writer {
 // Flush writes all buffered frames to the underlying stream.
 func (w *Writer) Flush() error { return w.bw.Flush() }
 
-// writeLen writes a "<type><n>\r\n" header.
+// writeLen writes a "<type><n>\r\n" header. The digits go through the
+// reused num scratch, not strconv.FormatInt, so header writes never
+// allocate.
 func (w *Writer) writeLen(typ byte, n int64) error {
 	if err := w.bw.WriteByte(typ); err != nil {
 		return err
 	}
-	if _, err := w.bw.WriteString(strconv.FormatInt(n, 10)); err != nil {
+	w.num = strconv.AppendInt(w.num[:0], n, 10)
+	if _, err := w.bw.Write(w.num); err != nil {
 		return err
 	}
 	return w.crlf()
