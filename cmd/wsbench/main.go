@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/experiments/e19"
 )
 
 type experiment struct {
@@ -48,6 +49,7 @@ var all = []experiment{
 	{"e16", "scheduler model: Brent bound + weak priority (Sections 4, 7.2)", experiments.E16SchedulerModel},
 	{"e17", "sharded front-end throughput scaling (sharding thesis)",
 		func(s experiments.Scale) experiments.Table { return experiments.E17ShardedScaling(s, *shardsFlag) }},
+	{"e19", "cross-connection batch coalescing: conns x depth x window (group commit)", e19.CoalesceSweep},
 }
 
 // shardsFlag is read by e17 and -sweep after flag.Parse.

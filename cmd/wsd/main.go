@@ -9,6 +9,9 @@
 //	wsd                          # serve on :6380, M1 engine, GOMAXPROCS shards
 //	wsd -addr :7000 -engine m2   # pipelined engine for latency
 //	wsd -shards 8 -p 4           # fixed shard count and per-shard p
+//	wsd -coalesce-window 200us   # cross-connection group commit: depth-1
+//	                             # traffic from many clients rides combined
+//	                             # batches (README: tuning -coalesce-window)
 //
 // Drive it with cmd/wsload, or any client speaking the wire protocol.
 // SIGINT/SIGTERM trigger a graceful shutdown: in-flight batches finish
@@ -36,6 +39,8 @@ func main() {
 		p        = flag.Int("p", 0, "per-shard processor parameter p (0 = auto)")
 		maxConns = flag.Int("maxconns", 1024, "max concurrent connections")
 		maxPipe  = flag.Int("maxpipeline", 256, "max pipelined commands per batch")
+		coWin    = flag.Duration("coalesce-window", 0, "cross-connection coalescing window (0 = per-connection batching only)")
+		coBatch  = flag.Int("coalesce-batch", 1024, "coalescing size trigger in ops (with -coalesce-window)")
 	)
 	flag.Parse()
 
@@ -51,18 +56,24 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		Shards:      *shards,
-		Engine:      eng,
-		P:           *p,
-		MaxConns:    *maxConns,
-		MaxPipeline: *maxPipe,
+		Shards:         *shards,
+		Engine:         eng,
+		P:              *p,
+		MaxConns:       *maxConns,
+		MaxPipeline:    *maxPipe,
+		CoalesceWindow: *coWin,
+		CoalesceBatch:  *coBatch,
 	})
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("wsd: %v", err)
 	}
-	log.Printf("wsd: serving on %s (engine=%s shards=%d)", l.Addr(), srv.Engine(), srv.Shards())
+	mode := "per-connection batching"
+	if *coWin > 0 {
+		mode = fmt.Sprintf("coalescing window=%s batch=%d", *coWin, *coBatch)
+	}
+	log.Printf("wsd: serving on %s (engine=%s shards=%d, %s)", l.Addr(), srv.Engine(), srv.Shards(), mode)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

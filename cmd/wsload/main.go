@@ -9,12 +9,21 @@
 //	wsload -addr host:6380 -conns 32 -depth 64
 //	wsload -workloads uniform,zipf -n 1000000
 //	wsload -depth 1                         # unpipelined baseline
+//	wsload -rate 50000                      # open-loop fixed-rate mode (no
+//	                                        # coordinated omission; see below)
 //	wsload -json                            # one JSON object per workload
 //
 // Pipeline depth is the interesting knob: the server drains each
 // connection's pipelined requests into one batch Apply, so deeper
 // pipelines mean fewer, larger batches (see the server's STATS:
 // avg_batch) — the network realization of the paper's batching.
+//
+// The default pacing is a closed loop, which under-reports latency when
+// the server queues (coordinated omission: a slow reply also delays the
+// next request). -rate N switches to an open loop that issues N ops/s on
+// a fixed schedule and measures every reply against its scheduled send
+// time — the right way to read the latency cost of wsd's
+// -coalesce-window.
 package main
 
 import (
@@ -33,6 +42,7 @@ func main() {
 		addr      = flag.String("addr", "127.0.0.1:6380", "wsd server address")
 		conns     = flag.Int("conns", 8, "concurrent connections")
 		depth     = flag.Int("depth", 16, "pipeline depth per connection (1 = no pipelining)")
+		rate      = flag.Float64("rate", 0, "open-loop fixed rate in ops/s across all connections (0 = closed loop)")
 		n         = flag.Int("n", 200_000, "total operations per workload")
 		workloads = flag.String("workloads", "zipf,working-set", "comma-separated workloads: uniform, zipf, working-set")
 		universe  = flag.Int("universe", 1<<16, "key-space size")
@@ -67,6 +77,7 @@ func main() {
 		rep, err := loadgen.Run(loadgen.Config{
 			Conns:       *conns,
 			Depth:       *depth,
+			Rate:        *rate,
 			Ops:         *n,
 			Workload:    loadgen.Workload(w),
 			Universe:    *universe,

@@ -59,7 +59,14 @@
 // pipelining into the paper's batching — each connection's pipelined
 // requests are drained into one batch Apply, so duplicate combining and
 // working-set adaptivity survive the network hop (internal/server).
-// cmd/wsload is the matching closed-loop load generator; see README.md.
+// For unpipelined fleets (each client one request at a time), wsd's
+// -coalesce-window enables cross-connection group commit
+// (internal/coalesce): many connections' single operations are cut into
+// one combined batch under a size-or-deadline policy, restoring the
+// paper's batch economics — including duplicate combining across
+// clients — to depth-1 traffic. cmd/wsload is the matching load
+// generator (closed-loop pipelines, or open-loop fixed-rate with -rate
+// for coordinated-omission-free latency); see README.md.
 //
 // See EXPERIMENTS.md for the measured reproduction of every bound in the
 // paper, and DESIGN.md for the system inventory.

@@ -67,7 +67,7 @@ func NewBatchedTree[K cmp.Ordered, V any](p int, cnt *metrics.Counter) *BatchedT
 	b := &BatchedTree[K, V]{
 		p:    p,
 		pb:   pbuffer.New[*call[K, V]](p),
-		tree: twothree.New[K, V](cnt),
+		tree: twothree.NewPooled[K, V](cnt, twothree.NewNodePool[K, V]()),
 	}
 	b.act = locks.NewActivation(
 		func() bool { return b.pb.Len() > 0 },

@@ -1,0 +1,371 @@
+// Package coalesce implements the cross-connection group-commit
+// scheduler: many submitters (the server's connection goroutines) hand
+// their decoded operations to one Coalescer, which cuts the accumulated
+// queue into combined batches under a size-or-deadline policy and applies
+// each combined batch as one call against the underlying map.
+//
+// This is what turns depth-1 traffic — a fleet of unpipelined clients,
+// each contributing one operation at a time — back into the paper's
+// size-p batches: a single connection's pipeline window used to be the
+// only batch boundary, so unpipelined clients degenerated to batch size 1
+// and lost duplicate combining and working-set adaptivity entirely. The
+// Coalescer restores the batch across connections, the way group commit
+// amortizes fsync in a write-ahead log: whoever arrives during the
+// current window (or during the previous batch's application) rides the
+// next combined batch.
+//
+// # Ordering and fairness
+//
+// Jobs commit in strict submission (FIFO) order, and every cut takes the
+// whole queue: a combined batch is a contiguous prefix of the submission
+// order, batches are applied one at a time by a single commit loop, and
+// no job can be overtaken. That gives two guarantees for free: per-
+// connection operation order is preserved whenever each connection
+// submits its jobs in order, and no submitter can starve — the oldest
+// waiting job bounds every cut via MaxDelay. Parallelism is not lost to
+// the single loop: one combined batch fans out across every shard of the
+// sharded map and the per-shard engines' internal parallelism, which is
+// exactly where the paper says the parallelism should come from.
+//
+// # Backpressure
+//
+// The queue is bounded by construction rather than by a limit of its
+// own: every submitter blocks in Job.Wait until its batch commits, so at
+// most one job per connection is in flight and the queue never holds
+// more than MaxConns jobs (times the few barrier-split segments a single
+// pipeline can contribute). A slow apply therefore slows admission — the
+// closed loop is the backpressure.
+package coalesce
+
+import (
+	"cmp"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Applier applies the concatenation of batches as one combined batch,
+// delivering each batch's results into the aligned dsts slice (the
+// contract of shard.Map.ApplyScattered, which is the intended
+// implementation; tests substitute their own).
+type Applier[K cmp.Ordered, V any] func(batches [][]core.Op[K, V], dsts [][]core.Result[V])
+
+// Config configures a Coalescer. The zero value gets the defaults noted.
+type Config struct {
+	// MaxBatch cuts the queue as soon as it holds this many operations
+	// (default 1024). It is a trigger, not a ceiling: operations arriving
+	// while the previous batch is still being applied all ride the next
+	// cut, which may exceed MaxBatch — group commit wants the batch as
+	// large as the traffic makes it.
+	MaxBatch int
+	// MaxDelay cuts the queue when its oldest job has waited this long
+	// (default 200µs). It bounds the latency cost of coalescing: an
+	// operation arriving into an empty queue waits at most MaxDelay plus
+	// one batch application before its results are delivered.
+	//
+	// MaxDelay is a bound, not a fixed wait: the commit loop also cuts as
+	// soon as the queue has refilled to (three quarters of) the previous
+	// cut's size. At saturation — every client resubmitting as soon as
+	// its last batch commits — consecutive cuts therefore chain with no
+	// window wait at all, and throughput is set by batch application
+	// time, not by MaxDelay; the full window is only ever waited out when
+	// traffic is ramping down past its previous scale.
+	MaxDelay time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch < 1 {
+		c.MaxBatch = 1024
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 200 * time.Microsecond
+	}
+	return c
+}
+
+// Stats is a snapshot of the Coalescer's counters.
+type Stats struct {
+	// Batches is the number of combined batches committed; Ops the total
+	// operations they carried; MaxBatch the largest single combined batch.
+	Batches  int64
+	Ops      int64
+	MaxBatch int64
+	// SizeCuts, WindowCuts and DrainCuts split Batches by what triggered
+	// the cut: the batch growing large enough (the MaxBatch threshold or
+	// the adaptive refill-to-previous-size trigger), the MaxDelay window
+	// expiring, or the Close drain.
+	SizeCuts   int64
+	WindowCuts int64
+	DrainCuts  int64
+}
+
+// AvgBatch returns the mean operations per committed combined batch.
+func (s Stats) AvgBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.Ops) / float64(s.Batches)
+}
+
+// Job is one submitter's contribution to a combined batch: a slice of
+// operations and the slice its results come back in. Submit enqueues the
+// job; Wait blocks until its batch has been applied, after which Res
+// holds one result per op, aligned with Ops. A Job may be reused (and its
+// slices recycled) after Wait returns; Wait may be called from several
+// goroutines, all of which are released by the commit.
+type Job[K cmp.Ordered, V any] struct {
+	Ops []core.Op[K, V]
+	Res []core.Result[V]
+	wg  sync.WaitGroup
+}
+
+// Wait blocks until the job's combined batch has been applied and Res is
+// filled.
+func (j *Job[K, V]) Wait() { j.wg.Wait() }
+
+// Coalescer is the group-commit scheduler. Create with New, submit with
+// Submit, stop with Close.
+type Coalescer[K cmp.Ordered, V any] struct {
+	cfg   Config
+	apply Applier[K, V]
+
+	mu      sync.Mutex
+	jobs    []*Job[K, V] // pending queue, submission order
+	free    []*Job[K, V] // spare backing array for the next cut's queue
+	nops    int
+	firstAt time.Time // submission time of jobs[0]
+	closing bool
+
+	kick chan struct{} // wakes the commit loop; cap 1, lossy
+	done chan struct{}
+	once sync.Once
+
+	// lastCut is the op count of the previous cut, driving the adaptive
+	// refill trigger (see Config.MaxDelay). Commit-loop private; starts
+	// at MaxBatch so a cold coalescer waits the full window while it
+	// learns the traffic's scale.
+	lastCut int
+	// wakeAt is the current cut threshold in ops, published by the
+	// commit loop so Submit can kick it the moment the queue crosses the
+	// refill (or size) trigger — without this, a submission that
+	// completes the batch while the loop sleeps on the window timer
+	// would wait out the whole window anyway.
+	wakeAt atomic.Int64
+
+	// commit-loop private scratch (only the loop touches these).
+	timer   *time.Timer
+	batches [][]core.Op[K, V]
+	dsts    [][]core.Result[V]
+
+	st struct {
+		batches, ops, maxBatch          atomic.Int64
+		sizeCuts, windowCuts, drainCuts atomic.Int64
+	}
+}
+
+// New creates a Coalescer applying combined batches through apply and
+// starts its commit loop. Close it after use.
+func New[K cmp.Ordered, V any](cfg Config, apply Applier[K, V]) *Coalescer[K, V] {
+	c := &Coalescer[K, V]{
+		cfg:   cfg.withDefaults(),
+		apply: apply,
+		kick:  make(chan struct{}, 1),
+		done:  make(chan struct{}),
+		timer: time.NewTimer(time.Hour),
+	}
+	c.lastCut = c.cfg.MaxBatch
+	c.wakeAt.Store(int64(c.cfg.MaxBatch))
+	if !c.timer.Stop() {
+		<-c.timer.C
+	}
+	go c.run()
+	return c
+}
+
+// Stats returns a snapshot of the coalescer counters.
+func (c *Coalescer[K, V]) Stats() Stats {
+	return Stats{
+		Batches:    c.st.batches.Load(),
+		Ops:        c.st.ops.Load(),
+		MaxBatch:   c.st.maxBatch.Load(),
+		SizeCuts:   c.st.sizeCuts.Load(),
+		WindowCuts: c.st.windowCuts.Load(),
+		DrainCuts:  c.st.drainCuts.Load(),
+	}
+}
+
+// grow returns s[:n], reallocating when the capacity is short.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// Submit enqueues a job for the next combined batch. It returns
+// immediately; the caller observes completion through Job.Wait. Jobs from
+// one submitter are committed in their submission order (the queue is
+// FIFO and cuts are whole prefixes). Panics if the Coalescer is closed.
+func (c *Coalescer[K, V]) Submit(j *Job[K, V]) {
+	j.wg.Add(1)
+	c.mu.Lock()
+	if c.closing {
+		c.mu.Unlock()
+		j.wg.Done()
+		panic("coalesce: Submit after Close")
+	}
+	j.Res = grow(j.Res, len(j.Ops))
+	wasEmpty := len(c.jobs) == 0
+	c.jobs = append(c.jobs, j)
+	c.nops += len(j.Ops)
+	if wasEmpty {
+		c.firstAt = time.Now()
+	}
+	wake := wasEmpty || c.nops >= int(c.wakeAt.Load())
+	c.mu.Unlock()
+	if wake {
+		select {
+		case c.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Close stops the commit loop after draining: every job already submitted
+// is committed immediately (no residual window wait) before Close
+// returns. Safe to call repeatedly and concurrently; Submit after Close
+// panics.
+func (c *Coalescer[K, V]) Close() {
+	c.once.Do(func() {
+		c.mu.Lock()
+		c.closing = true
+		c.mu.Unlock()
+		select {
+		case c.kick <- struct{}{}:
+		default:
+		}
+	})
+	<-c.done
+}
+
+// cutCause records why a cut fired, for the Stats split.
+type cutCause uint8
+
+const (
+	cutSize cutCause = iota
+	cutWindow
+	cutDrain
+)
+
+// run is the commit loop: wait for work, wait out the window (unless the
+// size trigger or Close preempts it), cut the whole queue, apply it as
+// one combined batch, release the waiters, repeat.
+func (c *Coalescer[K, V]) run() {
+	defer close(c.done)
+	for {
+		// Wait for work or shutdown.
+		c.mu.Lock()
+		for len(c.jobs) == 0 {
+			if c.closing {
+				c.mu.Unlock()
+				return
+			}
+			c.mu.Unlock()
+			<-c.kick
+			c.mu.Lock()
+		}
+		// Wait out the residual window; the size triggers or Close cut
+		// early. refill is the adaptive trigger: once the queue holds
+		// three quarters of the previous cut (the margin tolerates a few
+		// straggling resubmitters), more waiting is unlikely to grow the
+		// batch — at saturation this chains cuts back to back, so the
+		// window never sits on the critical path. Re-arming a fresh wait
+		// after every wake keeps the policy exact under spurious kicks.
+		refill := c.lastCut - c.lastCut/4
+		if refill < 2 {
+			refill = 2
+		}
+		if refill > c.cfg.MaxBatch {
+			refill = c.cfg.MaxBatch
+		}
+		c.wakeAt.Store(int64(refill))
+		cause := cutWindow
+		for {
+			if c.closing {
+				cause = cutDrain
+				break
+			}
+			if c.nops >= c.cfg.MaxBatch || c.nops >= refill {
+				cause = cutSize
+				break
+			}
+			wait := c.cfg.MaxDelay - time.Since(c.firstAt)
+			if wait <= 0 {
+				break
+			}
+			c.mu.Unlock()
+			// The timer is owned by this goroutine: stop-and-drain before
+			// Reset is race-free here.
+			if !c.timer.Stop() {
+				select {
+				case <-c.timer.C:
+				default:
+				}
+			}
+			c.timer.Reset(wait)
+			select {
+			case <-c.kick:
+			case <-c.timer.C:
+			}
+			c.mu.Lock()
+		}
+		// Cut the whole queue: batches stay contiguous prefixes of the
+		// submission order.
+		jobs := c.jobs
+		nops := c.nops
+		c.jobs = c.free[:0]
+		c.free = jobs
+		c.nops = 0
+		c.mu.Unlock()
+
+		c.lastCut = nops
+		c.commit(jobs, nops, cause)
+	}
+}
+
+// commit applies one cut as a single combined batch and releases its
+// submitters.
+func (c *Coalescer[K, V]) commit(jobs []*Job[K, V], nops int, cause cutCause) {
+	c.batches = grow(c.batches, len(jobs))
+	c.dsts = grow(c.dsts, len(jobs))
+	for i, j := range jobs {
+		c.batches[i] = j.Ops
+		c.dsts[i] = j.Res
+	}
+	c.apply(c.batches[:len(jobs)], c.dsts[:len(jobs)])
+	for i, j := range jobs {
+		j.wg.Done()
+		jobs[i] = nil // the cut queue becomes the next append target: drop refs
+	}
+	clear(c.batches[:len(jobs)])
+	clear(c.dsts[:len(jobs)])
+
+	c.st.batches.Add(1)
+	c.st.ops.Add(int64(nops))
+	for {
+		cur := c.st.maxBatch.Load()
+		if int64(nops) <= cur || c.st.maxBatch.CompareAndSwap(cur, int64(nops)) {
+			break
+		}
+	}
+	switch cause {
+	case cutSize:
+		c.st.sizeCuts.Add(1)
+	case cutWindow:
+		c.st.windowCuts.Add(1)
+	default:
+		c.st.drainCuts.Add(1)
+	}
+}

@@ -1,0 +1,294 @@
+package coalesce
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/shard"
+)
+
+// newMapCoalescer builds a Coalescer over a real sharded map.
+func newMapCoalescer(t *testing.T, cfg Config, shards int) (*Coalescer[string, string], *shard.Map[string, string]) {
+	t.Helper()
+	m := shard.New[string, string](shard.Config{Shards: shards, Shard: core.Config{P: 2}})
+	c := New(cfg, m.ApplyScattered)
+	t.Cleanup(func() {
+		c.Close()
+		m.Close()
+	})
+	return c, m
+}
+
+// TestCoalesceExactResults drives many concurrent submitters over disjoint
+// key ranges, each submitting its jobs in order, and checks every result
+// against a local model: group commit must not lose, reorder or cross-wire
+// any submitter's results.
+func TestCoalesceExactResults(t *testing.T) {
+	const (
+		submitters = 8
+		rounds     = 60
+		opsPerJob  = 5
+	)
+	c, _ := newMapCoalescer(t, Config{MaxBatch: 16, MaxDelay: 100 * time.Microsecond}, 4)
+	var wg sync.WaitGroup
+	errc := make(chan error, submitters)
+	for id := 0; id < submitters; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			model := map[string]string{}
+			job := &Job[string, string]{}
+			for r := 0; r < rounds; r++ {
+				job.Ops = job.Ops[:0]
+				type want struct {
+					ok  bool
+					val string
+				}
+				wants := make([]want, 0, opsPerJob)
+				for i := 0; i < opsPerJob; i++ {
+					k := fmt.Sprintf("s%d-k%02d", id, (r+i)%17)
+					switch (r + i) % 3 {
+					case 0:
+						v, ok := model[k]
+						wants = append(wants, want{ok, v})
+						job.Ops = append(job.Ops, core.Op[string, string]{Kind: core.OpGet, Key: k})
+					case 1:
+						v, ok := model[k]
+						wants = append(wants, want{ok, v})
+						nv := fmt.Sprintf("v%d-%d", r, i)
+						model[k] = nv
+						job.Ops = append(job.Ops, core.Op[string, string]{Kind: core.OpInsert, Key: k, Val: nv})
+					default:
+						v, ok := model[k]
+						wants = append(wants, want{ok, v})
+						delete(model, k)
+						job.Ops = append(job.Ops, core.Op[string, string]{Kind: core.OpDelete, Key: k})
+					}
+				}
+				c.Submit(job)
+				job.Wait()
+				for i, w := range wants {
+					got := job.Res[i]
+					if got.OK != w.ok || got.Val != w.val {
+						errc <- fmt.Errorf("submitter %d round %d op %d: got (%q,%v), want (%q,%v)",
+							id, r, i, got.Val, got.OK, w.val, w.ok)
+						return
+					}
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	st := c.Stats()
+	if st.Ops != submitters*rounds*opsPerJob {
+		t.Errorf("ops = %d, want %d", st.Ops, submitters*rounds*opsPerJob)
+	}
+	if st.Batches >= st.Ops {
+		t.Errorf("no coalescing happened: %d batches for %d ops", st.Batches, st.Ops)
+	}
+	t.Logf("stats: %+v (avg batch %.1f)", st, st.AvgBatch())
+}
+
+// TestCoalesceSubmissionOrder checks that two jobs submitted back-to-back
+// by one submitter land in the combined batch in submission order: the
+// later SET of the same key must win.
+func TestCoalesceSubmissionOrder(t *testing.T) {
+	c, _ := newMapCoalescer(t, Config{MaxBatch: 1 << 20, MaxDelay: 200 * time.Microsecond}, 2)
+	for r := 0; r < 50; r++ {
+		k := fmt.Sprintf("k%d", r)
+		j1 := &Job[string, string]{Ops: []core.Op[string, string]{{Kind: core.OpInsert, Key: k, Val: "first"}}}
+		j2 := &Job[string, string]{Ops: []core.Op[string, string]{{Kind: core.OpInsert, Key: k, Val: "second"}}}
+		j3 := &Job[string, string]{Ops: []core.Op[string, string]{{Kind: core.OpGet, Key: k}}}
+		c.Submit(j1)
+		c.Submit(j2)
+		c.Submit(j3)
+		j1.Wait()
+		j2.Wait()
+		j3.Wait()
+		if j2.Res[0].Val != "first" || !j2.Res[0].OK {
+			t.Fatalf("round %d: second insert saw (%q,%v), want previous value \"first\"", r, j2.Res[0].Val, j2.Res[0].OK)
+		}
+		if j3.Res[0].Val != "second" {
+			t.Fatalf("round %d: get after two ordered inserts = %q, want \"second\"", r, j3.Res[0].Val)
+		}
+	}
+}
+
+// TestCoalesceCutPolicy checks the size trigger: a batch reaching
+// MaxBatch ops cuts without waiting out the (here absurdly long) window.
+func TestCoalesceCutPolicy(t *testing.T) {
+	c, _ := newMapCoalescer(t, Config{MaxBatch: 4, MaxDelay: 10 * time.Second}, 1)
+	j := &Job[string, string]{}
+	for i := 0; i < 4; i++ {
+		j.Ops = append(j.Ops, core.Op[string, string]{
+			Kind: core.OpInsert, Key: fmt.Sprintf("k%d", i), Val: "v"})
+	}
+	start := time.Now()
+	c.Submit(j)
+	j.Wait()
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("size-triggered cut took %v; window wait leaked in", el)
+	}
+	st := c.Stats()
+	if st.SizeCuts == 0 {
+		t.Errorf("no size-triggered cut recorded: %+v", st)
+	}
+	if st.Ops != 4 {
+		t.Errorf("ops = %d, want 4", st.Ops)
+	}
+}
+
+// TestCoalesceRefillTrigger checks the adaptive trigger end to end: after
+// a window-bounded cut establishes the traffic's scale, a queue refilling
+// to three quarters of that scale must commit immediately — including the
+// Submit-side wake-up. Without the wake, the submission that crosses the
+// threshold while the commit loop sleeps on the window timer would wait
+// out the whole window anyway.
+func TestCoalesceRefillTrigger(t *testing.T) {
+	const window = 300 * time.Millisecond
+	c, _ := newMapCoalescer(t, Config{MaxBatch: 1 << 20, MaxDelay: window}, 1)
+
+	// Wave 1: eight single-op jobs land well inside the window and commit
+	// as one window-bounded cut, teaching the coalescer lastCut = 8.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			j := &Job[string, string]{Ops: []core.Op[string, string]{
+				{Kind: core.OpInsert, Key: fmt.Sprintf("w%d", i), Val: "v"}}}
+			c.Submit(j)
+			j.Wait()
+		}(i)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.WindowCuts == 0 {
+		t.Fatalf("wave 1 did not establish scale via a window cut: %+v", st)
+	}
+
+	// Wave 2: a six-op job crosses the refill threshold (3/4 of 8) the
+	// moment it is submitted; it must commit far inside the window.
+	j := &Job[string, string]{}
+	for i := 0; i < 6; i++ {
+		j.Ops = append(j.Ops, core.Op[string, string]{
+			Kind: core.OpInsert, Key: fmt.Sprintf("r%d", i), Val: "v"})
+	}
+	start := time.Now()
+	c.Submit(j)
+	j.Wait()
+	if el := time.Since(start); el > window/2 {
+		t.Errorf("refill-triggered cut took %v; the window (%v) leaked onto the critical path", el, window)
+	}
+	if st := c.Stats(); st.SizeCuts == 0 {
+		t.Errorf("refill cut not recorded as a size cut: %+v", st)
+	}
+}
+
+// TestCoalesceWindowExpiry checks that a lone job below the size threshold
+// commits once the window expires (and not much later).
+func TestCoalesceWindowExpiry(t *testing.T) {
+	const window = 20 * time.Millisecond
+	c, _ := newMapCoalescer(t, Config{MaxBatch: 1 << 20, MaxDelay: window}, 1)
+	j := &Job[string, string]{Ops: []core.Op[string, string]{{Kind: core.OpInsert, Key: "k", Val: "v"}}}
+	start := time.Now()
+	c.Submit(j)
+	j.Wait()
+	el := time.Since(start)
+	if el < window {
+		t.Errorf("job committed after %v, before the %v window", el, window)
+	}
+	if el > 50*window {
+		t.Errorf("job committed after %v, far beyond the %v window", el, window)
+	}
+	if st := c.Stats(); st.WindowCuts == 0 {
+		t.Errorf("no window-triggered cut recorded: %+v", st)
+	}
+}
+
+// TestCoalesceCloseDrains checks that Close commits jobs still waiting in
+// an open window immediately, and that Submit after Close panics.
+func TestCoalesceCloseDrains(t *testing.T) {
+	m := shard.New[string, string](shard.Config{Shards: 2, Shard: core.Config{P: 2}})
+	defer m.Close()
+	c := New(Config{MaxBatch: 1 << 20, MaxDelay: 10 * time.Second}, m.ApplyScattered)
+	j := &Job[string, string]{Ops: []core.Op[string, string]{{Kind: core.OpInsert, Key: "k", Val: "v"}}}
+	c.Submit(j)
+	start := time.Now()
+	c.Close() // must not wait out the 10s window
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("Close took %v; did not preempt the window", el)
+	}
+	j.Wait()
+	if v, ok := m.Get("k"); !ok || v != "v" {
+		t.Fatalf("drained job not applied: (%q, %v)", v, ok)
+	}
+	if st := c.Stats(); st.DrainCuts == 0 && st.Batches != 1 {
+		t.Errorf("drain not recorded: %+v", st)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Submit after Close did not panic")
+		}
+	}()
+	c.Submit(&Job[string, string]{Ops: []core.Op[string, string]{{Kind: core.OpGet, Key: "k"}}})
+}
+
+// TestCoalesceDuplicateCombining checks the whole point of cross-
+// connection coalescing: two submitters accessing the same key inside one
+// window are combined into one group operation by the engine. The
+// structural-work counter shows it — a combined pair costs the same
+// segment work as a single access, strictly less than two separate ones.
+func TestCoalesceDuplicateCombining(t *testing.T) {
+	var cnt metrics.Counter
+	m := core.NewM1[string, string](core.Config{P: 2, Counter: &cnt})
+	defer m.Close()
+	c := New(Config{MaxBatch: 1 << 20, MaxDelay: 2 * time.Millisecond},
+		func(batches [][]core.Op[string, string], dsts [][]core.Result[string]) {
+			m.ApplyAsyncMulti(batches).CollectScattered(dsts)
+		})
+	defer c.Close()
+
+	// Preload so searches do real tree work.
+	for i := 0; i < 512; i++ {
+		m.Insert(fmt.Sprintf("k%04d", i), "v")
+	}
+	m.Quiesce()
+
+	single := func() int64 {
+		before := cnt.Total()
+		j := &Job[string, string]{Ops: []core.Op[string, string]{{Kind: core.OpGet, Key: "k0100"}}}
+		c.Submit(j)
+		j.Wait()
+		m.Quiesce()
+		return cnt.Total() - before
+	}
+	single() // warm: promote k0100 to the front segment
+	singleCost := single()
+
+	before := cnt.Total()
+	j1 := &Job[string, string]{Ops: []core.Op[string, string]{{Kind: core.OpGet, Key: "k0100"}}}
+	j2 := &Job[string, string]{Ops: []core.Op[string, string]{{Kind: core.OpGet, Key: "k0100"}}}
+	c.Submit(j1)
+	c.Submit(j2)
+	j1.Wait()
+	j2.Wait()
+	m.Quiesce()
+	dupCost := cnt.Total() - before
+
+	if !j1.Res[0].OK || !j2.Res[0].OK || j1.Res[0].Val != "v" || j2.Res[0].Val != "v" {
+		t.Fatalf("combined gets wrong: %+v %+v", j1.Res[0], j2.Res[0])
+	}
+	if dupCost >= 2*singleCost {
+		t.Errorf("two same-key gets in one window cost %d, want < 2x single cost %d (no combining?)",
+			dupCost, singleCost)
+	}
+	t.Logf("single=%d combined-pair=%d", singleCost, dupCost)
+}

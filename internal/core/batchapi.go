@@ -58,6 +58,29 @@ func (p Pending[K, V]) Collect(dst []Result[V]) {
 	p.pend.Done()
 }
 
+// CollectScattered is Collect delivering into per-submitter result slices:
+// dsts must mirror the batches passed to ApplyAsyncMulti (same count, same
+// lengths). Results land directly in each submitter's slice — no combined
+// buffer, no re-copy — which is what lets a cross-connection group commit
+// hand every connection its own results from one engine batch. Exactly-once.
+func (p Pending[K, V]) CollectScattered(dsts [][]Result[V]) {
+	if p.act == nil {
+		return // zero Pending: empty batch
+	}
+	p.act.Activate()
+	i := 0
+	for _, dst := range dsts {
+		for j := range dst {
+			c := p.calls[i]
+			dst[j] = c.wait()
+			p.cp.put(c)
+			i++
+		}
+	}
+	p.bp.put(p.calls)
+	p.pend.Done()
+}
+
 // applyAsync is the shared ApplyAsync body.
 func applyAsync[K cmp.Ordered, V any](
 	ops []Op[K, V], closed bool,
@@ -74,6 +97,38 @@ func applyAsync[K cmp.Ordered, V any](
 	calls := bp.get(len(ops))
 	for i, op := range ops {
 		calls[i] = cp.get(op)
+	}
+	addAll(calls)
+	return Pending[K, V]{calls: calls, cp: cp, bp: bp, act: act, pend: pend}
+}
+
+// applyAsyncMulti is the shared ApplyAsyncMulti body: it submits the
+// concatenation of the batches as one batch without materializing the
+// concatenation, so a group commit over many connections costs one call
+// frame per op and nothing per connection.
+func applyAsyncMulti[K cmp.Ordered, V any](
+	batches [][]Op[K, V], closed bool,
+	pend *locks.WaitCounter, cp *callPool[K, V], bp *batchPool[K, V],
+	addAll func([]*call[K, V]), act *locks.Activation,
+) Pending[K, V] {
+	if closed {
+		panic("core: map used after Close")
+	}
+	total := 0
+	for _, ops := range batches {
+		total += len(ops)
+	}
+	if total == 0 {
+		return Pending[K, V]{}
+	}
+	pend.Add()
+	calls := bp.get(total)
+	i := 0
+	for _, ops := range batches {
+		for _, op := range ops {
+			calls[i] = cp.get(op)
+			i++
+		}
 	}
 	addAll(calls)
 	return Pending[K, V]{calls: calls, cp: cp, bp: bp, act: act, pend: pend}
@@ -108,9 +163,24 @@ func (m *M1[K, V]) Apply(ops []Op[K, V]) []Result[V] {
 	return m.ApplyInto(ops, nil)
 }
 
+// ApplyAsyncMulti submits the concatenation of several op slices as one
+// batch without waiting and without copying them into one slice. Paired
+// with Pending.CollectScattered it is the engine half of cross-connection
+// group commit: many submitters' ops enter one implicit batch, and each
+// submitter's results come back in its own slice.
+func (m *M1[K, V]) ApplyAsyncMulti(batches [][]Op[K, V]) Pending[K, V] {
+	return applyAsyncMulti(batches, m.closed.Load(), &m.pending, &m.calls, &m.batch, m.pb.AddAll, m.act)
+}
+
 // ApplyAsync submits a batch without waiting. See M1.ApplyAsync.
 func (m *M2[K, V]) ApplyAsync(ops []Op[K, V]) Pending[K, V] {
 	return applyAsync(ops, m.closed.Load(), &m.pending, &m.calls, &m.batch, m.pb.AddAll, m.act)
+}
+
+// ApplyAsyncMulti submits several op slices as one batch. See
+// M1.ApplyAsyncMulti.
+func (m *M2[K, V]) ApplyAsyncMulti(batches [][]Op[K, V]) Pending[K, V] {
+	return applyAsyncMulti(batches, m.closed.Load(), &m.pending, &m.calls, &m.batch, m.pb.AddAll, m.act)
 }
 
 // ApplyInto is Apply collecting into dst. See M1.ApplyInto.

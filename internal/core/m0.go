@@ -18,15 +18,16 @@ import (
 // M0 is not safe for concurrent use; it is the sequential baseline that M1
 // and M2 parallelize.
 type M0[K cmp.Ordered, V any] struct {
-	segs []*segment[K, V]
-	size int
-	cnt  *metrics.Counter
+	segs  []*segment[K, V]
+	size  int
+	cnt   *metrics.Counter
+	pools segPools[K, V]
 }
 
 // NewM0 creates an empty map. cnt may be nil; when set, structural work is
 // charged to it.
 func NewM0[K cmp.Ordered, V any](cnt *metrics.Counter) *M0[K, V] {
-	return &M0[K, V]{cnt: cnt}
+	return &M0[K, V]{cnt: cnt, pools: newSegPools[K, V]()}
 }
 
 // Len returns the number of items.
@@ -92,11 +93,11 @@ func (m *M0[K, V]) Insert(k K, v V) (V, bool) {
 		return old, true
 	}
 	if len(m.segs) == 0 {
-		m.segs = append(m.segs, newSegment[K, V](0, m.cnt))
+		m.segs = append(m.segs, newSegment[K, V](0, m.cnt, m.pools))
 	}
 	last := m.segs[len(m.segs)-1]
 	if last.overBy() > 0 || last.underBy() == 0 {
-		m.segs = append(m.segs, newSegment[K, V](len(m.segs), m.cnt))
+		m.segs = append(m.segs, newSegment[K, V](len(m.segs), m.cnt, m.pools))
 		last = m.segs[len(m.segs)-1]
 	}
 	last.pushBack(newItems([]K{k}, []V{v}, []K{k}))

@@ -90,6 +90,7 @@ func NewM1[K cmp.Ordered, V any](cfg Config) *M1[K, V] {
 		rec:  &opRecorder[K, V]{on: cfg.RecordLinearization},
 	}
 	m.slab.cnt = cfg.Counter
+	m.slab.pools = newSegPools[K, V]()
 	m.act = locks.NewActivation(
 		func() bool { return m.pb.Len() > 0 || m.feedA.Load() > 0 },
 		m.engineRun,

@@ -160,11 +160,12 @@ func NewM2[K cmp.Ordered, V any](cfg Config) *M2[K, V] {
 		nlock0: locks.NewDedicated(2),
 	}
 	m.first.cnt = cfg.Counter
+	m.first.pools = newSegPools[K, V]()
 	m.first.segs = make([]*segment[K, V], mSeg)
 	for k := 0; k < mSeg; k++ {
-		m.first.segs[k] = newSegment[K, V](k, cfg.Counter)
+		m.first.segs[k] = newSegment[K, V](k, cfg.Counter, m.first.pools)
 	}
-	m.flt.tree = twothree.New[K, *fentry[K, V]](cfg.Counter)
+	m.flt.tree = twothree.NewPooled[K, *fentry[K, V]](cfg.Counter, twothree.NewNodePool[K, *fentry[K, V]]())
 	m.act = locks.NewAsyncActivation(
 		func() bool {
 			return (m.pb.Len() > 0 || m.feedA.Load() > 0) &&
@@ -382,7 +383,7 @@ func (m *M2[K, V]) createFseg(k int, left *locks.Dedicated) *fseg[K, V] {
 	f := &fseg[K, V]{
 		m2:    m,
 		k:     k,
-		seg:   newSegment[K, V](k, m.cfg.Counter),
+		seg:   newSegment[K, V](k, m.cfg.Counter, m.first.pools),
 		left:  left,
 		right: locks.NewDedicated(2),
 	}

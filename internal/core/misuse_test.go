@@ -30,7 +30,7 @@ func TestM2UseAfterClosePanics(t *testing.T) {
 }
 
 func TestSegmentRemoveAbsentPanics(t *testing.T) {
-	s := newSegment[int, int](2, nil)
+	s := newSegment[int, int](2, nil, newSegPools[int, int]())
 	s.pushBack(newItems([]int{1, 2, 3}, []int{1, 2, 3}, []int{1, 2, 3}))
 	defer func() {
 		if recover() == nil {
@@ -41,8 +41,8 @@ func TestSegmentRemoveAbsentPanics(t *testing.T) {
 }
 
 func TestSegmentMoveRoundTrip(t *testing.T) {
-	a := newSegment[int, int](3, nil)
-	b := newSegment[int, int](3, nil)
+	a := newSegment[int, int](3, nil, newSegPools[int, int]())
+	b := newSegment[int, int](3, nil, newSegPools[int, int]())
 	a.pushBack(newItems([]int{1, 2, 3, 4, 5}, []int{10, 20, 30, 40, 50}, []int{1, 2, 3, 4, 5}))
 	mb := a.popBack(2) // items 4, 5 (least recent)
 	b.pushFront(mb)

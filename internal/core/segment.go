@@ -50,10 +50,28 @@ type segment[K cmp.Ordered, V any] struct {
 	cap int
 }
 
-func newSegment[K cmp.Ordered, V any](k int, cnt *metrics.Counter) *segment[K, V] {
+// segPools bundles the two node free-lists an engine's segments share:
+// one for key-map internal nodes, one for recency-map internal nodes.
+// Sharing per engine (rather than per segment) means the spine nodes a
+// shrinking segment drops immediately feed the segment growing next to
+// it — which is the common case, since restore moves items between
+// neighbours every batch.
+type segPools[K cmp.Ordered, V any] struct {
+	km  *twothree.NodePool[K, segPayload[K, V]]
+	rec *twothree.NodePool[K, struct{}]
+}
+
+func newSegPools[K cmp.Ordered, V any]() segPools[K, V] {
+	return segPools[K, V]{
+		km:  twothree.NewNodePool[K, segPayload[K, V]](),
+		rec: twothree.NewNodePool[K, struct{}](),
+	}
+}
+
+func newSegment[K cmp.Ordered, V any](k int, cnt *metrics.Counter, np segPools[K, V]) *segment[K, V] {
 	return &segment[K, V]{
-		km:  twothree.New[K, segPayload[K, V]](cnt),
-		rec: twothree.NewSeq[K](cnt),
+		km:  twothree.NewPooled[K, segPayload[K, V]](cnt, np.km),
+		rec: twothree.NewSeqPooled[K](cnt, np.rec),
 		cap: capOf(k),
 	}
 }

@@ -18,8 +18,9 @@ import (
 // steady-state segment pass allocation-free (DESIGN.md "Allocation
 // discipline").
 type slab[K cmp.Ordered, V any] struct {
-	segs []*segment[K, V]
-	cnt  *metrics.Counter
+	segs  []*segment[K, V]
+	cnt   *metrics.Counter
+	pools segPools[K, V] // shared node free-lists for every segment's trees
 
 	keySc    []K             // groupKeys of the pending batch
 	foundSc  []*kmLeaf[K, V] // BatchGetInto result
@@ -175,7 +176,7 @@ func (s *slab[K, V]) size() int {
 func (s *slab[K, V]) appendNew(keysSorted []K, vals []V, maxSegs int) moveBatch[K, V] {
 	mb := newItems(keysSorted, vals, keysSorted)
 	if len(s.segs) == 0 {
-		s.segs = append(s.segs, newSegment[K, V](0, s.cnt))
+		s.segs = append(s.segs, newSegment[K, V](0, s.cnt, s.pools))
 	}
 	s.segs[len(s.segs)-1].pushBack(mb)
 	for {
@@ -187,7 +188,7 @@ func (s *slab[K, V]) appendNew(keysSorted []K, vals []V, maxSegs int) moveBatch[
 		if maxSegs > 0 && len(s.segs) == maxSegs {
 			return s.segs[l].popBack(ex)
 		}
-		s.segs = append(s.segs, newSegment[K, V](l+1, s.cnt))
+		s.segs = append(s.segs, newSegment[K, V](l+1, s.cnt, s.pools))
 		s.segs[l+1].pushFront(s.segs[l].popBack(ex))
 	}
 }

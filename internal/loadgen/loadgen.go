@@ -1,13 +1,24 @@
-// Package loadgen is the closed-loop load generator behind cmd/wsload:
-// N connections each drive a pipeline of depth D against a wsd server,
-// drawing keys from the internal/workload generators, and report
-// throughput and latency percentiles. It is transport-agnostic (the
-// caller supplies a dial function), so the same loop drives a TCP
-// server and an in-process net.Pipe server in tests.
+// Package loadgen is the load generator behind cmd/wsload: N connections
+// drive mixed GET/SET traffic against a wsd server, drawing keys from
+// the internal/workload generators, and report throughput and latency
+// percentiles. It is transport-agnostic (the caller supplies a dial
+// function), so the same loop drives a TCP server and an in-process
+// net.Pipe server in tests.
+//
+// Two pacing modes exist. The default closed loop has each connection
+// drive a pipeline of depth D, issuing its next batch only after the
+// previous one's replies — throughput-oriented, but latency under load
+// suffers coordinated omission (a slow reply delays the next request,
+// hiding the queueing the server caused). The open-loop mode
+// (Config.Rate > 0) instead fires requests on a fixed schedule and
+// measures each reply against its *scheduled* send time, so the latency
+// a coalescing window or an overloaded server adds is fully visible.
 package loadgen
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"sort"
@@ -62,6 +73,14 @@ type Config struct {
 	Preload bool
 	// Seed seeds the generators (default 1).
 	Seed int64
+	// Rate, when positive, switches to open-loop pacing: the connections
+	// together issue Rate operations per second on a fixed schedule
+	// (unpipelined, spread evenly across connections with staggered
+	// starts), and each operation's latency is measured from its
+	// scheduled send time — so queueing delay the server or a coalescing
+	// window introduces is not masked by the client's own backoff
+	// (no coordinated omission). Depth is ignored in this mode.
+	Rate float64
 }
 
 func (c Config) withDefaults() Config {
@@ -101,9 +120,12 @@ func (c Config) withDefaults() Config {
 
 // Report is the outcome of one load run.
 type Report struct {
-	Workload  Workload      `json:"workload"`
-	Conns     int           `json:"conns"`
-	Depth     int           `json:"depth"`
+	Workload Workload `json:"workload"`
+	Conns    int      `json:"conns"`
+	Depth    int      `json:"depth"`
+	// Rate is the open-loop target in ops/s (0 for closed-loop runs);
+	// OpsPerSec is what was actually achieved.
+	Rate      float64       `json:"rate,omitempty"`
 	Ops       int           `json:"ops"`
 	Errors    int           `json:"errors"`
 	Duration  time.Duration `json:"duration_ns"`
@@ -116,8 +138,12 @@ type Report struct {
 
 // String renders the report as one aligned line.
 func (r Report) String() string {
-	return fmt.Sprintf("%-12s conns=%-3d depth=%-3d ops=%-8d err=%-3d %10.0f ops/s  p50=%-9s p99=%-9s max=%s",
-		r.Workload, r.Conns, r.Depth, r.Ops, r.Errors,
+	pacing := fmt.Sprintf("depth=%-3d", r.Depth)
+	if r.Rate > 0 {
+		pacing = fmt.Sprintf("rate=%-8.0f", r.Rate)
+	}
+	return fmt.Sprintf("%-12s conns=%-3d %s ops=%-8d err=%-3d %10.0f ops/s  p50=%-9s p99=%-9s max=%s",
+		r.Workload, r.Conns, pacing, r.Ops, r.Errors,
 		r.OpsPerSec, r.P50, r.P99, r.Max)
 }
 
@@ -186,11 +212,13 @@ type connResult struct {
 	err  error
 }
 
-// Run executes one closed-loop load run against whatever dial connects
-// to. Latency is measured per operation as time from pipeline submission
-// to that operation's reply (so with depth D it includes queueing behind
-// the up-to-D-1 requests ahead of it, as a closed-loop client
-// experiences it).
+// Run executes one load run against whatever dial connects to. In the
+// default closed loop, latency is measured per operation as time from
+// pipeline submission to that operation's reply (so with depth D it
+// includes queueing behind the up-to-D-1 requests ahead of it, as a
+// closed-loop client experiences it). With Config.Rate set, the run is
+// open-loop: requests fire on a fixed schedule and latency is measured
+// from each operation's scheduled send time (no coordinated omission).
 func Run(cfg Config, dial func() (net.Conn, error)) (Report, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Preload {
@@ -209,7 +237,16 @@ func Run(cfg Config, dial func() (net.Conn, error)) (Report, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = runConn(cfg, cfg.Seed+int64(i)*7919, perConn, dial)
+			seed := cfg.Seed + int64(i)*7919
+			if cfg.Rate > 0 {
+				// Per-connection interval so the fleet sums to Rate;
+				// staggered starts spread the global schedule evenly.
+				interval := time.Duration(float64(cfg.Conns) / cfg.Rate * float64(time.Second))
+				offset := time.Duration(float64(i) / cfg.Rate * float64(time.Second))
+				results[i] = runConnRate(cfg, seed, perConn, interval, offset, dial)
+			} else {
+				results[i] = runConn(cfg, seed, perConn, dial)
+			}
 		}(i)
 	}
 	wg.Wait()
@@ -228,7 +265,8 @@ func Run(cfg Config, dial func() (net.Conn, error)) (Report, error) {
 	rep := Report{
 		Workload: cfg.Workload,
 		Conns:    cfg.Conns,
-		Depth:    cfg.Depth,
+		Depth:    reportDepth(cfg),
+		Rate:     cfg.Rate,
 		Ops:      len(all),
 		Errors:   errs,
 		Duration: wall,
@@ -248,6 +286,90 @@ func Run(cfg Config, dial func() (net.Conn, error)) (Report, error) {
 func percentile(sorted []time.Duration, q float64) time.Duration {
 	i := int(q * float64(len(sorted)-1))
 	return sorted[i]
+}
+
+// reportDepth is the pipeline depth a report should carry: the open-loop
+// mode is unpipelined by construction.
+func reportDepth(cfg Config) int {
+	if cfg.Rate > 0 {
+		return 1
+	}
+	return cfg.Depth
+}
+
+// runConnRate drives one open-loop connection: a sender goroutine fires
+// one request at each scheduled instant (start+offset, then every
+// interval) regardless of replies, while this goroutine reads replies in
+// order and measures each against its scheduled send time. A sender that
+// falls behind still charges the delay to the operation — that is the
+// point: no coordinated omission.
+func runConnRate(cfg Config, seed int64, n int, interval, offset time.Duration, dial func() (net.Conn, error)) connResult {
+	keys, err := genKeys(cfg, seed, n)
+	if err != nil {
+		return connResult{err: err}
+	}
+	nc, err := dial()
+	if err != nil {
+		return connResult{err: err}
+	}
+	defer nc.Close()
+	cl := wire.NewClient(nc)
+	rng := rand.New(rand.NewSource(seed ^ 0x9e3779b9))
+	res := connResult{lats: make([]time.Duration, 0, n)}
+	start := time.Now().Add(offset)
+	schedule := func(i int) time.Time { return start.Add(time.Duration(i) * interval) }
+
+	var sendErr error
+	senderDone := make(chan struct{})
+	go func() {
+		// Sender half: wire.Client's writer state is independent of its
+		// reader state, so pacing writes here while the main goroutine
+		// decodes replies is race-free. On error the connection is closed
+		// to unblock the reply reader.
+		defer close(senderDone)
+		for i, k := range keys {
+			if d := time.Until(schedule(i)); d > 0 {
+				time.Sleep(d)
+			}
+			if rng.Float64() < cfg.GetFrac {
+				sendErr = cl.Send("GET", Key(k))
+			} else {
+				sendErr = cl.Send("SET", Key(k), "v")
+			}
+			if sendErr == nil {
+				sendErr = cl.Flush()
+			}
+			if sendErr != nil {
+				nc.Close()
+				return
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		rep, err := cl.Recv()
+		if err != nil {
+			// Close before joining the sender: it may have most of the
+			// schedule still ahead of it, and the closed connection makes
+			// its next send fail instead of letting a broken run linger
+			// for the full schedule. Report the genuine failure: when the
+			// sender died first, this read error is just the close it
+			// performed, so surface sendErr instead.
+			nc.Close()
+			<-senderDone
+			if sendErr != nil && (errors.Is(err, net.ErrClosed) || errors.Is(err, io.ErrClosedPipe)) {
+				err = sendErr
+			}
+			res.err = err
+			return res
+		}
+		if rep.IsError() {
+			res.errs++
+		}
+		res.lats = append(res.lats, time.Since(schedule(i)))
+	}
+	<-senderDone
+	cl.Do("QUIT")
+	return res
 }
 
 // runConn drives one connection: write Depth requests, flush, read

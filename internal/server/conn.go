@@ -10,13 +10,24 @@ import (
 	"time"
 
 	pws "repro"
+	"repro/internal/coalesce"
 	"repro/internal/wire"
 )
 
-// conn is one client connection. Its goroutine alternates between one
-// blocking read and a non-blocking drain of everything else already on
-// the wire, so a connection's pipelined requests become exactly one
-// batch Apply against the sharded map.
+// conn is one client connection. In the default (per-connection batching)
+// mode its goroutine alternates between one blocking read and a
+// non-blocking drain of everything else already on the wire, so a
+// connection's pipelined requests become exactly one batch Apply against
+// the sharded map.
+//
+// With coalescing enabled (Config.CoalesceWindow > 0) the connection is
+// split into two halves: the reader/submitter half (the connection's main
+// goroutine) decodes pipelines and submits their map operations as jobs
+// to the server's shared group-commit scheduler, and the reply-writer
+// half (writeLoop, its own goroutine) receives those jobs in submission
+// order, waits for each job's combined batch to commit, and renders the
+// replies — so reply order always matches command order even though the
+// operations commit inside cross-connection batches.
 type conn struct {
 	srv *Server
 	nc  net.Conn
@@ -31,11 +42,22 @@ type conn struct {
 	cloneAllKeys bool
 
 	// batch state, reused across pipelines so a long-lived connection's
-	// steady state allocates nothing per pipeline.
+	// steady state allocates nothing per pipeline. In coalesced mode the
+	// accumulated ops/pending are swapped into a job at each cut, trading
+	// backing arrays with the job free list instead of copying.
 	cmds    []wire.Command
 	ops     []pws.Op[string, string]
 	res     []pws.Result[string]
 	pending []pendingReply
+
+	// Coalesced-mode plumbing (nil in per-connection batching mode).
+	// jobCh carries jobs to the writer half in submission order; ack is
+	// the writer's end-of-pipeline signal back to the reader (the arena
+	// reuse gate); freeJobs recycles job frames between the two halves.
+	jobCh      chan *connJob
+	ack        chan struct{}
+	writerDone chan struct{}
+	freeJobs   chan *connJob
 }
 
 // shutdownGrace is how long past Close a connection may keep reading, so
@@ -64,8 +86,38 @@ const (
 	replyMSet
 )
 
-// serve runs the connection loop: read one command (blocking), drain the
-// rest of the pipeline (non-blocking), process as one batch, flush.
+// jobKind tells the writer half what one queued job is.
+type jobKind uint8
+
+const (
+	// jobMap carries a batch of map ops submitted to the coalescer: the
+	// writer waits for the combined batch to commit, then renders the
+	// replies from job.Res.
+	jobMap jobKind = iota
+	// jobPing/jobQuit/jobErr are the map-state-free commands the writer
+	// answers in reply order (QUIT also flushes). Commands that read map
+	// state (LEN, STATS, SCAN) never go through the writer: they run on
+	// the reader after a pipeline sync, so they cannot observe effects of
+	// this connection's later commands that the scheduler already
+	// committed.
+	jobPing
+	jobQuit
+	jobErr
+	// jobMark ends a pipeline: the writer flushes and acks the reader,
+	// which is what makes the read arena safe to recycle.
+	jobMark
+)
+
+// connJob is one unit of the reader→writer queue.
+type connJob struct {
+	kind    jobKind
+	job     coalesce.Job[string, string] // jobMap: ops in, results out
+	pending []pendingReply               // jobMap: reply plan
+	errText string                       // jobErr: pre-rendered error text
+}
+
+// serve runs the connection until it closes, errors, quits, or the server
+// shuts down, dispatching on the server's batching mode.
 //
 // Shutdown needs no check here: Close sets the read deadline to the
 // grace window, so commands that reach the server's buffers before it
@@ -75,25 +127,19 @@ const (
 // half by the deadline simply ends the connection; its bytes were never
 // fully accepted, so no reply is owed.
 func (c *conn) serve() {
+	if c.srv.co != nil {
+		c.serveCoalesced()
+		return
+	}
 	for {
-		cmd, err := c.r.ReadCommand()
-		if err != nil {
-			c.finish(err)
+		firstErr, drainErr := c.readPipeline()
+		if firstErr != nil {
+			c.finish(firstErr)
 			return
 		}
-		c.cmds = append(c.cmds[:0], cmd)
-		var readErr error
-		for len(c.cmds) < c.srv.cfg.MaxPipeline && c.r.Buffered() > 0 {
-			next, err := c.r.ReadCommand()
-			if err != nil {
-				readErr = err
-				break
-			}
-			c.cmds = append(c.cmds, next)
-		}
 		quit := c.process(c.cmds)
-		if readErr != nil {
-			c.finish(readErr)
+		if drainErr != nil {
+			c.finish(drainErr)
 			return
 		}
 		if err := c.w.Flush(); err != nil {
@@ -109,19 +155,171 @@ func (c *conn) serve() {
 	}
 }
 
-// finish handles a terminal read error: clean disconnects and shutdown
-// deadlines end the connection silently; protocol violations get one
+// readPipeline reads one command (blocking) and then drains everything
+// else already on the wire (non-blocking, up to MaxPipeline) into
+// c.cmds. firstErr reports a failure before any command was read (no
+// replies owed); drainErr a failure mid-drain — the commands read before
+// it must still be processed and answered before the connection ends.
+func (c *conn) readPipeline() (firstErr, drainErr error) {
+	cmd, err := c.r.ReadCommand()
+	if err != nil {
+		return err, nil
+	}
+	c.cmds = append(c.cmds[:0], cmd)
+	for len(c.cmds) < c.srv.cfg.MaxPipeline && c.r.Buffered() > 0 {
+		next, err := c.r.ReadCommand()
+		if err != nil {
+			return nil, err
+		}
+		c.cmds = append(c.cmds, next)
+	}
+	return nil, nil
+}
+
+// serveCoalesced is the reader/submitter half of the split connection: it
+// decodes pipelines and turns them into jobs for the writer half, then
+// waits for the writer's end-of-pipeline ack before recycling the read
+// arena — jobs still hold arena-backed keys until their batch commits, so
+// the ack is exactly the point where reuse becomes safe.
+func (c *conn) serveCoalesced() {
+	c.jobCh = make(chan *connJob, 8)
+	c.ack = make(chan struct{}, 1)
+	c.writerDone = make(chan struct{})
+	c.freeJobs = make(chan *connJob, 8)
+	go c.writeLoop()
+	defer func() {
+		close(c.jobCh)
+		<-c.writerDone
+	}()
+	for {
+		firstErr, drainErr := c.readPipeline()
+		if firstErr != nil {
+			c.finishCoalesced(firstErr)
+			return
+		}
+		quit := c.process(c.cmds)
+		if drainErr != nil {
+			c.finishCoalesced(drainErr)
+			return
+		}
+		c.syncPipeline()
+		if quit {
+			return
+		}
+		c.r.Reset()
+	}
+}
+
+// writeLoop is the reply-writer half: it consumes the job queue in
+// submission order, waiting out each map job's combined commit, so every
+// reply is written in the order its command arrived no matter how the
+// scheduler grouped the operations.
+//
+// A failed flush means the client's receive side is gone: the
+// synchronous path ends the connection there, so this path must too —
+// closing the transport makes the reader's next read fail and tears the
+// connection down, instead of serving a peer that can never hear the
+// answers. The loop itself keeps draining (acks included) so the reader
+// is never stranded mid-pipeline.
+func (c *conn) writeLoop() {
+	defer close(c.writerDone)
+	for cj := range c.jobCh {
+		switch cj.kind {
+		case jobMap:
+			cj.job.Wait()
+			c.renderReplies(cj.pending, cj.job.Res)
+		case jobPing:
+			c.w.WriteSimple("PONG")
+		case jobQuit:
+			c.w.WriteSimple("OK")
+			c.w.Flush()
+		case jobErr:
+			c.w.WriteError(cj.errText)
+		case jobMark:
+			if err := c.w.Flush(); err != nil {
+				c.nc.Close()
+			}
+			c.putJob(cj)
+			c.ack <- struct{}{}
+			continue
+		}
+		c.putJob(cj)
+	}
+}
+
+// syncPipeline asks the writer half to flush everything queued so far and
+// waits for its ack. After it returns the writer is idle (blocked on the
+// job queue), all replies up to here are flushed, and the read arena
+// holds no live references — the reader may Reset it or write to the
+// connection itself (the SCAN path).
+func (c *conn) syncPipeline() {
+	cj := c.getJob()
+	cj.kind = jobMark
+	c.jobCh <- cj
+	<-c.ack
+}
+
+// getJob takes a job frame off the free list (or allocates one).
+func (c *conn) getJob() *connJob {
+	select {
+	case cj := <-c.freeJobs:
+		return cj
+	default:
+		return &connJob{}
+	}
+}
+
+// putJob recycles a job frame: lengths reset, capacities kept.
+func (c *conn) putJob(cj *connJob) {
+	cj.kind = 0
+	cj.errText = ""
+	cj.job.Ops = cj.job.Ops[:0]
+	cj.pending = cj.pending[:0]
+	select {
+	case c.freeJobs <- cj:
+	default:
+	}
+}
+
+// enqueue hands a non-map command to the writer half.
+func (c *conn) enqueue(kind jobKind, errText string) {
+	cj := c.getJob()
+	cj.kind = kind
+	cj.errText = errText
+	c.jobCh <- cj
+}
+
+// silentErr reports the terminal read errors that end a connection
+// without an error reply: clean disconnects and shutdown deadlines.
+func silentErr(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, os.ErrDeadlineExceeded)
+}
+
+// finish handles a terminal read error in per-connection batching mode:
+// silent errors end the connection quietly; protocol violations get one
 // final error reply. Either way the connection is done.
 func (c *conn) finish(err error) {
-	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
-		errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) ||
-		errors.Is(err, os.ErrDeadlineExceeded) {
+	if silentErr(err) {
 		c.w.Flush()
 		return
 	}
 	c.srv.st.errors.Add(1)
 	c.w.WriteError("ERR " + trunc(err.Error()))
 	c.w.Flush()
+}
+
+// finishCoalesced is finish for the split connection: the final error
+// reply (if owed) travels through the writer half like any other, and the
+// closing sync guarantees every accepted command's reply is flushed
+// before the connection ends.
+func (c *conn) finishCoalesced(err error) {
+	if !silentErr(err) {
+		c.srv.st.errors.Add(1)
+		c.enqueue(jobErr, "ERR "+trunc(err.Error()))
+	}
+	c.syncPipeline()
 }
 
 // trunc bounds client-supplied text echoed into error replies, so the
@@ -136,13 +334,18 @@ func trunc(s string) string {
 }
 
 // process executes one drained pipeline. Consecutive map commands
-// accumulate into a single batch Apply; non-map commands (LEN, STATS,
-// SCAN, PING, QUIT and errors) act as barriers that flush the
-// accumulated batch first, preserving reply order. It reports whether
-// the client asked to quit.
+// accumulate into a single batch; non-map commands (LEN, STATS, SCAN,
+// PING, QUIT and errors) act as barriers that cut the accumulated batch
+// first, preserving reply order. In per-connection batching mode the cut
+// applies the batch synchronously and non-map commands execute inline; in
+// coalesced mode the cut submits a job to the group-commit scheduler and
+// non-map commands are queued to the writer half in the same order (SCAN,
+// which needs the whole map quiescent, executes on the reader after a
+// sync instead). It reports whether the client asked to quit.
 func (c *conn) process(cmds []wire.Command) (quit bool) {
 	c.ops = c.ops[:0]
 	c.pending = c.pending[:0]
+	co := c.srv.co != nil
 	for _, cmd := range cmds {
 		switch name := strings.ToUpper(cmd.Name); name {
 		case "GET":
@@ -191,40 +394,72 @@ func (c *conn) process(cmds []wire.Command) (quit bool) {
 			c.pending = append(c.pending, pendingReply{replyMSet, len(cmd.Args) / 2})
 			c.srv.st.sets.Add(int64(len(cmd.Args) / 2))
 		case "LEN":
-			c.flushBatch()
+			c.barrierSync()
 			c.w.WriteInt(int64(c.srv.store.Len()))
 		case "PING":
 			c.flushBatch()
-			c.w.WriteSimple("PONG")
+			if co {
+				c.enqueue(jobPing, "")
+			} else {
+				c.w.WriteSimple("PONG")
+			}
 		case "STATS":
-			c.flushBatch()
+			c.barrierSync()
 			c.w.WriteBulk(c.srv.statsText())
 		case "SCAN":
-			c.flushBatch()
+			c.barrierSync()
 			c.scan(cmd)
 		case "QUIT":
 			c.flushBatch()
-			c.w.WriteSimple("OK")
+			if co {
+				c.enqueue(jobQuit, "")
+			} else {
+				c.w.WriteSimple("OK")
+			}
 			return true
 		default:
 			c.flushBatch()
 			c.srv.st.errors.Add(1)
-			c.w.WriteError("ERR unknown command '" + trunc(cmd.Name) + "'")
+			c.writeErr("ERR unknown command '" + trunc(cmd.Name) + "'")
 		}
 	}
 	c.flushBatch()
 	return false
 }
 
-// wantArgs validates a command's arity; on failure it flushes the batch
-// (to keep reply order) and writes an arity error.
+// barrierSync prepares a map-state-reading command (LEN, STATS, SCAN) to
+// run inline on this goroutine: it cuts the accumulated batch and, in
+// coalesced mode, waits for the writer half to render everything queued
+// so far. After it returns, this connection's earlier commands are
+// committed and replied to, none of its later ones have been submitted,
+// and the writer is idle — so reading map state and writing the reply
+// from the reader preserves exact per-connection sequential semantics.
+func (c *conn) barrierSync() {
+	c.flushBatch()
+	if c.srv.co != nil {
+		c.syncPipeline()
+	}
+}
+
+// writeErr emits one error reply in command order: inline in
+// per-connection batching mode, through the writer half when coalescing.
+func (c *conn) writeErr(text string) {
+	if c.srv.co != nil {
+		c.enqueue(jobErr, text)
+		return
+	}
+	c.w.WriteError(text)
+}
+
+// wantArgs validates a command's arity; on failure it cuts the batch
+// (to keep reply order) and emits an arity error.
 func (c *conn) wantArgs(cmd wire.Command, ok bool) bool {
 	if ok {
 		return true
 	}
 	c.flushBatch()
 	c.srv.st.errors.Add(1)
-	c.w.WriteError("ERR wrong number of arguments for '" + trunc(strings.ToLower(cmd.Name)) + "'")
+	c.writeErr("ERR wrong number of arguments for '" + trunc(strings.ToLower(cmd.Name)) + "'")
 	return false
 }
 
@@ -239,20 +474,40 @@ func (c *conn) key(k string) string {
 	return k
 }
 
-// flushBatch submits the accumulated operations as one batch Apply and
-// writes the per-command replies in order.
+// flushBatch cuts the accumulated operations. In per-connection batching
+// mode it submits them as one batch Apply and renders the replies in
+// place; in coalesced mode it swaps them into a job frame, submits the
+// job to the group-commit scheduler, and queues the job to the writer
+// half — the reply order is the queue order, and the results arrive in
+// the job's own Res slice straight from the combined batch.
 func (c *conn) flushBatch() {
 	if len(c.ops) == 0 {
 		return
 	}
 	s := c.srv
+	if s.co != nil {
+		cj := c.getJob()
+		cj.kind = jobMap
+		cj.job.Ops, c.ops = c.ops, cj.job.Ops[:0]
+		cj.pending, c.pending = c.pending, cj.pending[:0]
+		s.co.Submit(&cj.job)
+		c.jobCh <- cj
+		return
+	}
 	s.scanMu.RLock()
 	res := s.store.ApplyInto(c.ops, c.res[:0])
 	c.res = res
 	s.scanMu.RUnlock()
 	s.st.recordBatch(len(c.ops))
+	c.renderReplies(c.pending, res)
+	c.ops = c.ops[:0]
+	c.pending = c.pending[:0]
+}
+
+// renderReplies writes the per-command replies of one batch in order.
+func (c *conn) renderReplies(pending []pendingReply, res []pws.Result[string]) {
 	i := 0
-	for _, p := range c.pending {
+	for _, p := range pending {
 		switch p.kind {
 		case replyGet:
 			c.writeGet(res[i])
@@ -280,8 +535,6 @@ func (c *conn) flushBatch() {
 			c.w.WriteSimple("OK")
 		}
 	}
-	c.ops = c.ops[:0]
-	c.pending = c.pending[:0]
 }
 
 func (c *conn) writeGet(r pws.Result[string]) {
@@ -295,7 +548,9 @@ func (c *conn) writeGet(r pws.Result[string]) {
 // scan serves SCAN lo hi [count]: an ordered range read over the merged
 // shard snapshots. It takes scanMu exclusively (no batch Applies in
 // flight) and quiesces the map, satisfying Range's quiescence contract
-// while other connections simply queue behind the lock.
+// while other connections simply queue behind the lock. In coalesced mode
+// it runs on the reader goroutine after a pipeline sync, so its replies
+// (including argument errors) never interleave with the writer half's.
 func (c *conn) scan(cmd wire.Command) {
 	if len(cmd.Args) != 2 && len(cmd.Args) != 3 {
 		c.srv.st.errors.Add(1)

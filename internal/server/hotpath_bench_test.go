@@ -10,6 +10,7 @@ import (
 	"net"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/wire"
 )
@@ -83,6 +84,77 @@ func BenchmarkHotPathServerPipe(b *testing.B) {
 			defer wg.Done()
 			for it := 0; it < n; it++ {
 				if err := pipeline(cl, id); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(cl, i, n)
+	}
+	wg.Wait()
+	b.StopTimer()
+	for _, nc := range ncs {
+		nc.Close()
+	}
+}
+
+// BenchmarkHotPathServerCoalesced measures the depth-1 group-commit path:
+// 64 in-process connections, each doing unpipelined GET round trips,
+// with the cross-connection coalescer merging everyone's single ops into
+// combined batches. ns/op is per GET round trip on one connection; the
+// interesting outputs are the throughput relative to the same shape
+// without coalescing (see E19 / BENCH_0004.json) and allocs/op staying
+// within the zero-allocation discipline.
+func BenchmarkHotPathServerCoalesced(b *testing.B) {
+	const conns = 64
+	srv := New(Config{CoalesceWindow: 100 * time.Microsecond, CoalesceBatch: conns})
+	defer srv.Close()
+
+	clients := make([]*wire.Client, conns)
+	ncs := make([]net.Conn, conns)
+	for i := range clients {
+		nc, err := srv.Pipe()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ncs[i] = nc
+		clients[i] = wire.NewClient(nc)
+	}
+	keys := make([]string, conns)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i%8)
+	}
+	for i, cl := range clients {
+		if _, err := cl.Do("SET", keys[i], "value"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	roundTrip := func(cl *wire.Client, id int) error {
+		_, _, err := cl.Get(keys[id])
+		return err
+	}
+	for i, cl := range clients {
+		if err := roundTrip(cl, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N / conns
+	ext := b.N % conns
+	for i, cl := range clients {
+		n := per
+		if i < ext {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(cl *wire.Client, id, n int) {
+			defer wg.Done()
+			for it := 0; it < n; it++ {
+				if err := roundTrip(cl, id); err != nil {
 					b.Error(err)
 					return
 				}

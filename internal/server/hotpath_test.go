@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	pws "repro"
 	"repro/internal/wire"
@@ -59,6 +60,46 @@ func TestAllocsServerPipeRoundTrip(t *testing.T) {
 	const ceiling = 250
 	if n := testing.AllocsPerRun(50, pipeline); n > ceiling {
 		t.Errorf("depth-%d pipelined round trip: %.1f allocs, ceiling %d", depth, n, ceiling)
+	}
+}
+
+// TestAllocsServerCoalescedRoundTrip bounds the allocations of one
+// depth-1 GET round trip through the group-commit path: wire decode, job
+// submission, combined-batch commit, reply render via the writer half.
+// Pooled job frames, the coalescer's reused cut/commit scratch and the
+// scattered-collect path must keep the steady state flat. Skipped under
+// -race (instrumentation inflates counts).
+func TestAllocsServerCoalescedRoundTrip(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts inflated under -race")
+	}
+	// A tiny window keeps AllocsPerRun fast while still exercising the
+	// full submit→cut→commit→render machinery.
+	srv := New(Config{CoalesceWindow: 20 * time.Microsecond})
+	defer srv.Close()
+	nc, err := srv.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	cl := wire.NewClient(nc)
+	if err := cl.Set("key", "value"); err != nil {
+		t.Fatal(err)
+	}
+	roundTrip := func() {
+		if v, ok, err := cl.Get("key"); err != nil || !ok || v != "value" {
+			t.Fatalf("GET = (%q, %v, %v)", v, ok, err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		roundTrip() // warm codecs, job free list, coalescer scratch
+	}
+	// Measured ~40 allocs per depth-1 round trip, about half client-side
+	// reply decoding and segment-tree node churn (see the node free-list
+	// notes in DESIGN.md "Allocation discipline").
+	const ceiling = 120
+	if n := testing.AllocsPerRun(50, roundTrip); n > ceiling {
+		t.Errorf("coalesced depth-1 round trip: %.1f allocs, ceiling %d", n, ceiling)
 	}
 }
 

@@ -8,11 +8,22 @@
 // batch, the way batch-parallel structures amortize per-operation cost
 // over batches.
 //
+// A pipeline window only batches what one client sends, though: a fleet
+// of unpipelined clients degenerates to batch size 1. With
+// Config.CoalesceWindow set, the server instead runs a cross-connection
+// group-commit scheduler (internal/coalesce): each connection splits
+// into a reader/submitter half and a reply-writer half, decoded ops are
+// accumulated across connections, and combined batches are cut under a
+// size-or-deadline policy — so depth-1 traffic from many clients rides
+// the paper's multi-op batches, duplicate combining included. See
+// DESIGN.md "Cross-connection batch coalescing".
+//
 // The server speaks the internal/wire protocol (GET/SET/DEL/MGET/MSET/
 // SCAN/LEN/STATS/PING/QUIT), enforces connection and pipeline limits,
 // keeps per-op and aggregate batch statistics, and closes gracefully:
 // Close stops accepting, unblocks idle connections, lets in-flight
-// batches finish writing their replies, and only then closes the map.
+// batches finish writing their replies — draining the coalescer's open
+// window — and only then closes the map.
 package server
 
 import (
@@ -24,6 +35,7 @@ import (
 	"time"
 
 	pws "repro"
+	"repro/internal/coalesce"
 	"repro/internal/wire"
 )
 
@@ -52,6 +64,20 @@ type Config struct {
 	MaxScan int
 	// Limits are the wire-protocol frame limits.
 	Limits wire.Limits
+	// CoalesceWindow, when positive, enables the cross-connection
+	// group-commit scheduler (internal/coalesce): connections stop
+	// applying their own batches and instead submit decoded operations
+	// into a shared accumulator, which cuts combined batches when
+	// CoalesceBatch operations are pending or the oldest has waited
+	// CoalesceWindow, whichever comes first. This is what turns a fleet
+	// of unpipelined (depth-1) clients back into the paper's parallel
+	// batches; see DESIGN.md "Cross-connection batch coalescing". Zero
+	// disables coalescing: each connection applies its own pipeline as
+	// one batch, as before.
+	CoalesceWindow time.Duration
+	// CoalesceBatch is the coalescer's size trigger in operations
+	// (default 1024; only meaningful with CoalesceWindow > 0).
+	CoalesceBatch int
 }
 
 func (c Config) withDefaults() Config {
@@ -147,6 +173,11 @@ type Server struct {
 	cfg   Config
 	store *pws.Sharded[string, string]
 
+	// co is the cross-connection group-commit scheduler, nil unless
+	// Config.CoalesceWindow is set. When present, connections submit ops
+	// through it instead of applying their own batches (see conn.go).
+	co *coalesce.Coalescer[string, string]
+
 	// scanMu lets SCAN exclude batch Applies: batches hold it shared,
 	// SCAN exclusively (plus a store Quiesce) so the quiescence contract
 	// of Range holds while other connections keep their order.
@@ -167,7 +198,7 @@ type Server struct {
 // New creates a Server and its underlying sharded map.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		cfg: cfg,
 		store: pws.NewSharded[string, string](pws.ShardedOptions{
 			Options: pws.Options{P: cfg.P},
@@ -178,6 +209,35 @@ func New(cfg Config) *Server {
 		listeners: make(map[net.Listener]struct{}),
 		closedCh:  make(chan struct{}),
 	}
+	if cfg.CoalesceWindow > 0 {
+		// The applier is the single point where combined batches touch
+		// the map: it holds scanMu shared (so SCAN can still exclude all
+		// batch work) and feeds the server's batch counters, which
+		// therefore keep meaning "map-level batch Applies" in both modes.
+		s.co = coalesce.New(coalesce.Config{
+			MaxBatch: cfg.CoalesceBatch,
+			MaxDelay: cfg.CoalesceWindow,
+		}, func(batches [][]pws.Op[string, string], dsts [][]pws.Result[string]) {
+			n := 0
+			for _, b := range batches {
+				n += len(b)
+			}
+			s.scanMu.RLock()
+			s.store.ApplyScattered(batches, dsts)
+			s.scanMu.RUnlock()
+			s.st.recordBatch(n)
+		})
+	}
+	return s
+}
+
+// Coalesced reports whether cross-connection batch coalescing is enabled,
+// and returns the coalescer's counters when it is.
+func (s *Server) Coalesced() (coalesce.Stats, bool) {
+	if s.co == nil {
+		return coalesce.Stats{}, false
+	}
+	return s.co.Stats(), true
 }
 
 // Stats returns a snapshot of the server counters.
@@ -342,6 +402,13 @@ func (s *Server) Close() error {
 			c.nc.SetReadDeadline(time.Now().Add(shutdownGrace))
 		}
 		s.wg.Wait()
+		// All connections are gone, so no job can still be submitted; the
+		// coalescer drain commits anything caught mid-window (connections
+		// waiting on such jobs are part of wg, so this is belt and braces)
+		// before the map closes under it.
+		if s.co != nil {
+			s.co.Close()
+		}
 		s.store.Close()
 		close(s.closedCh)
 	})
@@ -352,7 +419,7 @@ func (s *Server) Close() error {
 // statsText renders the STATS reply body: one "name value" per line.
 func (s *Server) statsText() string {
 	st := s.Stats()
-	return fmt.Sprintf(
+	base := fmt.Sprintf(
 		"engine %s\nshards %d\nkeys %d\nconns %d\ntotal_conns %d\nrejected_conns %d\n"+
 			"batches %d\nops %d\nmax_batch %d\navg_batch %.2f\n"+
 			"gets %d\nsets %d\ndels %d\nscans %d\nerrors %d\n",
@@ -360,4 +427,10 @@ func (s *Server) statsText() string {
 		st.ActiveConns, st.TotalConns, st.RejectedConns,
 		st.Batches, st.Ops, st.MaxBatch, st.AvgBatch(),
 		st.Gets, st.Sets, st.Dels, st.Scans, st.Errors)
+	if cs, ok := s.Coalesced(); ok {
+		base += fmt.Sprintf(
+			"coalesce_window %s\ncoalesce_size_cuts %d\ncoalesce_window_cuts %d\ncoalesce_drain_cuts %d\n",
+			s.cfg.CoalesceWindow, cs.SizeCuts, cs.WindowCuts, cs.DrainCuts)
+	}
+	return base
 }

@@ -58,6 +58,7 @@ type engineMap[K cmp.Ordered, V any] interface {
 	Apply(ops []core.Op[K, V]) []core.Result[V]
 	ApplyInto(ops []core.Op[K, V], dst []core.Result[V]) []core.Result[V]
 	ApplyAsync(ops []core.Op[K, V]) core.Pending[K, V]
+	ApplyAsyncMulti(batches [][]core.Op[K, V]) core.Pending[K, V]
 	Items(visit func(k K, v V) bool)
 	Len() int
 	Batches() int64
@@ -206,25 +207,49 @@ func grow[T any](s []T, n int) []T {
 
 // ApplyInto is Apply collecting into dst (grown as needed and returned),
 // so a caller issuing batches in a loop — the server's pipelined
-// connections — reuses one result buffer.
+// connections — reuses one result buffer. It is the single-batch case of
+// ApplyScattered, which holds the one copy of the split algorithm.
+func (m *Map[K, V]) ApplyInto(ops []core.Op[K, V], dst []core.Result[V]) []core.Result[V] {
+	dst = grow(dst, len(ops))
+	var (
+		batches = [1][]core.Op[K, V]{ops}
+		dsts    = [1][]core.Result[V]{dst}
+	)
+	m.ApplyScattered(batches[:], dsts[:])
+	return dst
+}
+
+// ApplyScattered applies the concatenation of batches as one combined
+// batch — exactly as if they had been appended into a single ApplyInto
+// call — writing each batch's results into the aligned dsts slice, which
+// must satisfy len(dsts) == len(batches) and len(dsts[b]) ==
+// len(batches[b]). Neither the ops nor the results are ever copied into a
+// combined buffer: the counting-sort split walks the batches in place and
+// the final scatter delivers straight into each submitter's slice. This is
+// the map half of cross-connection group commit (internal/coalesce): the
+// per-shard sub-batches still combine duplicates across submitters,
+// because the shard engines see one batch.
 //
 // The split is a two-pass counting sort into pooled scratch: pass one
 // routes every op and counts per shard, pass two lays the ops out
-// contiguously by shard. A batch that lands entirely in one shard is
-// submitted as-is and collected on the calling goroutine — no scatter,
-// no handoff. Multi-shard batches are submitted shard by shard (cheap,
-// non-blocking) and collected by the persistent per-shard workers, the
-// caller taking the last sub-batch itself.
-func (m *Map[K, V]) ApplyInto(ops []core.Op[K, V], dst []core.Result[V]) []core.Result[V] {
+// contiguously by shard. A combined batch that lands entirely in one
+// shard is submitted as-is and collected on the calling goroutine — no
+// regrouping, no handoff. Multi-shard batches are submitted shard by
+// shard (cheap, non-blocking) and collected by the persistent per-shard
+// workers, the caller taking the last sub-batch itself.
+func (m *Map[K, V]) ApplyScattered(batches [][]core.Op[K, V], dsts [][]core.Result[V]) {
 	m.enter()
 	defer m.pending.Done()
-	dst = grow(dst, len(ops))
-	if len(ops) == 0 {
-		return dst
+	total := 0
+	for _, ops := range batches {
+		total += len(ops)
+	}
+	if total == 0 {
+		return
 	}
 	if len(m.shards) == 1 {
-		m.shards[0].ApplyAsync(ops).Collect(dst)
-		return dst
+		m.shards[0].ApplyAsyncMulti(batches).CollectScattered(dsts)
+		return
 	}
 
 	sc, _ := m.scratch.Get().(*applyScratch[K, V])
@@ -232,21 +257,23 @@ func (m *Map[K, V]) ApplyInto(ops []core.Op[K, V], dst []core.Result[V]) []core.
 		sc = &applyScratch[K, V]{}
 	}
 	defer func() {
-		// Drop op/result contents so pooled scratch does not pin client
-		// keys/values (same discipline as callPool.put/batchPool.put).
 		clear(sc.subOps)
 		clear(sc.subRes)
 		m.scratch.Put(sc)
 	}()
-	sc.shardOf = grow(sc.shardOf, len(ops))
+	sc.shardOf = grow(sc.shardOf, total)
 	sc.counts = grow(sc.counts, len(m.shards))
 	clear(sc.counts)
 	single := int32(-1)
-	for i, op := range ops {
-		s := int32(m.shardOf(op.Key))
-		sc.shardOf[i] = s
-		sc.counts[s]++
-		single = s
+	i := 0
+	for _, ops := range batches {
+		for _, op := range ops {
+			s := int32(m.shardOf(op.Key))
+			sc.shardOf[i] = s
+			sc.counts[s]++
+			single = s
+			i++
+		}
 	}
 	nonEmpty := 0
 	for _, c := range sc.counts {
@@ -255,32 +282,37 @@ func (m *Map[K, V]) ApplyInto(ops []core.Op[K, V], dst []core.Result[V]) []core.
 		}
 	}
 	if nonEmpty == 1 {
-		// Single-shard fast path: input order is already sub-batch order.
-		m.shards[single].ApplyAsync(ops).Collect(dst)
-		return dst
+		// Single-shard fast path: submission order is already sub-batch
+		// order, so the engine can take the batches as they are.
+		m.shards[single].ApplyAsyncMulti(batches).CollectScattered(dsts)
+		return
 	}
 
-	// Pass two: contiguous by-shard layout via prefix offsets.
+	// Pass two: contiguous by-shard layout via prefix offsets, walking the
+	// batches in submission order so per-shard sub-batch order matches the
+	// order a concatenated ApplyInto would have produced.
 	sc.starts = grow(sc.starts, len(m.shards))
 	off := 0
 	for s, c := range sc.counts {
 		sc.starts[s] = off
 		off += c
 	}
-	sc.subOps = grow(sc.subOps, len(ops))
-	sc.subRes = grow(sc.subRes, len(ops))
-	sc.pos = grow(sc.pos, len(ops))
+	sc.subOps = grow(sc.subOps, total)
+	sc.subRes = grow(sc.subRes, total)
+	sc.pos = grow(sc.pos, total)
 	cursor := sc.counts // reuse as per-shard fill cursor
 	copy(cursor, sc.starts)
-	for i, op := range ops {
-		p := cursor[sc.shardOf[i]]
-		cursor[sc.shardOf[i]]++
-		sc.subOps[p] = op
-		sc.pos[i] = p
+	i = 0
+	for _, ops := range batches {
+		for _, op := range ops {
+			p := cursor[sc.shardOf[i]]
+			cursor[sc.shardOf[i]]++
+			sc.subOps[p] = op
+			sc.pos[i] = p
+			i++
+		}
 	}
 
-	// Submit every sub-batch first (non-blocking), then hand the collects
-	// to the per-shard workers; the caller collects the last one itself.
 	sc.pend = grow(sc.pend, len(m.shards))
 	last := -1
 	for s := range m.shards {
@@ -303,10 +335,15 @@ func (m *Map[K, V]) ApplyInto(ops []core.Op[K, V], dst []core.Result[V]) []core.
 	sc.pend[last].Collect(sc.subRes[sc.starts[last]:cursor[last]])
 	sc.wg.Wait()
 
-	for i := range ops {
-		dst[i] = sc.subRes[sc.pos[i]]
+	// Scatter: results return to each submitter's own slice.
+	i = 0
+	for b, ops := range batches {
+		dst := dsts[b]
+		for j := range ops {
+			dst[j] = sc.subRes[sc.pos[i]]
+			i++
+		}
 	}
-	return dst
 }
 
 // Len returns the current number of items (racy snapshot, summed across

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"fmt"
 	"math/rand"
 	"runtime"
 	"sort"
@@ -93,6 +94,83 @@ func TestShardedApply(t *testing.T) {
 				t.Fatalf("Len = %d, want 500", m.Len())
 			}
 		})
+	}
+}
+
+// TestShardedApplyScattered checks that applying a batch cut into
+// arbitrary per-submitter slices through ApplyScattered is equivalent to
+// applying the concatenation through ApplyInto: same results (delivered
+// into the per-slice dsts) and same final map contents.
+func TestShardedApplyScattered(t *testing.T) {
+	for _, e := range engines() {
+		for _, shards := range []int{1, 3} {
+			t.Run(fmt.Sprintf("%s/S=%d", e.name, shards), func(t *testing.T) {
+				mkOps := func(rng *rand.Rand, n int) []core.Op[int, int] {
+					ops := make([]core.Op[int, int], n)
+					for i := range ops {
+						k := rng.Intn(100)
+						switch rng.Intn(3) {
+						case 0:
+							ops[i] = core.Op[int, int]{Kind: core.OpInsert, Key: k, Val: rng.Intn(1000)}
+						case 1:
+							ops[i] = core.Op[int, int]{Kind: core.OpDelete, Key: k}
+						default:
+							ops[i] = core.Op[int, int]{Kind: core.OpGet, Key: k}
+						}
+					}
+					return ops
+				}
+				ref := New[int, int](Config{Shards: shards, Engine: e.eng, Shard: core.Config{P: 2}})
+				defer ref.Close()
+				m := New[int, int](Config{Shards: shards, Engine: e.eng, Shard: core.Config{P: 2}})
+				defer m.Close()
+				rng := rand.New(rand.NewSource(41))
+				ops := mkOps(rng, 400)
+				wantRes := ref.Apply(ops)
+
+				// Cut the same ops into ragged per-submitter batches.
+				var batches [][]core.Op[int, int]
+				var dsts [][]core.Result[int]
+				cutRng := rand.New(rand.NewSource(42))
+				for off := 0; off < len(ops); {
+					n := 1 + cutRng.Intn(9)
+					if off+n > len(ops) {
+						n = len(ops) - off
+					}
+					batches = append(batches, ops[off:off+n])
+					dsts = append(dsts, make([]core.Result[int], n))
+					off += n
+				}
+				m.ApplyScattered(batches, dsts)
+
+				i := 0
+				for b, dst := range dsts {
+					for j, got := range dst {
+						if got.OK != wantRes[i].OK || got.Val != wantRes[i].Val {
+							t.Fatalf("batch %d op %d: got (%d,%v), want (%d,%v)",
+								b, j, got.Val, got.OK, wantRes[i].Val, wantRes[i].OK)
+						}
+						i++
+					}
+				}
+				if i != len(ops) {
+					t.Fatalf("scattered results cover %d ops, want %d", i, len(ops))
+				}
+				m.Quiesce()
+				ref.Quiesce()
+				var a, bItems []Entry[int, int]
+				ref.Items(func(k, v int) bool { a = append(a, Entry[int, int]{k, v}); return true })
+				m.Items(func(k, v int) bool { bItems = append(bItems, Entry[int, int]{k, v}); return true })
+				if len(a) != len(bItems) {
+					t.Fatalf("item counts differ: %d vs %d", len(a), len(bItems))
+				}
+				for i := range a {
+					if a[i] != bItems[i] {
+						t.Fatalf("item %d differs: %+v vs %+v", i, a[i], bItems[i])
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -6,24 +6,24 @@ import "cmp"
 // b) and returns the root of the result. It runs in O(|height(a)-height(b)|
 // + 1) time, mutating spine nodes in place so that leaf identities (and
 // their parent chains) remain valid.
-func join[K cmp.Ordered, P any](a, b *Node[K, P]) *Node[K, P] {
+func join[K cmp.Ordered, P any](np *NodePool[K, P], a, b *Node[K, P]) *Node[K, P] {
 	switch {
 	case a == nil:
 		return detach(b)
 	case b == nil:
 		return detach(a)
 	case a.h == b.h:
-		return detach(mk2(detach(a), detach(b)))
+		return detach(mk2(np, detach(a), detach(b)))
 	case a.h > b.h:
-		x, y := joinRight(detach(a), detach(b))
+		x, y := joinRight(np, detach(a), detach(b))
 		if y != nil {
-			return detach(mk2(x, y))
+			return detach(mk2(np, x, y))
 		}
 		return detach(x)
 	default:
-		x, y := joinLeft(detach(b), detach(a))
+		x, y := joinLeft(np, detach(b), detach(a))
 		if y != nil {
-			return detach(mk2(y, x))
+			return detach(mk2(np, y, x))
 		}
 		return detach(x)
 	}
@@ -32,7 +32,7 @@ func join[K cmp.Ordered, P any](a, b *Node[K, P]) *Node[K, P] {
 // joinRight hangs b (with height(b) < height(a)) below a's rightmost spine.
 // It returns one or two nodes of height a.h that together hold all leaves
 // in order; when two are returned the second goes to the right.
-func joinRight[K cmp.Ordered, P any](a, b *Node[K, P]) (x, y *Node[K, P]) {
+func joinRight[K cmp.Ordered, P any](np *NodePool[K, P], a, b *Node[K, P]) (x, y *Node[K, P]) {
 	if a.h == b.h+1 {
 		if a.nc == 2 {
 			a.child[2] = b
@@ -44,9 +44,9 @@ func joinRight[K cmp.Ordered, P any](a, b *Node[K, P]) (x, y *Node[K, P]) {
 		a.child[2] = nil
 		a.nc = 2
 		refresh(a)
-		return a, mk2(c2, b)
+		return a, mk2(np, c2, b)
 	}
-	r1, r2 := joinRight(a.child[a.nc-1], b)
+	r1, r2 := joinRight(np, a.child[a.nc-1], b)
 	a.child[a.nc-1] = r1
 	if r2 == nil {
 		refresh(a)
@@ -59,7 +59,7 @@ func joinRight[K cmp.Ordered, P any](a, b *Node[K, P]) (x, y *Node[K, P]) {
 		return a, nil
 	}
 	// a had three children; keep (c0, c1) in a and split off (r1, r2).
-	y = mk2(a.child[2], r2)
+	y = mk2(np, a.child[2], r2)
 	a.child[2] = nil
 	a.nc = 2
 	refresh(a)
@@ -69,7 +69,7 @@ func joinRight[K cmp.Ordered, P any](a, b *Node[K, P]) (x, y *Node[K, P]) {
 // joinLeft is the mirror image of joinRight: b with height(b) < height(a)
 // is hung below a's leftmost spine. When two nodes are returned the second
 // goes to the left.
-func joinLeft[K cmp.Ordered, P any](a, b *Node[K, P]) (x, y *Node[K, P]) {
+func joinLeft[K cmp.Ordered, P any](np *NodePool[K, P], a, b *Node[K, P]) (x, y *Node[K, P]) {
 	if a.h == b.h+1 {
 		if a.nc == 2 {
 			a.child[2] = a.child[1]
@@ -85,9 +85,9 @@ func joinLeft[K cmp.Ordered, P any](a, b *Node[K, P]) (x, y *Node[K, P]) {
 		a.child[2] = nil
 		a.nc = 2
 		refresh(a)
-		return a, mk2(b, c0)
+		return a, mk2(np, b, c0)
 	}
-	r1, r2 := joinLeft(a.child[0], b)
+	r1, r2 := joinLeft(np, a.child[0], b)
 	a.child[0] = r1
 	if r2 == nil {
 		refresh(a)
@@ -101,7 +101,7 @@ func joinLeft[K cmp.Ordered, P any](a, b *Node[K, P]) (x, y *Node[K, P]) {
 		refresh(a)
 		return a, nil
 	}
-	y = mk2(r2, a.child[0])
+	y = mk2(np, r2, a.child[0])
 	a.child[0] = a.child[1]
 	a.child[1] = a.child[2]
 	a.child[2] = nil
@@ -111,8 +111,10 @@ func joinLeft[K cmp.Ordered, P any](a, b *Node[K, P]) (x, y *Node[K, P]) {
 }
 
 // splitKey splits t around key k into l (keys < k), eq (the unique leaf
-// with key k, or nil), and r (keys > k). t is consumed. O(log n).
-func splitKey[K cmp.Ordered, P any](t *Node[K, P], k K) (l, eq, r *Node[K, P]) {
+// with key k, or nil), and r (keys > k). t is consumed: the spine nodes
+// the split passes through are dropped — and recycled into the pool —
+// as their children are redistributed into l and r. O(log n).
+func splitKey[K cmp.Ordered, P any](np *NodePool[K, P], t *Node[K, P], k K) (l, eq, r *Node[K, P]) {
 	if t == nil {
 		return nil, nil, nil
 	}
@@ -130,19 +132,20 @@ func splitKey[K cmp.Ordered, P any](t *Node[K, P], k K) (l, eq, r *Node[K, P]) {
 	for i < t.nc-1 && t.child[i].maxKey < k {
 		i++
 	}
-	l, eq, r = splitKey(detach(t.child[i]), k)
+	l, eq, r = splitKey(np, detach(t.child[i]), k)
 	for j := i - 1; j >= 0; j-- {
-		l = join(detach(t.child[j]), l)
+		l = join(np, detach(t.child[j]), l)
 	}
 	for j := i + 1; j < t.nc; j++ {
-		r = join(r, detach(t.child[j]))
+		r = join(np, r, detach(t.child[j]))
 	}
+	np.put(t)
 	return l, eq, r
 }
 
 // splitRank splits t so that l holds the first i leaves and r the rest.
-// t is consumed. O(log n).
-func splitRank[K cmp.Ordered, P any](t *Node[K, P], i int) (l, r *Node[K, P]) {
+// t is consumed (spine nodes recycled, as in splitKey). O(log n).
+func splitRank[K cmp.Ordered, P any](np *NodePool[K, P], t *Node[K, P], i int) (l, r *Node[K, P]) {
 	if t == nil || i <= 0 {
 		return nil, detach(t)
 	}
@@ -155,12 +158,13 @@ func splitRank[K cmp.Ordered, P any](t *Node[K, P], i int) (l, r *Node[K, P]) {
 		i -= t.child[ci].size
 		ci++
 	}
-	l, r = splitRank(detach(t.child[ci]), i)
+	l, r = splitRank(np, detach(t.child[ci]), i)
 	for j := ci - 1; j >= 0; j-- {
-		l = join(detach(t.child[j]), l)
+		l = join(np, detach(t.child[j]), l)
 	}
 	for j := ci + 1; j < t.nc; j++ {
-		r = join(r, detach(t.child[j]))
+		r = join(np, r, detach(t.child[j]))
 	}
+	np.put(t)
 	return l, r
 }

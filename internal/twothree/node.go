@@ -84,15 +84,17 @@ func refresh[K cmp.Ordered, P any](n *Node[K, P]) {
 	n.h = n.child[0].h + 1
 }
 
-func mk2[K cmp.Ordered, P any](a, b *Node[K, P]) *Node[K, P] {
-	n := &Node[K, P]{nc: 2}
+func mk2[K cmp.Ordered, P any](np *NodePool[K, P], a, b *Node[K, P]) *Node[K, P] {
+	n := np.get()
+	n.nc = 2
 	n.child[0], n.child[1] = a, b
 	refresh(n)
 	return n
 }
 
-func mk3[K cmp.Ordered, P any](a, b, c *Node[K, P]) *Node[K, P] {
-	n := &Node[K, P]{nc: 3}
+func mk3[K cmp.Ordered, P any](np *NodePool[K, P], a, b, c *Node[K, P]) *Node[K, P] {
+	n := np.get()
+	n.nc = 3
 	n.child[0], n.child[1], n.child[2] = a, b, c
 	refresh(n)
 	return n
@@ -138,9 +140,28 @@ func appendLeaves[K cmp.Ordered, P any](n *Node[K, P], out []*Node[K, P]) []*Nod
 	return out
 }
 
+// appendLeavesFree is appendLeaves for a subtree being dismantled: the
+// internal nodes are recycled into the pool as the walk leaves them
+// behind. The extracted leaves keep their identity (their stale parent
+// pointers are overwritten on the next insertion, exactly as with the
+// non-freeing walk).
+func appendLeavesFree[K cmp.Ordered, P any](np *NodePool[K, P], n *Node[K, P], out []*Node[K, P]) []*Node[K, P] {
+	if n == nil {
+		return out
+	}
+	if n.IsLeaf() {
+		return append(out, n)
+	}
+	for i := int8(0); i < n.nc; i++ {
+		out = appendLeavesFree(np, n.child[i], out)
+	}
+	np.put(n)
+	return out
+}
+
 // buildLeaves constructs a balanced 2-3 tree over the given leaves (in
 // order) and returns its root (nil for an empty slice). O(b) work.
-func buildLeaves[K cmp.Ordered, P any](leaves []*Node[K, P]) *Node[K, P] {
+func buildLeaves[K cmp.Ordered, P any](np *NodePool[K, P], leaves []*Node[K, P]) *Node[K, P] {
 	if len(leaves) == 0 {
 		return nil
 	}
@@ -152,10 +173,10 @@ func buildLeaves[K cmp.Ordered, P any](leaves []*Node[K, P]) *Node[K, P] {
 			rem := len(level) - i
 			switch {
 			case rem == 2 || rem == 4:
-				next = append(next, mk2(level[i], level[i+1]))
+				next = append(next, mk2(np, level[i], level[i+1]))
 				i += 2
 			default: // rem == 3 or rem >= 5: take three
-				next = append(next, mk3(level[i], level[i+1], level[i+2]))
+				next = append(next, mk3(np, level[i], level[i+1], level[i+2]))
 				i += 3
 			}
 		}

@@ -1,0 +1,57 @@
+package twothree
+
+import (
+	"cmp"
+	"sync"
+)
+
+// NodePool recycles internal 2-3 tree nodes. The working-set maps churn
+// internal nodes constantly — every split consumes the spine nodes it
+// passes and every join/build makes new ones, so items migrating between
+// segments rebuild the routing structure above them on every batch —
+// and that churn is almost all of the engines' residual steady-state
+// allocation (EXPERIMENTS.md E18). A pool turns it into reuse.
+//
+// Only internal nodes are pooled. Leaves are identity: the maps hold
+// direct pointers to them across segment moves (the paper's cross
+// pointers), so a leaf may never be recycled while its item exists —
+// put refuses leaves outright rather than trusting every call site.
+//
+// A NodePool is safe for concurrent use (batch operations fork their
+// divide-and-conquer recursions, and M2's final slab segments run as
+// concurrent activations over a shared engine pool); it is backed by a
+// sync.Pool, so recycled nodes are also GC-discardable. A nil *NodePool
+// is valid and simply allocates: trees without a pool behave exactly as
+// before.
+type NodePool[K cmp.Ordered, P any] struct {
+	p sync.Pool
+}
+
+// NewNodePool creates an empty pool. One pool per engine is the intended
+// shape: all segments (and M2's filter tree) share it, so nodes freed by
+// one segment's split feed another segment's join.
+func NewNodePool[K cmp.Ordered, P any]() *NodePool[K, P] {
+	return &NodePool[K, P]{}
+}
+
+// get returns a zeroed node, recycled if available.
+func (np *NodePool[K, P]) get() *Node[K, P] {
+	if np == nil {
+		return &Node[K, P]{}
+	}
+	if v := np.p.Get(); v != nil {
+		return v.(*Node[K, P])
+	}
+	return &Node[K, P]{}
+}
+
+// put recycles an internal node the structure has dropped. The node is
+// cleared first so pooled nodes pin neither subtrees nor key/payload
+// memory. Leaves (and nil) are ignored.
+func (np *NodePool[K, P]) put(n *Node[K, P]) {
+	if np == nil || n == nil || n.nc == 0 {
+		return
+	}
+	*n = Node[K, P]{}
+	np.p.Put(n)
+}

@@ -22,11 +22,19 @@ type SeqLeaf[K cmp.Ordered] = Node[K, struct{}]
 type Seq[K cmp.Ordered] struct {
 	root *Node[K, struct{}]
 	cnt  *metrics.Counter
+	pool *NodePool[K, struct{}]
 }
 
 // NewSeq returns an empty recency sequence. cnt may be nil.
 func NewSeq[K cmp.Ordered](cnt *metrics.Counter) *Seq[K] {
 	return &Seq[K]{cnt: cnt}
+}
+
+// NewSeqPooled is NewSeq with a node free-list (see Tree.NewPooled):
+// internal nodes dropped by pops and rank deletions are recycled through
+// pool. pool may be nil.
+func NewSeqPooled[K cmp.Ordered](cnt *metrics.Counter, pool *NodePool[K, struct{}]) *Seq[K] {
+	return &Seq[K]{cnt: cnt, pool: pool}
 }
 
 // Len returns the number of items.
@@ -62,7 +70,7 @@ func seqLeaves[K cmp.Ordered](keys []K) []*SeqLeaf[K] {
 func (s *Seq[K]) PushFront(keys []K) []*SeqLeaf[K] {
 	s.charge(1)
 	leaves := seqLeaves(keys)
-	s.root = join(buildLeaves(leaves), s.root)
+	s.root = join(s.pool, buildLeaves(s.pool, leaves), s.root)
 	return leaves
 }
 
@@ -71,7 +79,7 @@ func (s *Seq[K]) PushFront(keys []K) []*SeqLeaf[K] {
 func (s *Seq[K]) PushBack(keys []K) []*SeqLeaf[K] {
 	s.charge(1)
 	leaves := seqLeaves(keys)
-	s.root = join(s.root, buildLeaves(leaves))
+	s.root = join(s.pool, s.root, buildLeaves(s.pool, leaves))
 	return leaves
 }
 
@@ -79,13 +87,13 @@ func (s *Seq[K]) PushBack(keys []K) []*SeqLeaf[K] {
 // their identity.
 func (s *Seq[K]) PushFrontLeaves(leaves []*SeqLeaf[K]) {
 	s.charge(1)
-	s.root = join(buildLeaves(leaves), s.root)
+	s.root = join(s.pool, buildLeaves(s.pool, leaves), s.root)
 }
 
 // PushBackLeaves appends existing leaves, preserving their identity.
 func (s *Seq[K]) PushBackLeaves(leaves []*SeqLeaf[K]) {
 	s.charge(1)
-	s.root = join(s.root, buildLeaves(leaves))
+	s.root = join(s.pool, s.root, buildLeaves(s.pool, leaves))
 }
 
 // PopFront removes the n most recent items and returns them most recent
@@ -95,9 +103,9 @@ func (s *Seq[K]) PopFront(n int) []*SeqLeaf[K] {
 	if n > s.Len() {
 		n = s.Len()
 	}
-	l, r := splitRank(s.root, n)
+	l, r := splitRank(s.pool, s.root, n)
 	s.root = r
-	return appendLeaves(l, make([]*SeqLeaf[K], 0, n))
+	return appendLeavesFree(s.pool, l, make([]*SeqLeaf[K], 0, n))
 }
 
 // PopBack removes the n least recent items and returns them in recency
@@ -107,9 +115,9 @@ func (s *Seq[K]) PopBack(n int) []*SeqLeaf[K] {
 	if n > s.Len() {
 		n = s.Len()
 	}
-	l, r := splitRank(s.root, s.Len()-n)
+	l, r := splitRank(s.pool, s.root, s.Len()-n)
 	s.root = l
-	return appendLeaves(r, make([]*SeqLeaf[K], 0, n))
+	return appendLeavesFree(s.pool, r, make([]*SeqLeaf[K], 0, n))
 }
 
 // Remove deletes the given leaves (in any order) from the sequence via
@@ -135,7 +143,7 @@ func (s *Seq[K]) RemoveInto(leaves []*SeqLeaf[K], ranks []int, out []*SeqLeaf[K]
 	}
 	sort.Ints(ranks)
 	clear(out)
-	s.root = batchDeleteRanks(s.root, ranks, 0, out)
+	s.root = batchDeleteRanks(s.pool, s.root, ranks, 0, out)
 	return out
 }
 

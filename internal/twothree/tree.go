@@ -29,12 +29,20 @@ type Item[K cmp.Ordered, P any] struct {
 type Tree[K cmp.Ordered, P any] struct {
 	root *Node[K, P]
 	cnt  *metrics.Counter
+	pool *NodePool[K, P]
 }
 
 // New returns an empty tree. cnt may be nil; when set, operations charge
 // their pointer-machine cost to it.
 func New[K cmp.Ordered, P any](cnt *metrics.Counter) *Tree[K, P] {
 	return &Tree[K, P]{cnt: cnt}
+}
+
+// NewPooled is New with a node free-list: internal nodes dropped by
+// splits are recycled through pool (which may be shared with other trees
+// of the same engine) instead of becoming garbage. pool may be nil.
+func NewPooled[K cmp.Ordered, P any](cnt *metrics.Counter, pool *NodePool[K, P]) *Tree[K, P] {
+	return &Tree[K, P]{cnt: cnt, pool: pool}
 }
 
 // Len returns the number of items.
@@ -84,22 +92,22 @@ func (t *Tree[K, P]) Get(k K) (*Node[K, P], bool) {
 // It returns the item's leaf and whether the key already existed. O(log n).
 func (t *Tree[K, P]) Insert(k K, p P) (*Node[K, P], bool) {
 	t.chargePerOp(1)
-	l, eq, r := splitKey(t.root, k)
+	l, eq, r := splitKey(t.pool, t.root, k)
 	existed := eq != nil
 	if eq == nil {
 		eq = newLeaf(k, p)
 	} else {
 		eq.Payload = p
 	}
-	t.root = join(join(l, eq), r)
+	t.root = join(t.pool, join(t.pool, l, eq), r)
 	return eq, existed
 }
 
 // Delete removes k and returns its leaf, if present. O(log n).
 func (t *Tree[K, P]) Delete(k K) (*Node[K, P], bool) {
 	t.chargePerOp(1)
-	l, eq, r := splitKey(t.root, k)
-	t.root = join(l, r)
+	l, eq, r := splitKey(t.pool, t.root, k)
+	t.root = join(t.pool, l, r)
 	return eq, eq != nil
 }
 
@@ -250,11 +258,11 @@ func runForked(batchSize int, fns []func()) {
 func (t *Tree[K, P]) BatchUpsert(items []Item[K, P]) []*Node[K, P] {
 	t.chargeBatch(len(items))
 	out := make([]*Node[K, P], len(items))
-	t.root = batchUpsert(t.root, items, out)
+	t.root = batchUpsert(t.pool, t.root, items, out)
 	return out
 }
 
-func batchUpsert[K cmp.Ordered, P any](n *Node[K, P], items []Item[K, P], out []*Node[K, P]) *Node[K, P] {
+func batchUpsert[K cmp.Ordered, P any](np *NodePool[K, P], n *Node[K, P], items []Item[K, P], out []*Node[K, P]) *Node[K, P] {
 	if len(items) == 0 {
 		return n
 	}
@@ -264,10 +272,10 @@ func batchUpsert[K cmp.Ordered, P any](n *Node[K, P], items []Item[K, P], out []
 			leaves[i] = newLeaf(it.Key, it.Payload)
 			out[i] = leaves[i]
 		}
-		return buildLeaves(leaves)
+		return buildLeaves(np, leaves)
 	}
 	mid := len(items) / 2
-	l, eq, r := splitKey(n, items[mid].Key)
+	l, eq, r := splitKey(np, n, items[mid].Key)
 	if eq == nil {
 		eq = newLeaf(items[mid].Key, items[mid].Payload)
 	} else {
@@ -276,15 +284,15 @@ func batchUpsert[K cmp.Ordered, P any](n *Node[K, P], items []Item[K, P], out []
 	out[mid] = eq
 	var lt, rt *Node[K, P]
 	if len(items) < batchGrain {
-		lt = batchUpsert(l, items[:mid], out[:mid])
-		rt = batchUpsert(r, items[mid+1:], out[mid+1:])
+		lt = batchUpsert(np, l, items[:mid], out[:mid])
+		rt = batchUpsert(np, r, items[mid+1:], out[mid+1:])
 	} else {
 		runForked(len(items), []func(){
-			func() { lt = batchUpsert(l, items[:mid], out[:mid]) },
-			func() { rt = batchUpsert(r, items[mid+1:], out[mid+1:]) },
+			func() { lt = batchUpsert(np, l, items[:mid], out[:mid]) },
+			func() { rt = batchUpsert(np, r, items[mid+1:], out[mid+1:]) },
 		})
 	}
-	return join(join(lt, eq), rt)
+	return join(np, join(np, lt, eq), rt)
 }
 
 // BatchInsertLeaves inserts pre-built leaves (sorted by key, distinct, and
@@ -293,32 +301,32 @@ func batchUpsert[K cmp.Ordered, P any](n *Node[K, P], items []Item[K, P], out []
 // move between segments. Θ(b log n) work.
 func (t *Tree[K, P]) BatchInsertLeaves(leaves []*Node[K, P]) {
 	t.chargeBatch(len(leaves))
-	t.root = batchInsertLeaves(t.root, leaves)
+	t.root = batchInsertLeaves(t.pool, t.root, leaves)
 }
 
-func batchInsertLeaves[K cmp.Ordered, P any](n *Node[K, P], leaves []*Node[K, P]) *Node[K, P] {
+func batchInsertLeaves[K cmp.Ordered, P any](np *NodePool[K, P], n *Node[K, P], leaves []*Node[K, P]) *Node[K, P] {
 	if len(leaves) == 0 {
 		return n
 	}
 	if n == nil {
-		return buildLeaves(leaves)
+		return buildLeaves(np, leaves)
 	}
 	mid := len(leaves) / 2
-	l, eq, r := splitKey(n, leaves[mid].Key)
+	l, eq, r := splitKey(np, n, leaves[mid].Key)
 	if eq != nil {
 		panic("twothree: BatchInsertLeaves: key already present")
 	}
 	var lt, rt *Node[K, P]
 	if len(leaves) < batchGrain {
-		lt = batchInsertLeaves(l, leaves[:mid])
-		rt = batchInsertLeaves(r, leaves[mid+1:])
+		lt = batchInsertLeaves(np, l, leaves[:mid])
+		rt = batchInsertLeaves(np, r, leaves[mid+1:])
 	} else {
 		runForked(len(leaves), []func(){
-			func() { lt = batchInsertLeaves(l, leaves[:mid]) },
-			func() { rt = batchInsertLeaves(r, leaves[mid+1:]) },
+			func() { lt = batchInsertLeaves(np, l, leaves[:mid]) },
+			func() { rt = batchInsertLeaves(np, r, leaves[mid+1:]) },
 		})
 	}
-	return join(join(lt, detach(leaves[mid])), rt)
+	return join(np, join(np, lt, detach(leaves[mid])), rt)
 }
 
 // BatchDelete removes every key of the sorted, distinct batch and returns
@@ -332,28 +340,28 @@ func (t *Tree[K, P]) BatchDelete(keys []K) []*Node[K, P] {
 func (t *Tree[K, P]) BatchDeleteInto(keys []K, out []*Node[K, P]) []*Node[K, P] {
 	t.chargeBatch(len(keys))
 	clear(out)
-	t.root = batchDelete(t.root, keys, out)
+	t.root = batchDelete(t.pool, t.root, keys, out)
 	return out
 }
 
-func batchDelete[K cmp.Ordered, P any](n *Node[K, P], keys []K, out []*Node[K, P]) *Node[K, P] {
+func batchDelete[K cmp.Ordered, P any](np *NodePool[K, P], n *Node[K, P], keys []K, out []*Node[K, P]) *Node[K, P] {
 	if len(keys) == 0 || n == nil {
 		return n
 	}
 	mid := len(keys) / 2
-	l, eq, r := splitKey(n, keys[mid])
+	l, eq, r := splitKey(np, n, keys[mid])
 	out[mid] = eq
 	var lt, rt *Node[K, P]
 	if len(keys) < batchGrain {
-		lt = batchDelete(l, keys[:mid], out[:mid])
-		rt = batchDelete(r, keys[mid+1:], out[mid+1:])
+		lt = batchDelete(np, l, keys[:mid], out[:mid])
+		rt = batchDelete(np, r, keys[mid+1:], out[mid+1:])
 	} else {
 		runForked(len(keys), []func(){
-			func() { lt = batchDelete(l, keys[:mid], out[:mid]) },
-			func() { rt = batchDelete(r, keys[mid+1:], out[mid+1:]) },
+			func() { lt = batchDelete(np, l, keys[:mid], out[:mid]) },
+			func() { rt = batchDelete(np, r, keys[mid+1:], out[mid+1:]) },
 		})
 	}
-	return join(lt, rt)
+	return join(np, lt, rt)
 }
 
 // BatchDeleteRanks removes the leaves at the given sorted, distinct 0-based
@@ -363,27 +371,27 @@ func batchDelete[K cmp.Ordered, P any](n *Node[K, P], keys []K, out []*Node[K, P
 func (t *Tree[K, P]) BatchDeleteRanks(ranks []int) []*Node[K, P] {
 	t.chargeBatch(len(ranks))
 	out := make([]*Node[K, P], len(ranks))
-	t.root = batchDeleteRanks(t.root, ranks, 0, out)
+	t.root = batchDeleteRanks(t.pool, t.root, ranks, 0, out)
 	return out
 }
 
-func batchDeleteRanks[K cmp.Ordered, P any](n *Node[K, P], ranks []int, off int, out []*Node[K, P]) *Node[K, P] {
+func batchDeleteRanks[K cmp.Ordered, P any](np *NodePool[K, P], n *Node[K, P], ranks []int, off int, out []*Node[K, P]) *Node[K, P] {
 	if len(ranks) == 0 {
 		return n
 	}
 	mid := len(ranks) / 2
-	a, rest := splitRank(n, ranks[mid]-off)
-	leaf, b := splitRank(rest, 1)
+	a, rest := splitRank(np, n, ranks[mid]-off)
+	leaf, b := splitRank(np, rest, 1)
 	out[mid] = leaf
 	var at, bt *Node[K, P]
 	if len(ranks) < batchGrain {
-		at = batchDeleteRanks(a, ranks[:mid], off, out[:mid])
-		bt = batchDeleteRanks(b, ranks[mid+1:], ranks[mid]+1, out[mid+1:])
+		at = batchDeleteRanks(np, a, ranks[:mid], off, out[:mid])
+		bt = batchDeleteRanks(np, b, ranks[mid+1:], ranks[mid]+1, out[mid+1:])
 	} else {
 		runForked(len(ranks), []func(){
-			func() { at = batchDeleteRanks(a, ranks[:mid], off, out[:mid]) },
-			func() { bt = batchDeleteRanks(b, ranks[mid+1:], ranks[mid]+1, out[mid+1:]) },
+			func() { at = batchDeleteRanks(np, a, ranks[:mid], off, out[:mid]) },
+			func() { bt = batchDeleteRanks(np, b, ranks[mid+1:], ranks[mid]+1, out[mid+1:]) },
 		})
 	}
-	return join(at, bt)
+	return join(np, at, bt)
 }

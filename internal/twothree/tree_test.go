@@ -275,6 +275,7 @@ func TestBatchDeleteRanks(t *testing.T) {
 }
 
 func TestQuickJoinSplitRoundTrip(t *testing.T) {
+	pool := NewNodePool[int, struct{}]()
 	f := func(raw []uint16, cut uint16) bool {
 		// Build a tree from distinct keys, split at an arbitrary key, and
 		// verify both halves plus rejoin.
@@ -291,8 +292,8 @@ func TestQuickJoinSplitRoundTrip(t *testing.T) {
 		for i, k := range keys {
 			leaves[i] = newLeaf(k, struct{}{})
 		}
-		root := buildLeaves(leaves)
-		l, eq, r := splitKey(root, int(cut))
+		root := buildLeaves(pool, leaves)
+		l, eq, r := splitKey(pool, root, int(cut))
 		if validate(l, true) != nil || validate(r, true) != nil {
 			return false
 		}
@@ -304,7 +305,7 @@ func TestQuickJoinSplitRoundTrip(t *testing.T) {
 		if l.Size() != i {
 			return false
 		}
-		rejoined := join(join(l, eq), r)
+		rejoined := join(pool, join(pool, l, eq), r)
 		if validate(rejoined, true) != nil {
 			return false
 		}
@@ -325,6 +326,7 @@ func TestQuickJoinSplitRoundTrip(t *testing.T) {
 }
 
 func TestQuickSplitRank(t *testing.T) {
+	pool := NewNodePool[int, struct{}]()
 	f := func(n uint16, at uint16) bool {
 		size := int(n%1000) + 1
 		cut := int(at) % (size + 1)
@@ -332,15 +334,15 @@ func TestQuickSplitRank(t *testing.T) {
 		for i := range leaves {
 			leaves[i] = newLeaf(i, struct{}{})
 		}
-		root := buildLeaves(leaves)
-		l, r := splitRank(root, cut)
+		root := buildLeaves(pool, leaves)
+		l, r := splitRank(pool, root, cut)
 		if l.Size() != cut || r.Size() != size-cut {
 			return false
 		}
 		if validate(l, true) != nil || validate(r, true) != nil {
 			return false
 		}
-		back := join(l, r)
+		back := join(pool, l, r)
 		if back.Size() != size || validate(back, true) != nil {
 			return false
 		}
