@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/experiments/e19"
+	"repro/internal/experiments/e20"
 )
 
 type experiment struct {
@@ -50,6 +51,7 @@ var all = []experiment{
 	{"e17", "sharded front-end throughput scaling (sharding thesis)",
 		func(s experiments.Scale) experiments.Table { return experiments.E17ShardedScaling(s, *shardsFlag) }},
 	{"e19", "cross-connection batch coalescing: conns x depth x window (group commit)", e19.CoalesceSweep},
+	{"e20", "write tail latency under concurrent cursor-paged scans (batched range reads)", e20.ScanImpact},
 }
 
 // shardsFlag is read by e17 and -sweep after flag.Parse.

@@ -2,7 +2,10 @@
 // RESP-like internal/wire protocol (GET/SET/DEL/MGET/MSET/SCAN/LEN/
 // STATS/PING/QUIT). Each connection's pipelined requests are drained
 // into one batch Apply, so the paper's duplicate combining and
-// working-set adaptivity survive the network hop.
+// working-set adaptivity survive the network hop. SCAN is cursor-paged
+// (SCAN lo hi [count [cursor]]) and rides the same batched engine path —
+// scans never stop the world, so write tail latency stays flat under
+// concurrent scan load.
 //
 // Usage:
 //
@@ -41,6 +44,7 @@ func main() {
 		maxPipe  = flag.Int("maxpipeline", 256, "max pipelined commands per batch")
 		coWin    = flag.Duration("coalesce-window", 0, "cross-connection coalescing window (0 = per-connection batching only)")
 		coBatch  = flag.Int("coalesce-batch", 1024, "coalescing size trigger in ops (with -coalesce-window)")
+		maxScan  = flag.Int("max-scan", 1000, "max pairs per SCAN page (clients page past it with the reply cursor)")
 	)
 	flag.Parse()
 
@@ -61,6 +65,7 @@ func main() {
 		P:              *p,
 		MaxConns:       *maxConns,
 		MaxPipeline:    *maxPipe,
+		MaxScan:        *maxScan,
 		CoalesceWindow: *coWin,
 		CoalesceBatch:  *coBatch,
 	})

@@ -1,7 +1,7 @@
 // Wsload is a closed-loop load generator for wsd: N connections each
-// drive a pipeline of depth D of mixed GET/SET requests drawn from the
-// internal/workload generators, and report throughput and latency
-// percentiles per workload.
+// drive a pipeline of depth D of mixed GET/SET (and optionally SCAN)
+// requests drawn from the internal/workload generators, and report
+// throughput and latency percentiles per workload.
 //
 // Usage:
 //
@@ -11,6 +11,9 @@
 //	wsload -depth 1                         # unpipelined baseline
 //	wsload -rate 50000                      # open-loop fixed-rate mode (no
 //	                                        # coordinated omission; see below)
+//	wsload -scan-frac 0.1 -scan-count 100   # mixed scan workload: 10% of
+//	                                        # commands read one cursor page
+//	                                        # (scan latency reported apart)
 //	wsload -json                            # one JSON object per workload
 //
 // Pipeline depth is the interesting knob: the server drains each
@@ -49,6 +52,9 @@ func main() {
 		zipfS     = flag.Float64("zipf", 0.99, "zipf skew s")
 		recency   = flag.Int("recency", 64, "mean recency for the working-set workload")
 		getFrac   = flag.Float64("get", 0.9, "fraction of GETs (rest are SETs)")
+		scanFrac  = flag.Float64("scan-frac", 0, "fraction of commands that are cursor-paged SCANs (scan latency reported separately)")
+		scanCount = flag.Int("scan-count", 100, "pairs per SCAN page")
+		scanSpan  = flag.Int("scan-span", 1024, "key-index width of each scan window")
 		preload   = flag.Bool("preload", true, "insert every universe key before measuring")
 		seed      = flag.Int64("seed", 1, "generator seed")
 		jsonOut   = flag.Bool("json", false, "emit one JSON object per workload")
@@ -84,6 +90,9 @@ func main() {
 			ZipfS:       zs,
 			MeanRecency: *recency,
 			GetFrac:     gf,
+			ScanFrac:    *scanFrac,
+			ScanCount:   *scanCount,
+			ScanSpan:    *scanSpan,
 			Preload:     *preload,
 			Seed:        *seed,
 		}, dial)

@@ -52,6 +52,18 @@
 //	v, ok := m.Get("k")
 //	m.Delete("k")
 //
+// # Range reads
+//
+// Ordered range reads are first-class batched operations, not
+// stop-the-world snapshots: a range rides the engines' cut batches like
+// any Get/Insert/Delete (OpRange in the batch API), linearizes at a
+// batch boundary, and needs no quiescence — writers keep committing
+// while ranges are served. M1/M2 expose Range (one bounded page);
+// Sharded exposes RangePage (cursor pagination: one bounded range op
+// broadcast to every shard and k-way merged) and a paging Range
+// visitor. Items remains a quiescent whole-map snapshot for draining
+// and tests.
+//
 // # Network service
 //
 // The maps are also servable over a socket: cmd/wsd fronts a Sharded
@@ -64,9 +76,11 @@
 // (internal/coalesce): many connections' single operations are cut into
 // one combined batch under a size-or-deadline policy, restoring the
 // paper's batch economics — including duplicate combining across
-// clients — to depth-1 traffic. cmd/wsload is the matching load
-// generator (closed-loop pipelines, or open-loop fixed-rate with -rate
-// for coordinated-omission-free latency); see README.md.
+// clients — to depth-1 traffic. SCAN is a cursor-paged range read
+// served by the batched range path, so scans never stall writers.
+// cmd/wsload is the matching load generator (closed-loop pipelines,
+// open-loop fixed-rate with -rate for coordinated-omission-free
+// latency, mixed scan workloads with -scan-frac); see README.md.
 //
 // See EXPERIMENTS.md for the measured reproduction of every bound in the
 // paper, and DESIGN.md for the system inventory.

@@ -30,6 +30,25 @@ func BenchmarkHotPathM1Get(b *testing.B) {
 	}
 }
 
+// BenchmarkHotPathRangePage measures a warm cursor page through the
+// sharded front-end: one 64-pair page of a broadcast batched range read
+// (one OpRange per shard riding its engine's cut batch, k-way merged),
+// the server's SCAN shape without the network.
+func BenchmarkHotPathRangePage(b *testing.B) {
+	m := NewSharded[int, int](ShardedOptions{})
+	defer m.Close()
+	for i := 0; i < 4096; i++ {
+		m.Insert(i, i)
+	}
+	var page []KV[int, int]
+	m.RangePage(0, false, 4096, 64, nil) // warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		page, _ = m.RangePage(i%2048, false, 4096, 64, page[:0])
+	}
+}
+
 // BenchmarkHotPathShardedApply measures a warm batch Apply through the
 // sharded front-end: one reused 64-op Get batch spanning every shard, the
 // server's submission shape without the network.

@@ -31,6 +31,28 @@ func TestAllocsWarmM1Get(t *testing.T) {
 	}
 }
 
+func TestAllocsRangePage(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts inflated under -race")
+	}
+	m := NewSharded[int, int](ShardedOptions{})
+	defer m.Close()
+	for i := 0; i < 4096; i++ {
+		m.Insert(i, i)
+	}
+	var page []KV[int, int]
+	read := func() { page, _ = m.RangePage(1024, false, 4096, 64, page[:0]) }
+	read()
+	// Measured ~1 alloc per 64-pair page: the pooled range scratch, the
+	// per-shard request frames, the engines' leaf/merge scratch and the
+	// caller's page buffer are all reused, so a paging scanner puts no
+	// steady-state pressure on the GC.
+	const ceiling = 16
+	if n := testing.AllocsPerRun(100, read); n > ceiling {
+		t.Errorf("warm 64-pair RangePage: %.1f allocs/page, ceiling %d", n, ceiling)
+	}
+}
+
 func TestAllocsWarmShardedApply(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts inflated under -race")

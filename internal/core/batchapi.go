@@ -172,6 +172,33 @@ func (m *M1[K, V]) ApplyAsyncMulti(batches [][]Op[K, V]) Pending[K, V] {
 	return applyAsyncMulti(batches, m.closed.Load(), &m.pending, &m.calls, &m.batch, m.pb.AddAll, m.act)
 }
 
+// Range reads the first limit pairs with lo <= key < hi in ascending key
+// order, appending them to dst (grown as needed and returned); limit <= 0
+// means no bound. The second result reports truncation: true when more
+// matching items may remain past the returned page. It is an ordinary
+// batched operation — one OpRange submitted through ApplyAsync — so it
+// needs no quiescence and runs concurrently with any other operations,
+// linearizing at the end of its cut batch.
+func (m *M1[K, V]) Range(lo, hi K, limit int, dst []KV[K, V]) ([]KV[K, V], bool) {
+	return rangeOne[K, V](m.ApplyAsync, lo, hi, limit, dst)
+}
+
+// Range reads the first limit pairs with lo <= key < hi. See M1.Range.
+func (m *M2[K, V]) Range(lo, hi K, limit int, dst []KV[K, V]) ([]KV[K, V], bool) {
+	return rangeOne[K, V](m.ApplyAsync, lo, hi, limit, dst)
+}
+
+// rangeOne is the shared one-shot Range body: a single OpRange batch.
+func rangeOne[K cmp.Ordered, V any](
+	applyAsync func([]Op[K, V]) Pending[K, V], lo, hi K, limit int, dst []KV[K, V],
+) ([]KV[K, V], bool) {
+	req := RangeReq[K, V]{Hi: hi, Limit: limit, Out: dst}
+	ops := [1]Op[K, V]{{Kind: OpRange, Key: lo, Range: &req}}
+	var res [1]Result[V]
+	applyAsync(ops[:]).Collect(res[:])
+	return req.Out, res[0].OK
+}
+
 // ApplyAsync submits a batch without waiting. See M1.ApplyAsync.
 func (m *M2[K, V]) ApplyAsync(ops []Op[K, V]) Pending[K, V] {
 	return applyAsync(ops, m.closed.Load(), &m.pending, &m.calls, &m.batch, m.pb.AddAll, m.act)

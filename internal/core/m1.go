@@ -70,8 +70,10 @@ type M1[K cmp.Ordered, V any] struct {
 	sortSc  []int          // esort.PESortInto partition scratch
 	groupSc []*group[K, V] // buildGroups output
 	groups  groupArena[K, V]
-	insKeys []K // finishBatch insertion keys
-	insVals []V // finishBatch insertion values
+	insKeys []K           // finishBatch insertion keys
+	insVals []V           // finishBatch insertion values
+	rangeCs []*call[K, V] // range calls split out of the batch
+	rangeSc rangeScratch[K, V]
 
 	sizeA   atomic.Int64 // published size for Len()
 	feedA   atomic.Int64 // published feed-buffer size for the ready condition
@@ -190,18 +192,27 @@ func (m *M1[K, V]) numBunches() int {
 }
 
 func (m *M1[K, V]) processBatch(batch []*call[K, V]) {
-	keys := m.keySc[:0]
-	for _, c := range batch {
-		keys = append(keys, c.op.Key)
+	batch, m.rangeCs = splitRangeCalls(batch, m.rangeCs[:0])
+	if len(batch) > 0 {
+		keys := m.keySc[:0]
+		for _, c := range batch {
+			keys = append(keys, c.op.Key)
+		}
+		m.keySc = keys
+		perm, sortSc := esort.PESortInto(keys, m.cfg.Pivot, m.permSc, m.sortSc)
+		m.permSc, m.sortSc = perm, sortSc
+		m.groups.reset()
+		groups := buildGroups(batch, perm, m.groupSc[:0], &m.groups)
+		m.groupSc = groups
+		m.rec.recordGroups(groups)
+		m.runSegments(groups)
 	}
-	m.keySc = keys
-	perm, sortSc := esort.PESortInto(keys, m.cfg.Pivot, m.permSc, m.sortSc)
-	m.permSc, m.sortSc = perm, sortSc
-	m.groups.reset()
-	groups := buildGroups(batch, perm, m.groupSc[:0], &m.groups)
-	m.groupSc = groups
-	m.rec.recordGroups(groups)
-	m.runSegments(groups)
+	// Ranges run last, against the slab the batch just finished mutating:
+	// a range linearizes at the end of its cut batch (see rangeread.go).
+	if len(m.rangeCs) > 0 {
+		m.serveRanges(m.rangeCs)
+		clear(m.rangeCs)
+	}
 }
 
 // runSegments passes the group batch through the segments, applying the

@@ -123,14 +123,23 @@ type M2[K cmp.Ordered, V any] struct {
 	sortSc  []int
 	groupSc []*group[K, V]
 
+	// Range-read scratch (see rangeread.go): the batch's split-out range
+	// calls, the collector scratch, and the segment/fseg snapshots the
+	// drain-and-read path reuses.
+	rangeCs    []*call[K, V]
+	rangeSc    rangeScratch[K, V]
+	rangeSegSc []*segment[K, V]
+	fsegSc     []*fseg[K, V]
+
 	first slab[K, V] // S[0..m-1]; S[m-1] additionally under nlock0+FL[0]
 
 	flt    filter[K, V]
 	fl0    *locks.Dedicated // FL[0]
 	nlock0 *locks.Dedicated // between S[m-1] and S[m]
 
-	segsMu sync.RWMutex
-	fsegs  []*fseg[K, V]
+	segsMu  sync.RWMutex
+	fsegs   []*fseg[K, V]
+	segsGen uint64 // bumped on every fseg create/remove; drainFinalSlab's stability check
 
 	sizeA   atomic.Int64
 	batches atomic.Int64
@@ -255,6 +264,12 @@ func (m *M2[K, V]) interfaceRun() bool {
 	m.feedA.Store(int64(m.feed.len()))
 	m.batches.Add(1)
 
+	batch, m.rangeCs = splitRangeCalls(batch, m.rangeCs[:0])
+	if len(batch) == 0 {
+		m.finishRanges()
+		return true
+	}
+
 	keys := m.keySc[:0]
 	for _, c := range batch {
 		keys = append(keys, c.op.Key)
@@ -277,6 +292,7 @@ func (m *M2[K, V]) interfaceRun() bool {
 	}
 	if len(pending) == 0 {
 		m.sizeA.Add(int64(sizeDelta))
+		m.finishRanges()
 		return true
 	}
 
@@ -302,7 +318,20 @@ func (m *M2[K, V]) interfaceRun() bool {
 	m.fl0.Release()
 	m.nlock0.Release()
 	m.sizeA.Add(int64(sizeDelta))
+	m.finishRanges()
 	return true
+}
+
+// finishRanges serves the batch's split-out range calls. Runs with no
+// locks held: serveRanges first drains the final slab (whose segments
+// need the locks this goroutine might otherwise hold), then reads the
+// segment trees directly.
+func (m *M2[K, V]) finishRanges() {
+	if len(m.rangeCs) == 0 {
+		return
+	}
+	m.serveRanges(m.rangeCs)
+	clear(m.rangeCs)
 }
 
 // finishInFirstSlab resolves end-of-structure groups when no final slab
@@ -399,6 +428,7 @@ func (m *M2[K, V]) createFseg(k int, left *locks.Dedicated) *fseg[K, V] {
 	)
 	m.segsMu.Lock()
 	m.fsegs = append(m.fsegs, f)
+	m.segsGen++
 	m.segsMu.Unlock()
 	return f
 }
@@ -632,6 +662,7 @@ func (f *fseg[K, V]) runLocked(pos int) (sizeDelta int) {
 		m.segsMu.Lock()
 		if m.fsegs[len(m.fsegs)-1] == f {
 			m.fsegs = m.fsegs[:len(m.fsegs)-1]
+			m.segsGen++
 		}
 		m.segsMu.Unlock()
 	}

@@ -27,6 +27,11 @@ const (
 	OpInsert
 	// OpDelete removes a key.
 	OpDelete
+	// OpRange is a bounded ordered range read [Key, Range.Hi): a batched
+	// operation like the others — it rides the same cut batches through
+	// Apply/ApplyAsync — except that it never groups with point operations
+	// and never adjusts recencies. Results are appended to Range.Out.
+	OpRange
 )
 
 // String returns the operation-kind name.
@@ -38,22 +43,56 @@ func (k OpKind) String() string {
 		return "insert"
 	case OpDelete:
 		return "delete"
+	case OpRange:
+		return "range"
 	default:
 		return "invalid"
 	}
 }
 
+// KV is one key/value pair of a range read, delivered in ascending key
+// order.
+type KV[K cmp.Ordered, V any] struct {
+	Key K
+	Val V
+}
+
+// RangeReq carries an OpRange's parameters and receives its results. The
+// engine appends up to Limit pairs with Op.Key <= key < Hi (key > Op.Key
+// when XLo is set — the cursor-resume form) to Out, in ascending key
+// order, before completing the call; the caller owns Out's backing array,
+// so a paging caller reuses one buffer per page (the allocation
+// discipline of DESIGN.md). The request must stay untouched between
+// submission and collection.
+type RangeReq[K cmp.Ordered, V any] struct {
+	// Hi is the exclusive upper bound of the range.
+	Hi K
+	// Limit caps the appended pairs; <= 0 means no bound (and then the
+	// result is never truncated).
+	Limit int
+	// XLo excludes Op.Key itself from the range, turning the lower bound
+	// exclusive — how a cursor resumes after the last key of a page.
+	XLo bool
+	// Out receives the pairs (appended). Pass a zero-length slice with
+	// retained capacity to page without allocating.
+	Out []KV[K, V]
+}
+
 // Op is one map operation.
 type Op[K cmp.Ordered, V any] struct {
-	Kind OpKind
-	Key  K
-	Val  V // OpInsert only
+	Kind  OpKind
+	Key   K               // OpRange: inclusive (exclusive under XLo) lower bound
+	Val   V               // OpInsert only
+	Range *RangeReq[K, V] // OpRange only
 }
 
 // Result is the outcome of one operation. For OpGet, Val/OK are the found
 // value and whether it was present. For OpInsert, OK reports whether the
 // key already existed and Val its previous value. For OpDelete, OK reports
-// whether the key existed and Val the removed value.
+// whether the key existed and Val the removed value. For OpRange, the
+// pairs land in the request's Out slice and OK reports truncation: true
+// when the engine stopped at Range.Limit and more matching items may
+// remain (the caller's cue to issue the next cursor page).
 type Result[V any] struct {
 	Val V
 	OK  bool

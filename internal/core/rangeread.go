@@ -1,0 +1,205 @@
+package core
+
+import (
+	"cmp"
+	"runtime"
+)
+
+// Batched range reads. OpRange operations travel through the same parallel
+// buffer, feed buffer and cut batches as point operations, but they never
+// group with them: processBatch/interfaceRun split them out of the batch
+// before key grouping, run the point operations as before, and then serve
+// every range of the batch against the engine's segment trees — after the
+// batch's own effects have been applied, so a range linearizes at the end
+// of its cut batch. At that moment every item of the map lives in exactly
+// one segment key-map (the pbuffer was flushed into the batch and the
+// batch fully applied; nothing is pending "beside" the trees), so the
+// merged view is simply a bounded k-way merge of per-segment RangeInto
+// collections. M1 serves ranges directly (its engine run owns the whole
+// slab); M2 first drains the final slab to a momentary rest (see
+// M2.drainFinalSlab), which stalls only this engine's pipeline tail —
+// not other shards, and not the clients, who keep buffering.
+
+// rangeScratch is the per-engine scratch behind serveRangeCalls: the
+// per-segment leaf collections, their boundaries, and the merge cursors,
+// all reused across batches so steady-state range serving allocates
+// nothing beyond growing the caller's Out buffers.
+type rangeScratch[K cmp.Ordered, V any] struct {
+	leaves []*kmLeaf[K, V]
+	offs   []int
+	cur    []int
+}
+
+// splitRangeCalls partitions a cut batch in place: point calls are
+// compacted to the front of batch (preserving arrival order, which the
+// per-key grouping relies on) and range calls are appended to ranges.
+func splitRangeCalls[K cmp.Ordered, V any](batch, ranges []*call[K, V]) (points, outRanges []*call[K, V]) {
+	w := 0
+	for _, c := range batch {
+		if c.op.Kind == OpRange {
+			ranges = append(ranges, c)
+		} else {
+			batch[w] = c
+			w++
+		}
+	}
+	return batch[:w], ranges
+}
+
+// serveRangeCalls executes every range call against the given segments
+// (which together hold each item exactly once) and completes the calls.
+// Caller must guarantee the segments are stable for the duration (M1:
+// inside the engine run; M2: after drainFinalSlab).
+func serveRangeCalls[K cmp.Ordered, V any](segs []*segment[K, V], sc *rangeScratch[K, V], calls []*call[K, V]) {
+	for _, c := range calls {
+		serveOneRange(segs, sc, c)
+		c.complete()
+	}
+}
+
+// serveOneRange fills one call's RangeReq.Out with the first Limit pairs
+// of [lo, hi) (lo exclusive under XLo) and sets the call's Result.OK to
+// the truncation verdict.
+func serveOneRange[K cmp.Ordered, V any](segs []*segment[K, V], sc *rangeScratch[K, V], c *call[K, V]) {
+	req := c.op.Range
+	c.res = Result[V]{}
+	if req == nil {
+		return // malformed op: empty result, not a panic
+	}
+	lo, hi, limit := c.op.Key, req.Hi, req.Limit
+	if hi <= lo {
+		return
+	}
+	// Collect up to bound in-range leaves from every segment. Taking the
+	// per-segment bound (rather than sharing one running limit) is what
+	// makes the merge exact: each of the globally smallest `limit` keys
+	// has fewer than `limit` predecessors, so in particular fewer than
+	// `limit` within its own segment — it is always collected. Under XLo
+	// one collected leaf may be lo itself and is skipped below, hence the
+	// +1.
+	bound := limit
+	if limit > 0 && req.XLo {
+		bound = limit + 1
+	}
+	sc.leaves = sc.leaves[:0]
+	sc.offs = sc.offs[:0]
+	sc.cur = sc.cur[:0]
+	anyFull := false
+	for _, seg := range segs {
+		start := len(sc.leaves)
+		sc.offs = append(sc.offs, start)
+		sc.cur = append(sc.cur, start)
+		sc.leaves = seg.km.RangeInto(lo, hi, bound, sc.leaves[:start])
+		if bound > 0 && len(sc.leaves)-start == bound {
+			// The segment may hold further in-range items beyond its
+			// collection: a conservative "more" verdict (a false positive
+			// costs the caller one empty follow-up page, never a missed
+			// item).
+			anyFull = true
+		}
+	}
+	sc.offs = append(sc.offs, len(sc.leaves))
+
+	// Bounded k-way merge. Keys are globally distinct across segments (an
+	// item lives in exactly one), so a plain min-pick needs no tie rule;
+	// the segment count is O(log log n), so the linear scan is cheap.
+	out := c.op.Range.Out
+	n0 := len(out)
+	truncated := false
+	for {
+		best := -1
+		for i := range sc.cur {
+			if sc.cur[i] == sc.offs[i+1] {
+				continue
+			}
+			if best < 0 || sc.leaves[sc.cur[i]].Key < sc.leaves[sc.cur[best]].Key {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		lf := sc.leaves[sc.cur[best]]
+		sc.cur[best]++
+		if req.XLo && lf.Key == lo {
+			continue
+		}
+		if limit > 0 && len(out)-n0 >= limit {
+			truncated = true
+			break
+		}
+		out = append(out, KV[K, V]{Key: lf.Key, Val: lf.Payload.val})
+	}
+	req.Out = out
+	clear(sc.leaves) // don't pin leaves past the batch
+	c.res = Result[V]{OK: truncated || anyFull}
+}
+
+// serveRanges is the M1 half: ranges run at the very end of the engine
+// batch, against the slab the batch just finished mutating.
+func (m *M1[K, V]) serveRanges(calls []*call[K, V]) {
+	serveRangeCalls(m.slab.segs, &m.rangeSc, calls)
+}
+
+// serveRanges is the M2 half: the interface (the final slab's only
+// feeder) waits for the final slab to drain, then reads the first slab
+// and final slab trees directly.
+func (m *M2[K, V]) serveRanges(calls []*call[K, V]) {
+	m.drainFinalSlab()
+	segs := m.rangeSegSc[:0]
+	m.segsMu.RLock()
+	segs = append(segs, m.first.segs...)
+	for _, f := range m.fsegs {
+		segs = append(segs, f.seg)
+	}
+	m.segsMu.RUnlock()
+	m.rangeSegSc = segs
+	serveRangeCalls(segs, &m.rangeSc, calls)
+}
+
+// drainFinalSlab blocks until the final slab is at rest: every segment
+// activation idle, every segment buffer empty, and the filter empty. The
+// interface is the final slab's only external feeder and it is here (a
+// single interfaceRun is active at a time), so once a full pass observes
+// rest, nothing can start again until the interface itself forwards more
+// work — which it will not do before the pending ranges are served. This
+// is deliberately NOT Quiesce: clients keep submitting (their operations
+// buffer in the parallel buffer), other shards are untouched, and the
+// wait is bounded by the in-flight final-slab work (at most the filter
+// capacity plus buffered groups), not by the arrival of quiescence.
+func (m *M2[K, V]) drainFinalSlab() {
+	for {
+		m.segsMu.RLock()
+		gen := m.segsGen
+		fs := append(m.fsegSc[:0], m.fsegs...)
+		m.segsMu.RUnlock()
+		m.fsegSc = fs
+		// Left-to-right: S[m+k] is fed only by S[m+k-1]'s runs (and the
+		// interface, which is here), so once S[m+k-1] is at rest with an
+		// empty buffer it stays at rest, and the wait composes
+		// inductively down the slab.
+		for _, f := range fs {
+			f.act.WaitIdle()
+		}
+		quiet := m.flt.size.Load() == 0
+		for _, f := range fs {
+			if f.bufA.Load() != 0 {
+				quiet = false
+			}
+		}
+		// The generation counter (bumped on every fseg create/remove)
+		// catches set changes a length compare would miss — a terminal
+		// segment removed and a new one created between snapshots leaves
+		// the length equal while the new segment (never waited on, its
+		// buffer never checked) may still hold work.
+		m.segsMu.RLock()
+		same := m.segsGen == gen
+		m.segsMu.RUnlock()
+		if quiet && same {
+			return
+		}
+		// A producer may be between enqueue and Activate; yield rather
+		// than spin on WaitIdle's immediate return.
+		runtime.Gosched()
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"math/rand"
 	"net"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -68,6 +69,21 @@ type Config struct {
 	// GetFrac is the fraction of GETs; the rest are SETs (default 0.9;
 	// any negative value means 0, i.e. a pure-SET workload).
 	GetFrac float64
+	// ScanFrac is the fraction of commands that are cursor-paged SCANs
+	// (default 0). A scan command draws its lower bound from the key
+	// generator and reads one page of up to ScanCount pairs spanning
+	// ScanSpan key indices. The remaining 1-ScanFrac of commands split
+	// GET/SET by GetFrac as before. Scan latencies are reported
+	// separately (Report.ScanP50/ScanP99): a page reply is 2·ScanCount+1
+	// frames, so folding it into the point-op percentiles would just
+	// measure reply size.
+	ScanFrac float64
+	// ScanCount is the page size (pairs per SCAN) for the scan fraction
+	// (default 100).
+	ScanCount int
+	// ScanSpan is the key-index width of each scan's [lo, hi) window
+	// (default 1024).
+	ScanSpan int
 	// Preload, when set, inserts every universe key before measuring so
 	// GETs hit (default off; cmd/wsload turns it on).
 	Preload bool
@@ -112,6 +128,15 @@ func (c Config) withDefaults() Config {
 	} else if c.GetFrac < 0 {
 		c.GetFrac = 0
 	}
+	if c.ScanFrac < 0 {
+		c.ScanFrac = 0
+	}
+	if c.ScanCount < 1 {
+		c.ScanCount = 100
+	}
+	if c.ScanSpan < 1 {
+		c.ScanSpan = 1024
+	}
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
@@ -130,10 +155,19 @@ type Report struct {
 	Errors    int           `json:"errors"`
 	Duration  time.Duration `json:"duration_ns"`
 	OpsPerSec float64       `json:"ops_per_sec"`
-	P50       time.Duration `json:"p50_ns"`
-	P95       time.Duration `json:"p95_ns"`
-	P99       time.Duration `json:"p99_ns"`
-	Max       time.Duration `json:"max_ns"`
+	// P50..Max are the point-op (GET/SET) latency percentiles; with
+	// Config.ScanFrac set, scan pages are excluded here and reported in
+	// the Scan* fields instead, so write/read tail latency under scan
+	// load is directly visible (EXPERIMENTS.md E20).
+	P50 time.Duration `json:"p50_ns"`
+	P95 time.Duration `json:"p95_ns"`
+	P99 time.Duration `json:"p99_ns"`
+	Max time.Duration `json:"max_ns"`
+	// Scans counts SCAN commands issued; ScanP50/ScanP99 are their
+	// latency percentiles (zero when ScanFrac is 0).
+	Scans   int           `json:"scans,omitempty"`
+	ScanP50 time.Duration `json:"scan_p50_ns,omitempty"`
+	ScanP99 time.Duration `json:"scan_p99_ns,omitempty"`
 }
 
 // String renders the report as one aligned line.
@@ -142,9 +176,13 @@ func (r Report) String() string {
 	if r.Rate > 0 {
 		pacing = fmt.Sprintf("rate=%-8.0f", r.Rate)
 	}
-	return fmt.Sprintf("%-12s conns=%-3d %s ops=%-8d err=%-3d %10.0f ops/s  p50=%-9s p99=%-9s max=%s",
+	line := fmt.Sprintf("%-12s conns=%-3d %s ops=%-8d err=%-3d %10.0f ops/s  p50=%-9s p99=%-9s max=%s",
 		r.Workload, r.Conns, pacing, r.Ops, r.Errors,
 		r.OpsPerSec, r.P50, r.P99, r.Max)
+	if r.Scans > 0 {
+		line += fmt.Sprintf("  scans=%d scan-p99=%s", r.Scans, r.ScanP99)
+	}
+	return line
 }
 
 // Key renders key index k in the fixed-width form the server stores, so
@@ -205,11 +243,13 @@ func Preload(cfg Config, dial func() (net.Conn, error)) error {
 	return err
 }
 
-// connResult is one connection's measurements.
+// connResult is one connection's measurements: point-op and scan
+// latencies separately (see Report.P50).
 type connResult struct {
-	lats []time.Duration
-	errs int
-	err  error
+	lats     []time.Duration
+	scanLats []time.Duration
+	errs     int
+	err      error
 }
 
 // Run executes one load run against whatever dial connects to. In the
@@ -252,33 +292,41 @@ func Run(cfg Config, dial func() (net.Conn, error)) (Report, error) {
 	wg.Wait()
 	wall := time.Since(start)
 
-	var all []time.Duration
+	var all, scans []time.Duration
 	errs := 0
 	for _, r := range results {
 		if r.err != nil {
 			return Report{}, r.err
 		}
 		all = append(all, r.lats...)
+		scans = append(scans, r.scanLats...)
 		errs += r.errs
 	}
 	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	sort.Slice(scans, func(a, b int) bool { return scans[a] < scans[b] })
+	total := len(all) + len(scans)
 	rep := Report{
 		Workload: cfg.Workload,
 		Conns:    cfg.Conns,
 		Depth:    reportDepth(cfg),
 		Rate:     cfg.Rate,
-		Ops:      len(all),
+		Ops:      total,
 		Errors:   errs,
 		Duration: wall,
+		Scans:    len(scans),
 	}
 	if wall > 0 {
-		rep.OpsPerSec = float64(len(all)) / wall.Seconds()
+		rep.OpsPerSec = float64(total) / wall.Seconds()
 	}
 	if len(all) > 0 {
 		rep.P50 = percentile(all, 0.50)
 		rep.P95 = percentile(all, 0.95)
 		rep.P99 = percentile(all, 0.99)
 		rep.Max = all[len(all)-1]
+	}
+	if len(scans) > 0 {
+		rep.ScanP50 = percentile(scans, 0.50)
+		rep.ScanP99 = percentile(scans, 0.99)
 	}
 	return rep, nil
 }
@@ -295,6 +343,46 @@ func reportDepth(cfg Config) int {
 		return 1
 	}
 	return cfg.Depth
+}
+
+// opKind is one scheduled command's kind.
+type opKind uint8
+
+const (
+	opGet opKind = iota
+	opSet
+	opScan
+)
+
+// planOps draws each operation's kind up front (scan by ScanFrac, then
+// GET/SET by GetFrac), so paced senders and their reply readers agree on
+// which latencies are scans without sharing an RNG.
+func planOps(cfg Config, rng *rand.Rand, n int) []opKind {
+	kinds := make([]opKind, n)
+	for i := range kinds {
+		r := rng.Float64()
+		switch {
+		case r < cfg.ScanFrac:
+			kinds[i] = opScan
+		case rng.Float64() < cfg.GetFrac:
+			kinds[i] = opGet
+		default:
+			kinds[i] = opSet
+		}
+	}
+	return kinds
+}
+
+// sendOp writes one command for key index k.
+func sendOp(cl *wire.Client, cfg Config, kind opKind, k int) error {
+	switch kind {
+	case opScan:
+		return cl.Send("SCAN", Key(k), Key(k+cfg.ScanSpan), strconv.Itoa(cfg.ScanCount))
+	case opGet:
+		return cl.Send("GET", Key(k))
+	default:
+		return cl.Send("SET", Key(k), "v")
+	}
 }
 
 // runConnRate drives one open-loop connection: a sender goroutine fires
@@ -315,6 +403,7 @@ func runConnRate(cfg Config, seed int64, n int, interval, offset time.Duration, 
 	defer nc.Close()
 	cl := wire.NewClient(nc)
 	rng := rand.New(rand.NewSource(seed ^ 0x9e3779b9))
+	kinds := planOps(cfg, rng, len(keys))
 	res := connResult{lats: make([]time.Duration, 0, n)}
 	start := time.Now().Add(offset)
 	schedule := func(i int) time.Time { return start.Add(time.Duration(i) * interval) }
@@ -331,11 +420,7 @@ func runConnRate(cfg Config, seed int64, n int, interval, offset time.Duration, 
 			if d := time.Until(schedule(i)); d > 0 {
 				time.Sleep(d)
 			}
-			if rng.Float64() < cfg.GetFrac {
-				sendErr = cl.Send("GET", Key(k))
-			} else {
-				sendErr = cl.Send("SET", Key(k), "v")
-			}
+			sendErr = sendOp(cl, cfg, kinds[i], k)
 			if sendErr == nil {
 				sendErr = cl.Flush()
 			}
@@ -365,7 +450,11 @@ func runConnRate(cfg Config, seed int64, n int, interval, offset time.Duration, 
 		if rep.IsError() {
 			res.errs++
 		}
-		res.lats = append(res.lats, time.Since(schedule(i)))
+		if kinds[i] == opScan {
+			res.scanLats = append(res.scanLats, time.Since(schedule(i)))
+		} else {
+			res.lats = append(res.lats, time.Since(schedule(i)))
+		}
 	}
 	<-senderDone
 	cl.Do("QUIT")
@@ -386,6 +475,7 @@ func runConn(cfg Config, seed int64, n int, dial func() (net.Conn, error)) connR
 	defer nc.Close()
 	cl := wire.NewClient(nc)
 	rng := rand.New(rand.NewSource(seed ^ 0x9e3779b9))
+	kinds := planOps(cfg, rng, len(keys))
 	res := connResult{lats: make([]time.Duration, 0, n)}
 	for off := 0; off < len(keys); off += cfg.Depth {
 		end := off + cfg.Depth
@@ -394,13 +484,8 @@ func runConn(cfg Config, seed int64, n int, dial func() (net.Conn, error)) connR
 		}
 		chunk := keys[off:end]
 		t0 := time.Now()
-		for _, k := range chunk {
-			if rng.Float64() < cfg.GetFrac {
-				err = cl.Send("GET", Key(k))
-			} else {
-				err = cl.Send("SET", Key(k), "v")
-			}
-			if err != nil {
+		for i, k := range chunk {
+			if err := sendOp(cl, cfg, kinds[off+i], k); err != nil {
 				res.err = err
 				return res
 			}
@@ -409,7 +494,7 @@ func runConn(cfg Config, seed int64, n int, dial func() (net.Conn, error)) connR
 			res.err = err
 			return res
 		}
-		for range chunk {
+		for i := range chunk {
 			rep, err := cl.Recv()
 			if err != nil {
 				res.err = err
@@ -418,7 +503,11 @@ func runConn(cfg Config, seed int64, n int, dial func() (net.Conn, error)) connR
 			if rep.IsError() {
 				res.errs++
 			}
-			res.lats = append(res.lats, time.Since(t0))
+			if kinds[off+i] == opScan {
+				res.scanLats = append(res.scanLats, time.Since(t0))
+			} else {
+				res.lats = append(res.lats, time.Since(t0))
+			}
 		}
 	}
 	cl.Do("QUIT")

@@ -61,7 +61,7 @@ func TestServerCoalescedCommands(t *testing.T) {
 		t.Fatalf("LEN: %d, %v", n, err)
 	}
 	r, err = c.Do("SCAN", "a", "c")
-	if err != nil || r.Kind != wire.ArrayReply || len(r.Elems) != 4 {
+	if err != nil || r.Kind != wire.ArrayReply || len(r.Elems) != 5 || r.Elems[0].Str != "" {
 		t.Fatalf("SCAN [a,c): %+v, %v", r, err)
 	}
 	r, err = c.Do("STATS")

@@ -49,6 +49,7 @@ type conn struct {
 	ops     []pws.Op[string, string]
 	res     []pws.Result[string]
 	pending []pendingReply
+	scanBuf []pws.KV[string, string] // SCAN page buffer, reused across pages
 
 	// Coalesced-mode plumbing (nil in per-connection batching mode).
 	// jobCh carries jobs to the writer half in submission order; ack is
@@ -339,9 +340,10 @@ func trunc(s string) string {
 // first, preserving reply order. In per-connection batching mode the cut
 // applies the batch synchronously and non-map commands execute inline; in
 // coalesced mode the cut submits a job to the group-commit scheduler and
-// non-map commands are queued to the writer half in the same order (SCAN,
-// which needs the whole map quiescent, executes on the reader after a
-// sync instead). It reports whether the client asked to quit.
+// non-map commands are queued to the writer half in the same order
+// (map-state readers — LEN, STATS, SCAN — execute on the reader after a
+// sync instead, so they observe this connection's earlier commands and
+// none of its later ones). It reports whether the client asked to quit.
 func (c *conn) process(cmds []wire.Command) (quit bool) {
 	c.ops = c.ops[:0]
 	c.pending = c.pending[:0]
@@ -494,10 +496,8 @@ func (c *conn) flushBatch() {
 		c.jobCh <- cj
 		return
 	}
-	s.scanMu.RLock()
 	res := s.store.ApplyInto(c.ops, c.res[:0])
 	c.res = res
-	s.scanMu.RUnlock()
 	s.st.recordBatch(len(c.ops))
 	c.renderReplies(c.pending, res)
 	c.ops = c.ops[:0]
@@ -545,21 +545,34 @@ func (c *conn) writeGet(r pws.Result[string]) {
 	}
 }
 
-// scan serves SCAN lo hi [count]: an ordered range read over the merged
-// shard snapshots. It takes scanMu exclusively (no batch Applies in
-// flight) and quiesces the map, satisfying Range's quiescence contract
-// while other connections simply queue behind the lock. In coalesced mode
-// it runs on the reader goroutine after a pipeline sync, so its replies
-// (including argument errors) never interleave with the writer half's.
+// scan serves SCAN lo hi [count [cursor]]: one cursor page of the ordered
+// range [lo, hi), at most count pairs (default/cap Config.MaxScan). The
+// reply is an array of 1+2n bulk strings: first the resume cursor (empty
+// when the scan is exhausted, else an opaque token encoding the last
+// returned key — pass it back as the fourth argument for the next page),
+// then the n key/value pairs in ascending key order.
+//
+// The page is served by Sharded.RangePage: one bounded batched range op
+// broadcast to the shards, riding their normal cut batches. No Quiesce,
+// no map-wide lock — concurrent batch Applies from other connections (and
+// the coalescer's combined commits) proceed untouched, which is what
+// retired the stop-the-world SCAN. It still runs on the reader goroutine
+// after a barrierSync, preserving per-connection sequential semantics
+// (this connection's earlier writes are committed and visible).
+//
+// The lo/hi arguments may alias the read arena: the range op completes
+// before scan returns (well before the pipeline's Reset), and the keys
+// and values written to the wire are map-owned copies, so nothing here
+// outlives the arena contract.
 func (c *conn) scan(cmd wire.Command) {
-	if len(cmd.Args) != 2 && len(cmd.Args) != 3 {
+	if len(cmd.Args) < 2 || len(cmd.Args) > 4 {
 		c.srv.st.errors.Add(1)
 		c.w.WriteError("ERR wrong number of arguments for 'scan'")
 		return
 	}
 	lo, hi := cmd.Args[0], cmd.Args[1]
 	max := c.srv.cfg.MaxScan
-	if len(cmd.Args) == 3 {
+	if len(cmd.Args) >= 3 {
 		n, err := strconv.Atoi(cmd.Args[2])
 		if err != nil || n < 1 {
 			c.srv.st.errors.Add(1)
@@ -570,18 +583,32 @@ func (c *conn) scan(cmd wire.Command) {
 			max = n
 		}
 	}
-	s := c.srv
-	var kv []string
-	s.scanMu.Lock()
-	s.store.Quiesce()
-	s.store.Range(lo, hi, func(k, v string) bool {
-		kv = append(kv, k, v)
-		return len(kv)/2 < max
-	})
-	s.scanMu.Unlock()
-	s.st.scans.Add(1)
-	c.w.WriteArrayHeader(len(kv))
-	for _, x := range kv {
-		c.w.WriteBulk(x)
+	xlo := false
+	if len(cmd.Args) == 4 && cmd.Args[3] != "" {
+		k, err := wire.DecodeCursor(cmd.Args[3])
+		if err != nil {
+			c.srv.st.errors.Add(1)
+			c.w.WriteError("ERR invalid scan cursor '" + trunc(cmd.Args[3]) + "'")
+			return
+		}
+		// Resume strictly after the cursor key, never before lo: a cursor
+		// from an earlier page always satisfies k >= lo, and anything else
+		// (a forged cursor below lo) must not widen the range.
+		if k >= lo {
+			lo, xlo = k, true
+		}
+	}
+	page, more := c.srv.store.RangePage(lo, xlo, hi, max, c.scanBuf[:0])
+	c.scanBuf = page
+	c.srv.st.scans.Add(1)
+	c.w.WriteArrayHeader(1 + 2*len(page))
+	if more && len(page) > 0 {
+		c.w.WriteBulk(wire.EncodeCursor(page[len(page)-1].Key))
+	} else {
+		c.w.WriteBulk("")
+	}
+	for _, kv := range page {
+		c.w.WriteBulk(kv.Key)
+		c.w.WriteBulk(kv.Val)
 	}
 }

@@ -167,3 +167,44 @@ func BenchmarkHotPathServerCoalesced(b *testing.B) {
 		nc.Close()
 	}
 }
+
+// BenchmarkHotPathServerScan measures one SCAN cursor page end to end
+// over Server.Pipe: wire decode, the broadcast batched range read, and
+// the 2·count+1-frame reply encode/decode. ns/op is per 64-pair page
+// round trip; concurrent writers are deliberately absent so the number
+// is the scan path itself (E20 measures the interference story).
+func BenchmarkHotPathServerScan(b *testing.B) {
+	srv := New(Config{})
+	defer srv.Close()
+	nc, err := srv.Pipe()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer nc.Close()
+	cl := wire.NewClient(nc)
+	for i := 0; i < 1024; i++ {
+		if err := cl.Set(fmt.Sprintf("k%08d", i), "value"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	page := func() error {
+		r, err := cl.Do("SCAN", "k", "l", "64")
+		if err != nil {
+			return err
+		}
+		if r.Kind != wire.ArrayReply || len(r.Elems) != 129 {
+			return fmt.Errorf("bad SCAN reply: kind %v, %d elems", r.Kind, len(r.Elems))
+		}
+		return nil
+	}
+	if err := page(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := page(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

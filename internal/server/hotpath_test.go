@@ -169,3 +169,42 @@ func TestServerNoArenaRetention(t *testing.T) {
 		})
 	}
 }
+
+// TestAllocsServerScan bounds the allocations of one 64-pair SCAN cursor
+// page over Server.Pipe: wire decode, the broadcast batched range read
+// (pooled shard scratch + engine range scratch + reused page buffer),
+// cursor encode and the array reply. Most of the measured count is the
+// client decoding 129 reply frames; the server side stays flat. Skipped
+// under -race (instrumentation inflates counts).
+func TestAllocsServerScan(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts inflated under -race")
+	}
+	srv := New(Config{})
+	defer srv.Close()
+	nc, err := srv.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	cl := wire.NewClient(nc)
+	for i := 0; i < 1024; i++ {
+		if err := cl.Set(fmt.Sprintf("k%08d", i), "value"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	page := func() {
+		r, err := cl.Do("SCAN", "k", "l", "64")
+		if err != nil || r.Kind != wire.ArrayReply || len(r.Elems) != 129 {
+			t.Fatalf("SCAN page: %+v, %v", r, err)
+		}
+	}
+	page() // warm codecs, range scratch pools, page buffer
+	// Measured ~5 allocs per 64-pair page (cursor token, reply frame
+	// headers); the broadcast + merge + page buffer machinery is fully
+	// pooled. The ceiling is loose to absorb decoder variance.
+	const ceiling = 100
+	if n := testing.AllocsPerRun(50, page); n > ceiling {
+		t.Errorf("64-pair SCAN page: %.1f allocs, ceiling %d", n, ceiling)
+	}
+}

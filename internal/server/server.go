@@ -20,7 +20,15 @@
 //
 // The server speaks the internal/wire protocol (GET/SET/DEL/MGET/MSET/
 // SCAN/LEN/STATS/PING/QUIT), enforces connection and pipeline limits,
-// keeps per-op and aggregate batch statistics, and closes gracefully:
+// keeps per-op and aggregate batch statistics, and closes gracefully.
+// SCAN is a cursor-paged range read (SCAN lo hi [count [cursor]]) served
+// by the map's batched range path: each page is one bounded range op
+// broadcast through the engines' normal cut batches, so scans no longer
+// stop the world — no Quiesce, no lock excluding batch Applies, and
+// write tail latency stays flat under concurrent scan load (see
+// EXPERIMENTS.md E20). Close still quiesces, but only to shut down.
+//
+// The server also closes gracefully:
 // Close stops accepting, unblocks idle connections, lets in-flight
 // batches finish writing their replies — draining the coalescer's open
 // window — and only then closes the map.
@@ -60,7 +68,8 @@ type Config struct {
 	// MaxPipeline caps how many pipelined commands one connection drains
 	// into a single batch (default 256).
 	MaxPipeline int
-	// MaxScan caps the pairs one SCAN may return (default 1000).
+	// MaxScan caps the pairs one SCAN page may return (default 1000);
+	// clients page past it with the reply's resume cursor.
 	MaxScan int
 	// Limits are the wire-protocol frame limits.
 	Limits wire.Limits
@@ -178,11 +187,6 @@ type Server struct {
 	// through it instead of applying their own batches (see conn.go).
 	co *coalesce.Coalescer[string, string]
 
-	// scanMu lets SCAN exclude batch Applies: batches hold it shared,
-	// SCAN exclusively (plus a store Quiesce) so the quiescence contract
-	// of Range holds while other connections keep their order.
-	scanMu sync.RWMutex
-
 	mu        sync.Mutex
 	conns     map[*conn]struct{}
 	listeners map[net.Listener]struct{}
@@ -211,9 +215,10 @@ func New(cfg Config) *Server {
 	}
 	if cfg.CoalesceWindow > 0 {
 		// The applier is the single point where combined batches touch
-		// the map: it holds scanMu shared (so SCAN can still exclude all
-		// batch work) and feeds the server's batch counters, which
-		// therefore keep meaning "map-level batch Applies" in both modes.
+		// the map; it feeds the server's batch counters, which therefore
+		// keep meaning "map-level batch Applies" in both modes. SCAN needs
+		// no exclusion here: range reads are batch ops themselves now, so
+		// combined commits and scan pages interleave freely on the map.
 		s.co = coalesce.New(coalesce.Config{
 			MaxBatch: cfg.CoalesceBatch,
 			MaxDelay: cfg.CoalesceWindow,
@@ -222,9 +227,7 @@ func New(cfg Config) *Server {
 			for _, b := range batches {
 				n += len(b)
 			}
-			s.scanMu.RLock()
 			s.store.ApplyScattered(batches, dsts)
-			s.scanMu.RUnlock()
 			s.st.recordBatch(n)
 		})
 	}

@@ -78,17 +78,38 @@ func TestServerCommands(t *testing.T) {
 	if n, err := c.Len(); err != nil || n != 3 {
 		t.Fatalf("LEN: %d, %v", n, err)
 	}
-	// SCAN: ordered, half-open, count-capped.
+	// SCAN: ordered, half-open, count-capped, cursor-paged. The reply is
+	// [cursor, k1, v1, k2, v2, ...]; an exhausted scan returns an empty
+	// cursor.
 	r, err = c.Do("SCAN", "a", "c")
 	if err != nil || r.Kind != wire.ArrayReply {
 		t.Fatalf("SCAN: %+v, %v", r, err)
 	}
-	if len(r.Elems) != 4 || r.Elems[0].Str != "a" || r.Elems[2].Str != "b" {
+	if len(r.Elems) != 5 || r.Elems[0].Str != "" ||
+		r.Elems[1].Str != "a" || r.Elems[3].Str != "b" {
 		t.Fatalf("SCAN [a,c): %+v", r.Elems)
 	}
+	// count=1 truncates and hands back a resume cursor; following it pages
+	// through the rest.
 	r, _ = c.Do("SCAN", "a", "z", "1")
-	if len(r.Elems) != 2 || r.Elems[0].Str != "a" {
+	if len(r.Elems) != 3 || r.Elems[0].Str == "" || r.Elems[1].Str != "a" {
 		t.Fatalf("SCAN count=1: %+v", r.Elems)
+	}
+	var paged []string
+	cursor := r.Elems[0].Str
+	paged = append(paged, r.Elems[1].Str)
+	for cursor != "" {
+		r, err = c.Do("SCAN", "a", "z", "1", cursor)
+		if err != nil || r.Kind != wire.ArrayReply {
+			t.Fatalf("SCAN resume: %+v, %v", r, err)
+		}
+		for i := 1; i < len(r.Elems); i += 2 {
+			paged = append(paged, r.Elems[i].Str)
+		}
+		cursor = r.Elems[0].Str
+	}
+	if len(paged) != 3 || paged[0] != "a" || paged[1] != "b" || paged[2] != "c" {
+		t.Fatalf("cursor paging visited %v", paged)
 	}
 	// STATS.
 	r, err = c.Do("STATS")
@@ -107,6 +128,16 @@ func TestServerCommands(t *testing.T) {
 	}
 	if r, _ := c.Do("SCAN", "a", "z", "x"); r.Kind != wire.ErrorReply {
 		t.Fatalf("SCAN bad count: %+v", r)
+	}
+	// Malformed cursors are protocol errors, and the connection survives
+	// them (no pooled state is leaked or wedged).
+	for _, bad := range []string{"garbage", "k====", "\x00", "K" + "AbC"} {
+		if r, _ := c.Do("SCAN", "a", "z", "1", bad); r.Kind != wire.ErrorReply {
+			t.Fatalf("SCAN bad cursor %q: %+v", bad, r)
+		}
+	}
+	if r, err := c.Do("SCAN", "a", "z"); err != nil || r.Kind != wire.ArrayReply {
+		t.Fatalf("SCAN after bad cursors: %+v, %v", r, err)
 	}
 	// QUIT ends the connection after replying.
 	if r, err := c.Do("QUIT"); err != nil || r.Str != "OK" {
@@ -453,5 +484,130 @@ func TestServerM2Engine(t *testing.T) {
 	}
 	if v, ok, err := c.Get("k042"); err != nil || !ok || v != "42" {
 		t.Fatalf("GET: %q %v %v", v, ok, err)
+	}
+}
+
+// TestServerScanConcurrentWritesAndClose is the scan-path teardown race:
+// SCAN pages interleave with heavy pipelined writes while the server is
+// closed mid-flight. Every command whose pipeline was accepted (Flush
+// succeeded) must get a reply — scan pages included — and every page must
+// be internally consistent (sorted, in-bounds, cursor well-formed): the
+// keys and values on the wire are map-owned copies or delivered before
+// the reader arena resets, so churned write traffic cannot corrupt them.
+// Run under -race this covers the batched range path against concurrent
+// ApplyInto/ApplyScattered and the Close drain.
+func TestServerScanConcurrentWritesAndClose(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"per-conn", Config{}},
+		{"coalesced", Config{CoalesceWindow: 100 * time.Microsecond, CoalesceBatch: 64}},
+		{"m2", Config{Engine: pws.EngineM2}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			const writers, scanners = 4, 2
+			s := newTestServer(t, mode.cfg)
+			start := make(chan struct{})
+			var wg sync.WaitGroup
+			errc := make(chan error, writers+scanners)
+
+			for id := 0; id < writers; id++ {
+				nc, err := s.Pipe()
+				if err != nil {
+					t.Fatalf("Pipe: %v", err)
+				}
+				wg.Add(1)
+				go func(id int, c *wire.Client) {
+					defer wg.Done()
+					defer nc.Close()
+					<-start
+					for b := 0; ; b++ {
+						const depth = 8
+						for i := 0; i < depth; i++ {
+							k := fmt.Sprintf("w%08d", (id*depth+b*31+i*7)%512)
+							var err error
+							if i%4 == 3 {
+								err = c.Send("DEL", k)
+							} else {
+								err = c.Send("SET", k, fmt.Sprintf("val-%s", k))
+							}
+							if err != nil {
+								return
+							}
+						}
+						if err := c.Flush(); err != nil {
+							return
+						}
+						for i := 0; i < depth; i++ {
+							if _, err := c.Recv(); err != nil {
+								errc <- fmt.Errorf("writer %d batch %d: lost reply %d: %w", id, b, i, err)
+								return
+							}
+						}
+					}
+				}(id, wire.NewClient(nc))
+			}
+
+			for id := 0; id < scanners; id++ {
+				nc, err := s.Pipe()
+				if err != nil {
+					t.Fatalf("Pipe: %v", err)
+				}
+				wg.Add(1)
+				go func(id int, c *wire.Client) {
+					defer wg.Done()
+					defer nc.Close()
+					<-start
+					cursor := ""
+					for {
+						args := []string{"SCAN", "w", "x", "16"}
+						if cursor != "" {
+							args = append(args, cursor)
+						}
+						if err := c.Send(args...); err != nil {
+							return
+						}
+						if err := c.Flush(); err != nil {
+							return
+						}
+						rep, err := c.Recv()
+						if err != nil {
+							errc <- fmt.Errorf("scanner %d: lost SCAN reply: %w", id, err)
+							return
+						}
+						if rep.Kind != wire.ArrayReply || len(rep.Elems) == 0 || len(rep.Elems)%2 != 1 {
+							errc <- fmt.Errorf("scanner %d: bad SCAN reply shape %+v", id, rep)
+							return
+						}
+						prev := ""
+						for i := 1; i < len(rep.Elems); i += 2 {
+							k, v := rep.Elems[i].Str, rep.Elems[i+1].Str
+							if k < "w" || k >= "x" || k <= prev {
+								errc <- fmt.Errorf("scanner %d: bad page key %q after %q", id, k, prev)
+								return
+							}
+							if v != "val-"+k {
+								errc <- fmt.Errorf("scanner %d: corrupt value %q for key %q", id, v, k)
+								return
+							}
+							prev = k
+						}
+						cursor = rep.Elems[0].Str // empty restarts from the top
+					}
+				}(id, wire.NewClient(nc))
+			}
+
+			close(start)
+			for s.Stats().Scans < 10 || s.Stats().Batches < 10 {
+				time.Sleep(time.Millisecond)
+			}
+			s.Close()
+			wg.Wait()
+			close(errc)
+			for err := range errc {
+				t.Error(err)
+			}
+		})
 	}
 }

@@ -11,9 +11,13 @@
 // sequence has recency at most r in its shard's subsequence, so per-shard
 // work is still O(1 + log r) per access.
 //
-// Ordered queries (Items, Range) see the union of the shards: each shard
-// yields its own key-sorted snapshot and the front-end k-way merges them
-// with esort.MergeK.
+// Ordered queries see the union of the shards. Range is a live, batched
+// query: keys hash across shards, so a range [lo, hi) cannot be narrowed
+// to a shard subset — instead one bounded OpRange is broadcast to every
+// shard (riding each engine's normal cut batches, no quiescence and no
+// map-wide lock) and the per-shard pages are k-way merged and paginated
+// by cursor (RangePage). Items remains a quiescent whole-map snapshot
+// merged with esort.MergeK.
 package shard
 
 import (
@@ -79,8 +83,9 @@ type Map[K cmp.Ordered, V any] struct {
 	// collects its sub-batch results, replacing the goroutine-per-shard
 	// spawn of each Apply call. Jobs are plain struct sends, so the
 	// multi-shard fan-out costs channel operations, not goroutine churn.
-	workers []chan applyJob[K, V]
-	scratch sync.Pool // *applyScratch[K, V]
+	workers  []chan applyJob[K, V]
+	scratch  sync.Pool // *applyScratch[K, V]
+	scratchR sync.Pool // *rangeScratch[K, V]
 
 	pending locks.WaitCounter
 	closed  atomic.Bool
@@ -219,6 +224,119 @@ func (m *Map[K, V]) ApplyInto(ops []core.Op[K, V], dst []core.Result[V]) []core.
 	return dst
 }
 
+// rangeScratch is the pooled per-RangePage working memory: one op, one
+// request frame and one result slot per shard, plus the merge cursors.
+// The request frames keep their Out capacity across pages, so a paging
+// caller's steady state allocates nothing (the allocation discipline of
+// DESIGN.md). Pooled because any number of connections may page
+// concurrently.
+type rangeScratch[K cmp.Ordered, V any] struct {
+	ops  []core.Op[K, V]
+	reqs []core.RangeReq[K, V]
+	res  []core.Result[V]
+	pend []core.Pending[K, V]
+	cur  []int
+	wg   sync.WaitGroup
+}
+
+// RangePage reads one cursor page of the ordered range [lo, hi): the
+// first limit pairs in ascending key order, appended to dst (grown as
+// needed and returned). With xlo set the lower bound is exclusive — pass
+// the last key of the previous page to resume after it. more reports
+// whether further matching items may remain (the cue to issue the next
+// page; an occasional false positive costs one empty page, never a
+// missed item). limit <= 0 means no bound (single unbounded page).
+//
+// The page is served by broadcasting one bounded OpRange to every shard
+// — hash sharding spreads any key range across all of them — and k-way
+// merging the per-shard pages. Each shard's range is an ordinary batched
+// operation riding its engine's cut batches, so RangePage runs
+// concurrently with any other operations: no quiescence, no map-wide
+// lock, no stalled writers. Each per-shard page is a consistent snapshot
+// of its shard (the op linearizes at the end of a cut batch); the merged
+// page composes the per-shard snapshots, which is linearizable per
+// returned pair, and successive cursor pages likewise each read live
+// state.
+func (m *Map[K, V]) RangePage(lo K, xlo bool, hi K, limit int, dst []Entry[K, V]) (page []Entry[K, V], more bool) {
+	m.enter()
+	defer m.pending.Done()
+
+	sc, _ := m.scratchR.Get().(*rangeScratch[K, V])
+	if sc == nil {
+		sc = &rangeScratch[K, V]{}
+	}
+	defer m.scratchR.Put(sc)
+	s := len(m.shards)
+	sc.ops = grow(sc.ops, s)
+	sc.reqs = grow(sc.reqs, s)
+	sc.res = grow(sc.res, s)
+	sc.pend = grow(sc.pend, s)
+	sc.cur = grow(sc.cur, s)
+	for i := range m.shards {
+		req := &sc.reqs[i]
+		req.Hi, req.Limit, req.XLo = hi, limit, xlo
+		req.Out = req.Out[:0]
+		sc.ops[i] = core.Op[K, V]{Kind: core.OpRange, Key: lo, Range: req}
+	}
+	for i := range m.shards {
+		sc.pend[i] = m.shards[i].ApplyAsync(sc.ops[i : i+1])
+	}
+	// Collect through the persistent per-shard workers (all but the last,
+	// which this goroutine takes), as ApplyScattered does: the first
+	// Collect activates each engine, so the shards serve their pages
+	// concurrently.
+	for i := 0; i < s-1; i++ {
+		sc.wg.Add(1)
+		m.workers[i] <- applyJob[K, V]{pend: sc.pend[i], dst: sc.res[i : i+1], wg: &sc.wg}
+	}
+	sc.pend[s-1].Collect(sc.res[s-1 : s])
+	sc.wg.Wait()
+
+	// Bounded k-way merge of the per-shard pages. Keys are globally
+	// distinct (each lives in exactly one shard), so a plain min-pick
+	// suffices. Taking limit from every shard keeps the merge exact: each
+	// of the globally smallest limit keys is among its own shard's
+	// smallest limit.
+	for i := range sc.cur {
+		sc.cur[i] = 0
+		if sc.res[i].OK {
+			more = true
+		}
+	}
+	n0 := len(dst)
+	for {
+		best := -1
+		for i := range sc.cur {
+			if sc.cur[i] == len(sc.reqs[i].Out) {
+				continue
+			}
+			if best < 0 || sc.reqs[i].Out[sc.cur[i]].Key < sc.reqs[best].Out[sc.cur[best]].Key {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		if limit > 0 && len(dst)-n0 >= limit {
+			more = true
+			break
+		}
+		dst = append(dst, sc.reqs[best].Out[sc.cur[best]])
+		sc.cur[best]++
+	}
+	// Scrub the pooled frames before they go back: keep Out's capacity,
+	// drop every key/value reference — including the lo/hi bounds in the
+	// op and request, which may alias a server connection's read arena
+	// and must not stay reachable from the pool.
+	for i := range m.shards {
+		out := sc.reqs[i].Out
+		clear(out)
+		sc.reqs[i] = core.RangeReq[K, V]{Out: out[:0]}
+		sc.ops[i] = core.Op[K, V]{}
+	}
+	return dst, more
+}
+
 // ApplyScattered applies the concatenation of batches as one combined
 // batch — exactly as if they had been appended into a single ApplyInto
 // call — writing each batch's results into the aligned dsts slice, which
@@ -268,6 +386,12 @@ func (m *Map[K, V]) ApplyScattered(batches [][]core.Op[K, V], dsts [][]core.Resu
 	i := 0
 	for _, ops := range batches {
 		for _, op := range ops {
+			if op.Kind == core.OpRange {
+				// A range spans every shard; routing it by its lo-key hash
+				// would silently read one shard. RangePage is the sharded
+				// range entry point.
+				panic("shard: OpRange submitted through Apply; use RangePage")
+			}
 			s := int32(m.shardOf(op.Key))
 			sc.shardOf[i] = s
 			sc.counts[s]++
@@ -372,7 +496,9 @@ func (m *Map[K, V]) Batches() int64 {
 // Quiesce blocks until every shard's engine has drained all in-flight
 // work, including the structural tail work that continues after results
 // are delivered. Only meaningful once clients have stopped submitting
-// operations; Items/Range/CheckInvariants are safe after Quiesce returns.
+// operations; Items and CheckInvariants are safe after Quiesce returns.
+// (Range/RangePage no longer require quiescence: they are live batched
+// queries.)
 func (m *Map[K, V]) Quiesce() {
 	for _, s := range m.shards {
 		s.Quiesce()
@@ -413,11 +539,9 @@ func (m *Map[K, V]) CheckInvariants() error {
 	return nil
 }
 
-// Entry is one key/value pair of an ordered snapshot.
-type Entry[K cmp.Ordered, V any] struct {
-	Key K
-	Val V
-}
+// Entry is one key/value pair of an ordered query (alias of core.KV, so
+// per-shard range pages merge without conversion).
+type Entry[K cmp.Ordered, V any] = core.KV[K, V]
 
 // snapshot collects every shard's key-sorted contents and k-way merges
 // them into one globally ordered slice.
@@ -430,7 +554,7 @@ func (m *Map[K, V]) snapshot() []Entry[K, V] {
 			defer wg.Done()
 			var l []Entry[K, V]
 			s.Items(func(k K, v V) bool {
-				l = append(l, Entry[K, V]{k, v})
+				l = append(l, Entry[K, V]{Key: k, Val: v})
 				return true
 			})
 			lists[i] = l
@@ -452,34 +576,31 @@ func (m *Map[K, V]) Items(visit func(k K, v V) bool) {
 	}
 }
 
-// Range visits every item with lo <= key < hi in ascending key order. Keys
-// hash across shards, so every shard may own keys in the range and all are
-// consulted. Quiescence rules as for Items.
+// rangeVisitPage is Range's page size: small enough that each page's
+// broadcast stays a light batch op per shard, large enough that paging
+// overhead (one broadcast per page) amortizes.
+const rangeVisitPage = 512
+
+// Range visits every item with lo <= key < hi in ascending key order.
+// Unlike Items it requires no quiescence: it pages through RangePage, so
+// it runs concurrently with any other operations and never blocks
+// writers. Each page is a consistent snapshot; across pages the map may
+// change (items inserted or deleted between pages are visited or skipped
+// accordingly), the usual contract of a live paged scan.
 func (m *Map[K, V]) Range(lo, hi K, visit func(k K, v V) bool) {
-	lists := make([][]Entry[K, V], len(m.shards))
-	var wg sync.WaitGroup
-	for i, s := range m.shards {
-		wg.Add(1)
-		go func(i int, s engineMap[K, V]) {
-			defer wg.Done()
-			var l []Entry[K, V]
-			s.Items(func(k K, v V) bool {
-				if k >= hi {
-					return false // per-shard order is ascending: done
-				}
-				if k >= lo {
-					l = append(l, Entry[K, V]{k, v})
-				}
-				return true
-			})
-			lists[i] = l
-		}(i, s)
-	}
-	wg.Wait()
-	merged := esort.MergeK(lists, func(a, b Entry[K, V]) bool { return a.Key < b.Key })
-	for _, e := range merged {
-		if !visit(e.Key, e.Val) {
+	var buf []Entry[K, V]
+	cur, xlo := lo, false
+	for {
+		page, more := m.RangePage(cur, xlo, hi, rangeVisitPage, buf[:0])
+		buf = page
+		for _, e := range page {
+			if !visit(e.Key, e.Val) {
+				return
+			}
+		}
+		if !more || len(page) == 0 {
 			return
 		}
+		cur, xlo = page[len(page)-1].Key, true
 	}
 }

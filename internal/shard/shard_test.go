@@ -159,8 +159,8 @@ func TestShardedApplyScattered(t *testing.T) {
 				m.Quiesce()
 				ref.Quiesce()
 				var a, bItems []Entry[int, int]
-				ref.Items(func(k, v int) bool { a = append(a, Entry[int, int]{k, v}); return true })
-				m.Items(func(k, v int) bool { bItems = append(bItems, Entry[int, int]{k, v}); return true })
+				ref.Items(func(k, v int) bool { a = append(a, Entry[int, int]{Key: k, Val: v}); return true })
+				m.Items(func(k, v int) bool { bItems = append(bItems, Entry[int, int]{Key: k, Val: v}); return true })
 				if len(a) != len(bItems) {
 					t.Fatalf("item counts differ: %d vs %d", len(a), len(bItems))
 				}
@@ -284,4 +284,127 @@ func TestShardedDefaultShards(t *testing.T) {
 	if got, want := m.Shards(), runtime.GOMAXPROCS(0); got != want {
 		t.Fatalf("Shards() = %d, want GOMAXPROCS = %d", got, want)
 	}
+}
+
+// TestShardedRangePage checks cursor pagination: pages are exact prefixes
+// of the global order, the cursor resumes exclusively, and `more` turns
+// false at the end — all without quiescing the map.
+func TestShardedRangePage(t *testing.T) {
+	for _, e := range engines() {
+		t.Run(e.name, func(t *testing.T) {
+			m := New[int, int](Config{Shards: 4, Engine: e.eng, Shard: core.Config{P: 2}})
+			defer m.Close()
+			const n = 500
+			for i := 0; i < n; i++ {
+				m.Insert(i, i*3)
+			}
+			var got []int
+			var buf []Entry[int, int]
+			cur, xlo, pages := 0, false, 0
+			for {
+				page, more := m.RangePage(cur, xlo, n, 64, buf[:0])
+				buf = page
+				for _, kv := range page {
+					if kv.Val != kv.Key*3 {
+						t.Fatalf("key %d has value %d", kv.Key, kv.Val)
+					}
+					got = append(got, kv.Key)
+				}
+				pages++
+				if !more || len(page) == 0 {
+					break
+				}
+				if len(page) > 64 {
+					t.Fatalf("page of %d pairs exceeds limit", len(page))
+				}
+				cur, xlo = page[len(page)-1].Key, true
+			}
+			if len(got) != n {
+				t.Fatalf("paged through %d keys in %d pages, want %d", len(got), pages, n)
+			}
+			for i, k := range got {
+				if k != i {
+					t.Fatalf("got[%d] = %d", i, k)
+				}
+			}
+			if pages < n/64 {
+				t.Fatalf("only %d pages for %d keys at limit 64", pages, n)
+			}
+			// A page from an empty tail: no pairs, no more.
+			page, more := m.RangePage(n, true, n+100, 10, buf[:0])
+			if len(page) != 0 || more {
+				t.Fatalf("tail page = %v (more=%v)", page, more)
+			}
+		})
+	}
+}
+
+// TestShardedRangeConcurrent pages ranges while writers churn the map and
+// checks every page is sorted, in-bounds and value-consistent — the
+// no-stop-the-world property under -race.
+func TestShardedRangeConcurrent(t *testing.T) {
+	for _, e := range engines() {
+		t.Run(e.name, func(t *testing.T) {
+			m := New[int, int](Config{Shards: 4, Engine: e.eng, Shard: core.Config{P: 2}})
+			defer m.Close()
+			const universe = 1 << 10
+			iters := 2000
+			if testing.Short() {
+				iters = 200
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(w)*31 + 7))
+					for i := 0; i < iters; i++ {
+						k := rng.Intn(universe)
+						if rng.Intn(4) == 0 {
+							m.Delete(k)
+						} else {
+							m.Insert(k, k*11)
+						}
+					}
+				}(w)
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(5))
+				var buf []Entry[int, int]
+				for i := 0; i < iters/20; i++ {
+					lo := rng.Intn(universe)
+					hi := lo + rng.Intn(universe-lo) + 1
+					page, _ := m.RangePage(lo, false, hi, 32, buf[:0])
+					buf = page
+					for j, kv := range page {
+						if kv.Key < lo || kv.Key >= hi || kv.Val != kv.Key*11 {
+							t.Errorf("bad pair %+v in [%d,%d)", kv, lo, hi)
+							return
+						}
+						if j > 0 && page[j-1].Key >= kv.Key {
+							t.Errorf("unsorted page: %v", page)
+							return
+						}
+					}
+				}
+			}()
+			wg.Wait()
+		})
+	}
+}
+
+// TestShardedApplyRejectsRange documents the routing contract: a range op
+// cannot ride the point-op Apply path on a multi-shard map.
+func TestShardedApplyRejectsRange(t *testing.T) {
+	m := New[int, int](Config{Shards: 4, Shard: core.Config{P: 2}})
+	defer m.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Apply with OpRange did not panic")
+		}
+	}()
+	req := core.RangeReq[int, int]{Hi: 10, Limit: 5}
+	m.Apply([]core.Op[int, int]{{Kind: core.OpRange, Key: 0, Range: &req}})
 }

@@ -157,6 +157,52 @@ func (t *Tree[K, P]) Flatten() []*Node[K, P] {
 // Validate checks all structural invariants (test hook).
 func (t *Tree[K, P]) Validate() error { return validate(t.root, true) }
 
+// RangeInto appends to out the leaves with lo <= key < hi, in ascending
+// key order, stopping once limit leaves have been appended (limit <= 0
+// means no bound). It returns the extended slice. Read-only, O(log n + r)
+// for r reported leaves: the descent prunes on each internal node's
+// cached maxKey, so subtrees entirely outside [lo, hi) are never entered.
+// This is the bounded collector behind the engines' batched range reads.
+func (t *Tree[K, P]) RangeInto(lo, hi K, limit int, out []*Node[K, P]) []*Node[K, P] {
+	if t.root == nil || hi <= lo {
+		return out
+	}
+	base := len(out)
+	abs := 0 // walk bound as an absolute out length (limit is relative)
+	if limit > 0 {
+		abs = base + limit
+	}
+	out, _ = rangeLeaves(t.root, lo, hi, abs, out)
+	if t.cnt != nil {
+		t.cnt.Add(int64(height(t.root)+2) + int64(len(out)-base))
+	}
+	return out
+}
+
+// rangeLeaves is RangeInto's walk; limit is the absolute out length to
+// stop at (0 = unbounded). The bool reports whether the caller should
+// keep walking (false once the bound is reached).
+func rangeLeaves[K cmp.Ordered, P any](n *Node[K, P], lo, hi K, limit int, out []*Node[K, P]) ([]*Node[K, P], bool) {
+	if n.IsLeaf() {
+		if n.Key >= lo && n.Key < hi {
+			out = append(out, n)
+		}
+		return out, limit <= 0 || len(out) < limit
+	}
+	more := true
+	for i := int8(0); i < n.nc && more; i++ {
+		c := n.child[i]
+		if c.maxKey < lo {
+			continue // entire subtree below the range
+		}
+		out, more = rangeLeaves(c, lo, hi, limit, out)
+		if c.maxKey >= hi {
+			break // later siblings hold only keys > maxKey >= hi
+		}
+	}
+	return out, more
+}
+
 // BatchGet looks up every key of the sorted, distinct batch and returns the
 // found leaves aligned with keys (nil where absent). Θ(b log n) work,
 // read-only, parallel.

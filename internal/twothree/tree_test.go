@@ -390,3 +390,56 @@ func TestLargeBatchParallelPaths(t *testing.T) {
 		t.Fatalf("Len = %d after bulk delete", tr.Len())
 	}
 }
+
+// TestRangeInto checks the bounded range collector against the model:
+// half-open bounds, limit truncation, pruning correctness across random
+// tree shapes.
+func TestRangeInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		tr := New[int, string](nil)
+		var keys []int
+		n := rng.Intn(200)
+		for i := 0; i < n; i++ {
+			k := rng.Intn(500)
+			if _, existed := tr.Insert(k, "v"); !existed {
+				keys = append(keys, k)
+			}
+		}
+		sort.Ints(keys)
+		for q := 0; q < 20; q++ {
+			lo := rng.Intn(520) - 10
+			hi := lo + rng.Intn(200) - 10
+			limit := rng.Intn(12) // 0 = unbounded
+			var want []int
+			for _, k := range keys {
+				if k >= lo && k < hi {
+					want = append(want, k)
+				}
+			}
+			if limit > 0 && len(want) > limit {
+				want = want[:limit]
+			}
+			out := tr.RangeInto(lo, hi, limit, nil)
+			if len(out) != len(want) {
+				t.Fatalf("RangeInto(%d,%d,%d) returned %d leaves, want %d", lo, hi, limit, len(out), len(want))
+			}
+			for i, lf := range out {
+				if lf.Key != want[i] {
+					t.Fatalf("RangeInto(%d,%d,%d)[%d] = %d, want %d", lo, hi, limit, i, lf.Key, want[i])
+				}
+			}
+		}
+	}
+	// Appending semantics: limit is relative to what RangeInto appends,
+	// not the slice's prior length.
+	tr := New[int, string](nil)
+	for i := 0; i < 10; i++ {
+		tr.Insert(i, "v")
+	}
+	pre := tr.RangeInto(0, 3, 0, nil)
+	out := tr.RangeInto(5, 100, 2, pre)
+	if len(out) != 5 || out[3].Key != 5 || out[4].Key != 6 {
+		t.Fatalf("appending RangeInto = %v", out)
+	}
+}

@@ -1,0 +1,50 @@
+package wire
+
+import (
+	"encoding/base64"
+	"fmt"
+	"strings"
+)
+
+// SCAN cursors. A cursor-paged SCAN reply carries a resume token: the
+// last key of the page, wrapped so clients treat it as opaque and so a
+// key containing protocol-hostile bytes (CRLF, NULs, non-UTF-8) survives
+// the trip untouched. The encoding is versioned ("k" + unpadded URL-safe
+// base64 of the raw key bytes); DecodeCursor rejects anything else with
+// an error wrapping ErrProtocol — never a panic — which the server turns
+// into an error reply (see FuzzRangeCursor).
+
+// cursorPrefix tags the only cursor version in existence.
+const cursorPrefix = 'k'
+
+// EncodeCursor wraps the last returned key of a SCAN page into an opaque
+// resume token.
+func EncodeCursor(lastKey string) string {
+	return string(cursorPrefix) + base64.RawURLEncoding.EncodeToString([]byte(lastKey))
+}
+
+// DecodeCursor unwraps a resume token back into the key it encodes. Any
+// malformed token — empty, unknown version byte, invalid base64 — yields
+// an error wrapping ErrProtocol.
+func DecodeCursor(c string) (string, error) {
+	if len(c) == 0 || c[0] != cursorPrefix {
+		return "", fmt.Errorf("%w: malformed scan cursor", ErrProtocol)
+	}
+	// Reject padding and raw-std alphabets explicitly: RawURLEncoding
+	// would error on '+', '/' and '=' anyway, but a fast pre-check keeps
+	// the error uniform for fuzzed inputs.
+	if strings.ContainsAny(c[1:], "+/=") {
+		return "", fmt.Errorf("%w: malformed scan cursor", ErrProtocol)
+	}
+	key, err := base64.RawURLEncoding.DecodeString(c[1:])
+	if err != nil {
+		return "", fmt.Errorf("%w: malformed scan cursor", ErrProtocol)
+	}
+	// Canonical form only: base64 with dangling bits decodes but does not
+	// re-encode to itself; rejecting such second forms keeps one key ==
+	// one cursor (no malleability).
+	if base64.RawURLEncoding.EncodeToString(key) != c[1:] {
+		return "", fmt.Errorf("%w: malformed scan cursor", ErrProtocol)
+	}
+	return string(key), nil
+}

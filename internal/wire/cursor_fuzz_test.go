@@ -1,0 +1,53 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzRangeCursor covers the SCAN cursor codec from both directions:
+// every key — including protocol-hostile bytes — must round-trip through
+// Encode/Decode unchanged, and arbitrary bytes fed to DecodeCursor must
+// either decode or fail with an error wrapping ErrProtocol, never panic.
+func FuzzRangeCursor(f *testing.F) {
+	f.Add("key-00000042", "kAbC")
+	f.Add("", "")
+	f.Add("k\r\nk", "k====")
+	f.Add("\x00\xff binary", "k+/+/")
+	f.Add("日本語キー", "not-a-cursor")
+	f.Fuzz(func(t *testing.T, key, raw string) {
+		// Round trip: any key survives encoding verbatim.
+		c := EncodeCursor(key)
+		got, err := DecodeCursor(c)
+		if err != nil {
+			t.Fatalf("DecodeCursor(EncodeCursor(%q)) error: %v", key, err)
+		}
+		if got != key {
+			t.Fatalf("cursor round trip: %q -> %q", key, got)
+		}
+		// Cursors must stay single-line safe: the server writes them as
+		// bulk strings, but clients may log them; the alphabet is
+		// versionbyte + base64url.
+		for i := 0; i < len(c); i++ {
+			b := c[i]
+			ok := b == 'k' && i == 0 ||
+				b >= 'A' && b <= 'Z' || b >= 'a' && b <= 'z' ||
+				b >= '0' && b <= '9' || b == '-' || b == '_'
+			if !ok {
+				t.Fatalf("cursor %q contains byte %q outside the alphabet", c, b)
+			}
+		}
+
+		// Robustness: arbitrary input never panics, and failures are
+		// tagged protocol errors.
+		if dec, err := DecodeCursor(raw); err != nil {
+			if !errors.Is(err, ErrProtocol) {
+				t.Fatalf("DecodeCursor(%q) error %v does not wrap ErrProtocol", raw, err)
+			}
+		} else if EncodeCursor(dec) != raw {
+			// A successfully decoded cursor must be the canonical encoding
+			// of its key (no malleable second forms).
+			t.Fatalf("non-canonical cursor %q decoded to %q", raw, dec)
+		}
+	})
+}

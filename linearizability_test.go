@@ -4,23 +4,112 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
 // Concurrent linearizability-style property test: many goroutines hammer
 // one map with a randomized Get/Insert/Delete mix over a shared key space,
 // and every single result is cross-checked against a mutex-guarded
-// reference model.
+// reference model. A scanner goroutine additionally pages Range reads and
+// checks every returned pair against the model's per-key history.
 //
 // The reference is striped per key: an operation holds its key's stripe
 // lock across (map op + model op), so same-key operations are serialized
 // and exactly checkable, while operations on different keys run fully
 // concurrently through the engines' batching machinery. Under -race this
-// doubles as a data-race hunt through the whole submit/sort/segment path.
+// doubles as a data-race hunt through the whole submit/sort/segment path,
+// range serving included.
+//
+// Range pages cannot be checked exactly (a page spans many stripes and
+// holds none of them), so they are checked by snapshot bracketing against
+// per-key value histories: every returned pair must have been live at
+// some point within the range op's invocation window. Each history
+// entry's lifetime is recorded conservatively — its start is stamped
+// before the map operation that created it, its end after the operation
+// that superseded it — so a value truly live at the range's linearization
+// point always has a recorded interval intersecting the window, and a
+// check failure is a real consistency violation, never timestamp skew.
 
-type refEntry struct {
-	val int
-	ok  bool
+type histEntry struct {
+	val   int
+	ok    bool
+	start int64 // stamped before the creating map op
+	end   int64 // stamped after the superseding map op; 0 = still current
+}
+
+// refModel is the per-key-striped reference: stripe s guards hist[s].
+type refModel struct {
+	clock   atomic.Int64
+	stripes []sync.Mutex
+	hist    [][]histEntry
+}
+
+func newRefModel(keys int) *refModel {
+	return &refModel{
+		stripes: make([]sync.Mutex, keys),
+		hist:    make([][]histEntry, keys),
+	}
+}
+
+// current returns the live entry for key k (zero entry when never
+// written). Caller holds the stripe.
+func (m *refModel) current(k int) histEntry {
+	if h := m.hist[k]; len(h) > 0 {
+		return h[len(h)-1]
+	}
+	return histEntry{}
+}
+
+// record closes the current entry (end = post-op stamp) and appends the
+// new state with its pre-op stamp. Caller holds the stripe.
+func (m *refModel) record(k int, e histEntry) {
+	if h := m.hist[k]; len(h) > 0 {
+		h[len(h)-1].end = e.end
+	}
+	m.hist[k] = append(m.hist[k], histEntry{val: e.val, ok: e.ok, start: e.start})
+}
+
+// liveWithin reports whether (k, v) was recorded as live at some point
+// intersecting [t0, t1]. Caller holds the stripe.
+func (m *refModel) liveWithin(k, v int, t0, t1 int64) bool {
+	for _, e := range m.hist[k] {
+		if e.ok && e.val == v && e.start <= t1 && (e.end == 0 || e.end >= t0) {
+			return true
+		}
+	}
+	return false
+}
+
+// rangePager is one cursor page read: [lo, hi) exclusive-lo when xlo,
+// at most limit pairs into dst, reporting (page, more).
+type rangePager func(lo int, xlo bool, hi, limit int, dst []KV[int, int]) ([]KV[int, int], bool)
+
+// pagerOf builds the range entry point for each map flavor: RangePage on
+// the sharded front-end, the engine Range method on M1/M2 (whose cursor
+// form is exercised at the core layer; here lo is advanced inclusively
+// by nudging past the last key).
+func pagerOf(m ConcurrentMap[int, int]) rangePager {
+	switch v := any(m).(type) {
+	case *Sharded[int, int]:
+		return v.RangePage
+	case *M1[int, int]:
+		return func(lo int, xlo bool, hi, limit int, dst []KV[int, int]) ([]KV[int, int], bool) {
+			if xlo {
+				lo++
+			}
+			return v.Range(lo, hi, limit, dst)
+		}
+	case *M2[int, int]:
+		return func(lo int, xlo bool, hi, limit int, dst []KV[int, int]) ([]KV[int, int], bool) {
+			if xlo {
+				lo++
+			}
+			return v.Range(lo, hi, limit, dst)
+		}
+	default:
+		return nil
+	}
 }
 
 func runLinearizabilityTest(t *testing.T, m ConcurrentMap[int, int]) {
@@ -36,39 +125,43 @@ func runLinearizabilityTest(t *testing.T, m ConcurrentMap[int, int]) {
 		opsPer = 500
 	}
 
-	var stripes [numKeys]sync.Mutex
-	var model [numKeys]refEntry
+	model := newRefModel(numKeys)
 
-	var wg sync.WaitGroup
+	var writersWg, scanWg sync.WaitGroup
 	var failed sync.Once
 	fail := func(format string, args ...any) {
 		failed.Do(func() { t.Errorf(format, args...) })
 	}
+	var done atomic.Bool
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
+		writersWg.Add(1)
 		go func(w int) {
-			defer wg.Done()
+			defer writersWg.Done()
 			rng := rand.New(rand.NewSource(int64(w) * 7919))
 			for i := 0; i < opsPer; i++ {
 				k := rng.Intn(numKeys)
 				v := w*1_000_000 + i // unique per (worker, step)
-				stripes[k].Lock()
-				want := model[k]
+				model.stripes[k].Lock()
+				want := model.current(k)
 				switch rng.Intn(5) {
 				case 0, 1: // insert
+					pre := model.clock.Add(1)
 					old, existed := m.Insert(k, v)
+					post := model.clock.Add(1)
 					if existed != want.ok || (existed && old != want.val) {
 						fail("worker %d: Insert(%d) = (%d, %v), model (%d, %v)",
 							w, k, old, existed, want.val, want.ok)
 					}
-					model[k] = refEntry{v, true}
+					model.record(k, histEntry{val: v, ok: true, start: pre, end: post})
 				case 2: // delete
+					pre := model.clock.Add(1)
 					got, ok := m.Delete(k)
+					post := model.clock.Add(1)
 					if ok != want.ok || (ok && got != want.val) {
 						fail("worker %d: Delete(%d) = (%d, %v), model (%d, %v)",
 							w, k, got, ok, want.val, want.ok)
 					}
-					model[k] = refEntry{}
+					model.record(k, histEntry{ok: false, start: pre, end: post})
 				default: // get
 					got, ok := m.Get(k)
 					if ok != want.ok || (ok && got != want.val) {
@@ -76,19 +169,77 @@ func runLinearizabilityTest(t *testing.T, m ConcurrentMap[int, int]) {
 							w, k, got, ok, want.val, want.ok)
 					}
 				}
-				stripes[k].Unlock()
+				model.stripes[k].Unlock()
 			}
 		}(w)
 	}
-	wg.Wait()
+
+	// Scanner: pages Range reads concurrently with the writers and checks
+	// every page by snapshot bracketing, plus the structural page
+	// contract (sorted, in bounds, within limit), plus cursor resumes.
+	if pager := pagerOf(m); pager != nil {
+		scanWg.Add(1)
+		go func() {
+			defer scanWg.Done()
+			rng := rand.New(rand.NewSource(4242))
+			var page []KV[int, int]
+			for !done.Load() {
+				lo := rng.Intn(numKeys)
+				hi := lo + 1 + rng.Intn(numKeys-lo)
+				limit := 1 + rng.Intn(24)
+				xlo := false
+				for {
+					t0 := model.clock.Add(1)
+					var more bool
+					page, more = pager(lo, xlo, hi, limit, page[:0])
+					t1 := model.clock.Add(1)
+					if len(page) > limit {
+						fail("range [%d,%d) limit %d returned %d pairs", lo, hi, limit, len(page))
+						return
+					}
+					prev := -1
+					for _, kv := range page {
+						if kv.Key < lo || kv.Key >= hi || (xlo && kv.Key == lo) {
+							fail("range [%d,%d) xlo=%v returned out-of-bounds key %d", lo, hi, xlo, kv.Key)
+							return
+						}
+						if kv.Key <= prev {
+							fail("range [%d,%d) page out of order: %d after %d", lo, hi, kv.Key, prev)
+							return
+						}
+						prev = kv.Key
+						model.stripes[kv.Key].Lock()
+						live := model.liveWithin(kv.Key, kv.Val, t0, t1)
+						model.stripes[kv.Key].Unlock()
+						if !live {
+							fail("range [%d,%d): pair (%d,%d) was never live within the op window [%d,%d]",
+								lo, hi, kv.Key, kv.Val, t0, t1)
+							return
+						}
+					}
+					// Follow the cursor for a few pages, then start a new
+					// random range.
+					if !more || len(page) == 0 || rng.Intn(3) == 0 {
+						break
+					}
+					lo, xlo = page[len(page)-1].Key, true
+				}
+			}
+		}()
+	}
+
+	// The scanner free-runs; stop it once the writers are done.
+	writersWg.Wait()
+	done.Store(true)
+	scanWg.Wait()
 	if t.Failed() {
 		return
 	}
 
 	// Final contents must match the model exactly.
 	wantLen := 0
-	for _, e := range model {
-		if e.ok {
+	for k := range model.hist {
+		if model.current(k).ok {
 			wantLen++
 		}
 	}
@@ -96,12 +247,14 @@ func runLinearizabilityTest(t *testing.T, m ConcurrentMap[int, int]) {
 		t.Fatalf("final Len = %d, model has %d keys", m.Len(), wantLen)
 	}
 	type snapshotter interface {
+		Quiesce()
 		Items(visit func(k, v int) bool)
 	}
 	if s, ok := any(m).(snapshotter); ok {
+		s.Quiesce()
 		var keys []int
 		s.Items(func(k, v int) bool {
-			if k < 0 || k >= numKeys || !model[k].ok || model[k].val != v {
+			if k < 0 || k >= numKeys || !model.current(k).ok || model.current(k).val != v {
 				t.Errorf("final Items: (%d, %d) not in model", k, v)
 				return false
 			}
@@ -113,6 +266,23 @@ func runLinearizabilityTest(t *testing.T, m ConcurrentMap[int, int]) {
 		}
 		if !sort.IntsAreSorted(keys) {
 			t.Fatal("final Items not in ascending key order")
+		}
+		// And one final full-range page must now equal the model exactly:
+		// the map is quiescent, so the page is not just bracketed but
+		// precise.
+		if pager := pagerOf(m); pager != nil {
+			page, more := pager(0, false, numKeys, numKeys+1, nil)
+			if more {
+				t.Error("final full-range page reports more=true past the whole key space")
+			}
+			if len(page) != wantLen {
+				t.Fatalf("final full-range page has %d pairs, model has %d", len(page), wantLen)
+			}
+			for _, kv := range page {
+				if cur := model.current(kv.Key); !cur.ok || cur.val != kv.Val {
+					t.Fatalf("final page pair (%d,%d) not in model", kv.Key, kv.Val)
+				}
+			}
 		}
 	}
 }

@@ -36,6 +36,14 @@ type Op[K cmp.Ordered, V any] = core.Op[K, V]
 // Result is the outcome of one operation submitted through the batch API.
 type Result[V any] = core.Result[V]
 
+// KV is one key/value pair of a range read, delivered in ascending key
+// order. It is also the element type of Sharded.RangePage pages.
+type KV[K cmp.Ordered, V any] = core.KV[K, V]
+
+// RangeReq carries an OpRange's bounds, page limit and output buffer; see
+// core.RangeReq for the full contract.
+type RangeReq[K cmp.Ordered, V any] = core.RangeReq[K, V]
+
 // OpKind identifies a map operation in the batch API.
 type OpKind = core.OpKind
 
@@ -47,6 +55,12 @@ const (
 	OpInsert = core.OpInsert
 	// OpDelete removes a key.
 	OpDelete = core.OpDelete
+	// OpRange is a bounded ordered range read [Op.Key, Op.Range.Hi): a
+	// batched operation like the others, served against a consistent
+	// snapshot at the end of its cut batch — no quiescence, no global
+	// lock. On a Sharded map use RangePage (ranges broadcast to every
+	// shard; routing one through Apply panics).
+	OpRange = core.OpRange
 )
 
 // PivotStrategy selects how the parallel entropy sort picks pivots.
@@ -196,9 +210,10 @@ type ShardedOptions struct {
 // each shard still batches, combines duplicates, and adapts to the
 // temporal locality of the keys it owns. Safe for concurrent use.
 //
-// Beyond the Map interface it offers Apply (sharded bulk-load), Items and
-// Range (globally ordered iteration via a k-way merge of the per-shard
-// orders), Shards, and Batches.
+// Beyond the Map interface it offers Apply (sharded bulk-load), RangePage
+// and Range (live cursor-paged ordered reads: one bounded batched range
+// op broadcast to every shard and k-way merged — no quiescence, no
+// stop-the-world), Items (quiescent snapshot), Shards, and Batches.
 type Sharded[K cmp.Ordered, V any] struct {
 	*shard.Map[K, V]
 }
