@@ -4,6 +4,7 @@ import (
 	"cmp"
 	"fmt"
 	"math/bits"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -61,11 +62,6 @@ func (e *fentry[K, V]) start() (bool, V) {
 	return false, zero
 }
 
-// allGroups returns done followed by pending (for terminal completion).
-func (e *fentry[K, V]) allGroups() []*group[K, V] {
-	return append(append([]*group[K, V]{}, e.done...), e.pending...)
-}
-
 // filter ensures all operations inside the final slab are on distinct
 // items. Guarded by FL[0]; size is published atomically for the interface's
 // ready condition.
@@ -74,8 +70,8 @@ type filter[K cmp.Ordered, V any] struct {
 	size atomic.Int64
 }
 
-// fseg is one final slab segment S[k] (k >= m) with its buffer, locks and
-// activation.
+// fseg is one final slab segment S[k] (k >= m) with its buffer, locks,
+// activation, published snapshot and run scratch.
 type fseg[K cmp.Ordered, V any] struct {
 	m2  *M2[K, V]
 	k   int // global segment index
@@ -85,10 +81,38 @@ type fseg[K cmp.Ordered, V any] struct {
 	right *locks.Dedicated // shared with S[k+1], pre-created
 	fl    *locks.Dedicated // FL[k-m] (m2.fl0 for k == m)
 
-	buf  []*group[K, V] // sorted by key; guarded by left
-	bufA atomic.Int64
+	buf      []*group[K, V] // sorted by key; guarded by left
+	bufSpare []*group[K, V] // enqueue's copy-merge backing; guarded by left
+	bufA     atomic.Int64
 
 	act *locks.Activation
+
+	// snap is the segment's published epoch snapshot (nil = empty view),
+	// read by M2.serveRanges instead of the live trees. Every access —
+	// publish and read — happens under FL[0] (snapshot.go).
+	snap atomic.Pointer[segSnap[K, V]]
+
+	// Run scratch, reused across activations (runs of one segment never
+	// overlap). The ev* lists accumulate the run's chronological net tree
+	// changes for snapshot publication: evSelf for S[k] itself, evPrev
+	// for S[k-1], evFront for S[m] — with evFront doing double duty as
+	// the prev list when S[k-1] IS S[m] (k = m+1), preserving the global
+	// chronological order of that segment's events.
+	keysSc    []K
+	foundSc   []*kmLeaf[K, V]
+	fKeys     []K
+	fGroups   []*group[K, V]
+	fPresent  []bool
+	fVals     []V
+	belowSc   []*locks.Dedicated
+	onwardSc  []*group[K, V]
+	insKeysSc []K
+	insValsSc []V
+	evSelf    []snapKV[K, V]
+	evPrev    []snapKV[K, V]
+	evFront   []snapKV[K, V]
+	flatSc    []*kmLeaf[K, V]
+	ms        moveScratch[K, V]
 }
 
 // M2 is the pipelined parallel working-set map of Section 7 (Theorem 4):
@@ -124,12 +148,27 @@ type M2[K cmp.Ordered, V any] struct {
 	groupSc []*group[K, V]
 
 	// Range-read scratch (see rangeread.go): the batch's split-out range
-	// calls, the collector scratch, and the segment/fseg snapshots the
-	// drain-and-read path reuses.
+	// calls, the collector scratch, and the live-segment/snapshot lists
+	// the composed read path reuses (cleared after every serve so they
+	// pin neither removed segments nor superseded snapshots).
 	rangeCs    []*call[K, V]
 	rangeSc    rangeScratch[K, V]
 	rangeSegSc []*segment[K, V]
-	fsegSc     []*fseg[K, V]
+	snapSc     []*segSnap[K, V]
+	ovLeafSc   []*twothree.Node[K, *fentry[K, V]]
+
+	// Interface scratch for filterAndForward (safe to reuse because
+	// enqueue copy-merges rather than aliasing fwd).
+	fwdSc      []*group[K, V]
+	fltFoundSc []*twothree.Node[K, *fentry[K, V]]
+	fltItemSc  []twothree.Item[K, *fentry[K, V]]
+
+	// Range-path instrumentation: batches of ranges served, and how many
+	// of those observed in-flight final slab work (non-empty filter or
+	// segment buffers) and proceeded anyway — the regression hook proving
+	// the snapshot path never waits for the slab to drain.
+	rangeServes atomic.Int64
+	rangeBusy   atomic.Int64
 
 	first slab[K, V] // S[0..m-1]; S[m-1] additionally under nlock0+FL[0]
 
@@ -137,9 +176,8 @@ type M2[K cmp.Ordered, V any] struct {
 	fl0    *locks.Dedicated // FL[0]
 	nlock0 *locks.Dedicated // between S[m-1] and S[m]
 
-	segsMu  sync.RWMutex
-	fsegs   []*fseg[K, V]
-	segsGen uint64 // bumped on every fseg create/remove; drainFinalSlab's stability check
+	segsMu sync.RWMutex
+	fsegs  []*fseg[K, V]
 
 	sizeA   atomic.Int64
 	batches atomic.Int64
@@ -228,6 +266,14 @@ func (m *M2[K, V]) Batches() int64 { return m.batches.Load() }
 
 // FilterSize returns the current filter occupancy (diagnostics).
 func (m *M2[K, V]) FilterSize() int { return int(m.flt.size.Load()) }
+
+// RangeServeStats reports how many range batches have been served and how
+// many of those observed a busy final slab (in-flight filter entries or
+// buffered groups) and were served from snapshots anyway, without waiting
+// for the slab to rest (test hook for the scan-tail regression).
+func (m *M2[K, V]) RangeServeStats() (serves, busy int64) {
+	return m.rangeServes.Load(), m.rangeBusy.Load()
+}
 
 // SchedStats returns the scheduler pool's counters.
 func (m *M2[K, V]) SchedStats() sched.Stats { return m.pool.Stats() }
@@ -323,9 +369,9 @@ func (m *M2[K, V]) interfaceRun() bool {
 }
 
 // finishRanges serves the batch's split-out range calls. Runs with no
-// locks held: serveRanges first drains the final slab (whose segments
-// need the locks this goroutine might otherwise hold), then reads the
-// segment trees directly.
+// locks held: serveRanges takes nlock0+FL[0] itself and composes its view
+// from the first slab trees, the published final slab snapshots and the
+// filter overlay (rangeread.go) — the final slab keeps running.
 func (m *M2[K, V]) finishRanges() {
 	if len(m.rangeCs) == 0 {
 		return
@@ -357,6 +403,10 @@ func (m *M2[K, V]) finishInFirstSlab(pending []*group[K, V]) int {
 		if overflow.len() > 0 {
 			f := m.createFseg(m.mSeg, m.nlock0)
 			f.seg.pushFront(overflow)
+			// The new S[m] was born non-empty by an interface-side tree
+			// mutation: publish its first snapshot here, under the
+			// nlock0+FL[0] the caller holds.
+			f.publishFlat()
 		}
 	}
 	completeAll(pending)
@@ -368,10 +418,15 @@ func (m *M2[K, V]) finishInFirstSlab(pending []*group[K, V]) int {
 // filter are absorbed into their entries; the rest create entries and move
 // into S[m]'s buffer. Caller holds nlock0 and FL[0].
 func (m *M2[K, V]) filterAndForward(pending []*group[K, V]) {
-	keys := groupKeys(pending)
-	found := m.flt.tree.BatchGet(keys)
-	var fwd []*group[K, V]
-	var newItems []twothree.Item[K, *fentry[K, V]]
+	keys := m.keySc[:0] // the batch sort is done with it by now
+	for _, g := range pending {
+		keys = append(keys, g.key)
+	}
+	m.keySc = keys
+	m.fltFoundSc = grow(m.fltFoundSc, len(keys))
+	found := m.flt.tree.BatchGetInto(keys, m.fltFoundSc)
+	fwd := m.fwdSc[:0]
+	items := m.fltItemSc[:0]
 	for i, g := range pending {
 		if found[i] != nil {
 			e := found[i].Payload
@@ -388,20 +443,26 @@ func (m *M2[K, V]) filterAndForward(pending []*group[K, V]) {
 		} else {
 			e.pending = []*group[K, V]{g}
 		}
-		newItems = append(newItems, twothree.Item[K, *fentry[K, V]]{Key: g.key, Payload: e})
+		items = append(items, twothree.Item[K, *fentry[K, V]]{Key: g.key, Payload: e})
 		fwd = append(fwd, g)
 	}
-	if len(newItems) > 0 {
-		m.flt.tree.BatchUpsert(newItems)
-		m.flt.size.Add(int64(len(newItems)))
+	if len(items) > 0 {
+		m.flt.tree.BatchUpsert(items)
+		m.flt.size.Add(int64(len(items)))
 	}
 	if len(fwd) > 0 {
 		m.segsMu.RLock()
 		sm := m.fsegs[0]
 		m.segsMu.RUnlock()
-		sm.enqueue(fwd)
+		sm.enqueue(fwd) // copies: fwd stays interface scratch
 		sm.act.Activate()
 	}
+	m.fwdSc = fwd
+	// The entries and leaves live on in the filter; the scratch need not
+	// pin them (nor their groups, once 4c removes the entries).
+	clear(items)
+	m.fltItemSc = items[:0]
+	clear(found)
 }
 
 // createFseg creates final slab segment S[k] with the given left
@@ -428,49 +489,40 @@ func (m *M2[K, V]) createFseg(k int, left *locks.Dedicated) *fseg[K, V] {
 	)
 	m.segsMu.Lock()
 	m.fsegs = append(m.fsegs, f)
-	m.segsGen++
 	m.segsMu.Unlock()
 	return f
 }
 
-// enqueue merges sorted groups into the segment's buffer. Caller holds the
-// segment's left neighbour-lock.
+// enqueue merges sorted groups into the segment's buffer. The merged
+// buffer is built in the segment's spare backing and never aliases the
+// caller's slice, so callers keep their group slices as scratch. The two
+// backings ping-pong (the spare becomes the retired buffer, plus the
+// flushed buffer donated back at the end of each run), so steady-state
+// enqueues allocate nothing. Caller holds the segment's left
+// neighbour-lock, which also guards buf/bufSpare.
 func (f *fseg[K, V]) enqueue(groups []*group[K, V]) {
-	f.buf = mergeGroups(f.buf, groups)
-	f.bufA.Store(int64(len(f.buf)))
+	merged := mergeGroupsInto(f.bufSpare[:0], f.buf, groups)
+	clear(f.buf)
+	f.bufSpare = f.buf[:0]
+	f.buf = merged
+	f.bufA.Store(int64(len(merged)))
 }
 
-func mergeGroups[K cmp.Ordered, V any](a, b []*group[K, V]) []*group[K, V] {
-	if len(a) == 0 {
-		return b
-	}
-	if len(b) == 0 {
-		return a
-	}
-	out := make([]*group[K, V], 0, len(a)+len(b))
+// mergeGroupsInto merges the key-sorted group slices a and b into dst
+// (appended; dst must not alias a or b).
+func mergeGroupsInto[K cmp.Ordered, V any](dst, a, b []*group[K, V]) []*group[K, V] {
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		if b[j].key < a[i].key {
-			out = append(out, b[j])
+			dst = append(dst, b[j])
 			j++
 		} else {
-			out = append(out, a[i])
+			dst = append(dst, a[i])
 			i++
 		}
 	}
-	out = append(out, a[i:]...)
-	return append(out, b[j:]...)
-}
-
-// prevSegment returns the segment S[k-1] (first slab for k == m). Caller
-// holds the left neighbour-lock.
-func (f *fseg[K, V]) prevSegment() *segment[K, V] {
-	if f.k == f.m2.mSeg {
-		return f.m2.first.segs[f.m2.mSeg-1]
-	}
-	f.m2.segsMu.RLock()
-	defer f.m2.segsMu.RUnlock()
-	return f.m2.fsegs[f.k-f.m2.mSeg-1].seg
+	dst = append(dst, a[i:]...)
+	return append(dst, b[j:]...)
 }
 
 // run executes one activation of final slab segment S[k] (Section 7.1
@@ -504,6 +556,26 @@ func (f *fseg[K, V]) run() bool {
 	return false // the ready condition re-checks the buffer
 }
 
+// recordPrev appends a prev-segment (S[k-1]) tree change to the event
+// list that publishes it: evFront when the prev segment is S[m] itself
+// (pos 1, keeping that segment's events in one chronological list),
+// evPrev for deeper positions, nowhere when prev is the first slab
+// (pos 0 — the reader sees those trees live).
+func (f *fseg[K, V]) recordPrev(pos int, ev snapKV[K, V]) {
+	if pos >= 2 {
+		f.evPrev = append(f.evPrev, ev)
+	} else if pos == 1 {
+		f.evFront = append(f.evFront, ev)
+	}
+}
+
+// inRPrime reports whether key is in this run's R' (found and
+// net-present), by binary search over the run's sorted found keys.
+func (f *fseg[K, V]) inRPrime(key K) bool {
+	i := sort.Search(len(f.fKeys), func(j int) bool { return f.fKeys[j] >= key })
+	return i < len(f.fKeys) && f.fKeys[i] == key && f.fPresent[i]
+}
+
 // runLocked is the body of a segment run, with neighbour locks (and, for
 // S[m], FL[0]) held.
 func (f *fseg[K, V]) runLocked(pos int) (sizeDelta int) {
@@ -512,8 +584,18 @@ func (f *fseg[K, V]) runLocked(pos int) (sizeDelta int) {
 	// Step 3: terminal growth check.
 	m.segsMu.RLock()
 	isTerminal := m.fsegs[len(m.fsegs)-1] == f
+	var prevF, frontF *fseg[K, V]
+	if pos > 0 {
+		prevF = m.fsegs[pos-1] // stable: its removal would need our left lock
+		frontF = m.fsegs[0]
+	}
 	m.segsMu.RUnlock()
-	prev := f.prevSegment()
+	var prev *segment[K, V]
+	if pos == 0 {
+		prev = m.first.segs[m.mSeg-1]
+	} else {
+		prev = prevF.seg
+	}
 	if isTerminal && prev.size()+f.seg.size() > capOf(f.k-1)+capOf(f.k) {
 		m.createFseg(f.k+1, f.right)
 		isTerminal = false
@@ -526,50 +608,61 @@ func (f *fseg[K, V]) runLocked(pos int) (sizeDelta int) {
 	if len(A) == 0 {
 		return 0
 	}
+	f.evSelf = f.evSelf[:0]
+	f.evPrev = f.evPrev[:0]
+	f.evFront = f.evFront[:0]
 
 	// 4a: search for the accessed items; delete the found set R from S[k].
-	keys := groupKeys(A)
-	found := f.seg.km.BatchGet(keys)
-	var foundKeys []K
-	var foundGroups []*group[K, V]
+	keys := f.keysSc[:0]
+	for _, g := range A {
+		keys = append(keys, g.key)
+	}
+	f.keysSc = keys
+	f.foundSc = grow(f.foundSc, len(keys))
+	found := f.seg.km.BatchGetInto(keys, f.foundSc)
+	fKeys := f.fKeys[:0]
+	fGroups := f.fGroups[:0]
 	for i, lf := range found {
 		if lf != nil {
-			foundKeys = append(foundKeys, keys[i])
-			foundGroups = append(foundGroups, A[i])
+			fKeys = append(fKeys, keys[i])
+			fGroups = append(fGroups, A[i])
 		}
 	}
-	mb := f.seg.removeItems(foundKeys)
+	f.fKeys, f.fGroups = fKeys, fGroups
+	mb := f.ms.removeItems(f.seg, fKeys)
+	for _, k := range fKeys {
+		f.evSelf = append(f.evSelf, snapKV[K, V]{key: k, del: true})
+	}
 
 	// 4b: front locks, descending.
 	if pos > 0 {
 		f.fl.Acquire(flKeyOwner)
 		m.segsMu.RLock()
-		below := make([]*locks.Dedicated, pos)
+		below := grow(f.belowSc, pos)
 		for j := 0; j < pos; j++ {
 			below[j] = m.fsegs[j].fl
 		}
 		m.segsMu.RUnlock()
+		f.belowSc = below
 		for j := pos - 1; j >= 0; j-- {
 			below[j].Acquire(flKeyDescend)
 		}
 	}
 
 	// 4c: consult the filter for each found item.
-	netPresent := make(map[K]bool, len(foundGroups))
-	newVal := make(map[K]V, len(foundGroups))
-	rPrime := make(map[K]bool, len(foundGroups))
-	for i, g := range foundGroups {
+	f.fPresent = grow(f.fPresent, len(fGroups))
+	f.fVals = grow(f.fVals, len(fGroups))
+	for i, g := range fGroups {
 		leaf, ok := m.flt.tree.Get(g.key)
 		if !ok {
 			panic("core: M2 found item with no filter entry")
 		}
 		e := leaf.Payload
 		p, v := e.replay(true, mb.kmLeaves[i].Payload.val)
+		f.fPresent[i] = p
 		if p {
 			// Searched/updated: belongs to R'.
-			netPresent[g.key] = true
-			newVal[g.key] = v
-			rPrime[g.key] = true
+			f.fVals[i] = v
 			m.flt.tree.Delete(g.key)
 			m.flt.size.Add(-1)
 			completeAll(e.done)
@@ -581,20 +674,32 @@ func (f *fseg[K, V]) runLocked(pos int) (sizeDelta int) {
 		}
 	}
 
-	// 4d: shift R' to the front of S[m'], plus terminal resolution.
-	mPrime := f.k - 1
-	if mPrime > m.mSeg {
-		mPrime = m.mSeg
+	// 4d: shift R' to the front of S[m'] (S[m-1] for S[m]'s own run, S[m]
+	// for every deeper segment), plus terminal resolution.
+	var target *segment[K, V]
+	if pos == 0 {
+		target = m.first.segs[m.mSeg-1]
+	} else {
+		target = frontF.seg
 	}
-	target := f.frontTarget(mPrime)
-	kept, _ := mb.filterByKeys(func(key K) bool { return netPresent[key] })
-	for _, lf := range kept.kmLeaves {
-		lf.Payload.val = newVal[lf.Key]
+	for i := range fGroups {
+		if f.fPresent[i] {
+			mb.kmLeaves[i].Payload.val = f.fVals[i]
+		}
 	}
+	kept := mb.keepOnly(func(i int) bool { return f.fPresent[i] }, func(key K) bool {
+		i := sort.Search(len(fKeys), func(j int) bool { return fKeys[j] >= key })
+		return f.fPresent[i]
+	})
 	target.pushFront(kept)
+	if pos > 0 {
+		for _, lf := range kept.kmLeaves {
+			f.evFront = append(f.evFront, snapKV[K, V]{key: lf.Key, val: lf.Payload.val})
+		}
+	}
 
 	if isTerminal {
-		sizeDelta += f.resolveTerminal(A, rPrime, target)
+		sizeDelta += f.resolveTerminal(A, target, pos)
 	}
 
 	// 4e: if the filter has room, reactivate the interface.
@@ -602,9 +707,12 @@ func (f *fseg[K, V]) runLocked(pos int) (sizeDelta int) {
 		m.act.Activate()
 	}
 
-	// 4f: release front locks ascending — except for S[m+1], whose step
-	// 4g/4h transfers touch the contents of S[m] and therefore stay under
-	// FL[0] (DESIGN.md substitution 6).
+	// 4f is deferred past 4h for every position (not just S[m+1] as in the
+	// original protocol): the 4g/4h transfers mutate S[k-1] and S[k], and
+	// holding the front locks through them lets the run publish every
+	// affected segment's snapshot under FL[0] — which is what makes the
+	// range reader's composed view consistent (DESIGN.md, "Epoch slab
+	// snapshots").
 	releaseFLs := func() {
 		if pos > 0 {
 			m.segsMu.RLock()
@@ -615,13 +723,15 @@ func (f *fseg[K, V]) runLocked(pos int) (sizeDelta int) {
 			f.fl.Release()
 		}
 	}
-	if pos != 1 {
-		releaseFLs()
-	}
 
 	// 4g: rearward transfer if S[k-1] exceeds capacity.
 	if ex := prev.overBy(); ex > 0 {
-		f.seg.pushFront(prev.popBack(ex))
+		tb := prev.popBack(ex)
+		for _, lf := range tb.kmLeaves {
+			f.recordPrev(pos, snapKV[K, V]{key: lf.Key, del: true})
+			f.evSelf = append(f.evSelf, snapKV[K, V]{key: lf.Key, val: lf.Payload.val})
+		}
+		f.seg.pushFront(tb)
 	}
 	// 4h: frontward transfer bounded by the successful deletions in A.
 	dSucc := 0
@@ -631,28 +741,43 @@ func (f *fseg[K, V]) runLocked(pos int) (sizeDelta int) {
 		}
 	}
 	if under := prev.underBy(); under > 0 && dSucc > 0 {
-		x := min3(under, f.seg.size(), dSucc)
+		x := min(under, f.seg.size(), dSucc)
 		if x > 0 {
-			prev.pushBack(f.seg.popFront(x))
+			tb := f.seg.popFront(x)
+			for _, lf := range tb.kmLeaves {
+				f.evSelf = append(f.evSelf, snapKV[K, V]{key: lf.Key, del: true})
+				f.recordPrev(pos, snapKV[K, V]{key: lf.Key, val: lf.Payload.val})
+			}
+			prev.pushBack(tb)
 		}
 	}
-	if pos == 1 {
-		releaseFLs()
+
+	// Publish the epoch snapshots of every final slab tree this run
+	// mutated, while the locks serializing their mutators — and excluding
+	// the range reader — are still held (snapshot.go).
+	f.publishDelta(f.evSelf)
+	if pos >= 2 {
+		prevF.publishDelta(f.evPrev)
 	}
+	if pos >= 1 {
+		frontF.publishDelta(f.evFront)
+	}
+	releaseFLs()
 
 	// 4i: pass A∖R' on to S[k+1].
 	if !isTerminal {
-		var onward []*group[K, V]
+		onward := f.onwardSc[:0]
 		for _, g := range A {
-			if !rPrime[g.key] {
+			if !f.inRPrime(g.key) {
 				onward = append(onward, g)
 			}
 		}
+		f.onwardSc = onward
 		if len(onward) > 0 {
 			m.segsMu.RLock()
 			next := m.fsegs[pos+1]
 			m.segsMu.RUnlock()
-			next.enqueue(onward) // under f.right, next's left lock
+			next.enqueue(onward) // copies; under f.right, next's left lock
 			next.act.Activate()
 		}
 	}
@@ -662,35 +787,40 @@ func (f *fseg[K, V]) runLocked(pos int) (sizeDelta int) {
 		m.segsMu.Lock()
 		if m.fsegs[len(m.fsegs)-1] == f {
 			m.fsegs = m.fsegs[:len(m.fsegs)-1]
-			m.segsGen++
 		}
 		m.segsMu.Unlock()
 	}
-	return sizeDelta
-}
 
-// frontTarget returns the segment S[mPrime] that R' (and terminal
-// insertions) are pushed onto.
-func (f *fseg[K, V]) frontTarget(mPrime int) *segment[K, V] {
-	m := f.m2
-	if mPrime < m.mSeg {
-		return m.first.segs[mPrime]
+	// Donate the flushed buffer's backing as the enqueue spare (see
+	// enqueue; upstream enqueues are excluded until our left lock drops),
+	// and drop the value/leaf/group references the next run would
+	// otherwise pin.
+	clear(A)
+	if cap(A) > cap(f.bufSpare) {
+		f.bufSpare = A[:0]
 	}
-	m.segsMu.RLock()
-	defer m.segsMu.RUnlock()
-	return m.fsegs[0].seg
+	clear(found)
+	clear(f.fGroups)
+	f.fGroups = f.fGroups[:0]
+	clear(f.fVals)
+	clear(f.evSelf)
+	clear(f.evPrev)
+	clear(f.evFront)
+	f.evSelf, f.evPrev, f.evFront = f.evSelf[:0], f.evPrev[:0], f.evFront[:0]
+	return sizeDelta
 }
 
 // resolveTerminal handles the terminal-segment clause of step 4d: every
 // group in A∖R' resolves against its filter entry; net-present outcomes
 // insert fresh items at the front of S[m']; all accumulated results are
-// returned and the entries leave the filter.
-func (f *fseg[K, V]) resolveTerminal(a []*group[K, V], rPrime map[K]bool, target *segment[K, V]) (sizeDelta int) {
+// returned and the entries leave the filter. pos >= 1 records the
+// insertions for the target segment's snapshot.
+func (f *fseg[K, V]) resolveTerminal(a []*group[K, V], target *segment[K, V], pos int) (sizeDelta int) {
 	m := f.m2
-	var insKeys []K
-	var insVals []V
+	insKeys := f.insKeysSc[:0]
+	insVals := f.insValsSc[:0]
 	for _, g := range a {
-		if rPrime[g.key] {
+		if f.inRPrime(g.key) {
 			continue
 		}
 		leaf, ok := m.flt.tree.Get(g.key)
@@ -710,18 +840,16 @@ func (f *fseg[K, V]) resolveTerminal(a []*group[K, V], rPrime map[K]bool, target
 	}
 	if len(insKeys) > 0 {
 		target.pushFront(newItems(insKeys, insVals, insKeys))
+		if pos >= 1 {
+			for i, k := range insKeys {
+				f.evFront = append(f.evFront, snapKV[K, V]{key: k, val: insVals[i]})
+			}
+		}
 	}
+	f.insKeysSc = insKeys
+	clear(insVals)
+	f.insValsSc = insVals[:0]
 	return sizeDelta
-}
-
-func min3(a, b, c int) int {
-	if b < a {
-		a = b
-	}
-	if c < a {
-		a = c
-	}
-	return a
 }
 
 // CheckInvariants verifies the M2 balance invariants of Lemma 16 plus
@@ -758,6 +886,18 @@ func (m *M2[K, V]) CheckInvariants() error {
 		}
 		if len(f.buf) != 0 {
 			return fmt.Errorf("final slab segment %d has %d buffered groups while quiescent", f.k, len(f.buf))
+		}
+		// The published snapshot must agree with the quiescent tree: same
+		// net size and every live key visible (values are not compared — V
+		// is unconstrained).
+		snap := f.snap.Load()
+		if n := snap.netLen(); n != f.seg.size() {
+			return fmt.Errorf("final slab segment %d snapshot has %d items, tree has %d", f.k, n, f.seg.size())
+		}
+		for _, lf := range f.seg.km.Flatten() {
+			if _, ok := snap.get(lf.Key); !ok {
+				return fmt.Errorf("final slab segment %d snapshot missing key %v", f.k, lf.Key)
+			}
 		}
 		total += f.seg.size()
 	}

@@ -195,6 +195,25 @@ func (g *group[K, V]) resolve(present bool, val V) (netPresent bool, netVal V) {
 	return present, val
 }
 
+// peek returns the item state after the group's operations without
+// writing results or mutating the group: the read-only counterpart of
+// resolve, used by M2's range overlay to fold a filter entry's pending
+// groups into the composed snapshot view (rangeread.go). It must never
+// touch the calls' result fields — the frames are live and will be
+// resolved for real when the group's travel ends.
+func (g *group[K, V]) peek(present bool, val V) (bool, V) {
+	for _, c := range g.calls {
+		switch c.op.Kind {
+		case OpInsert:
+			val, present = c.op.Val, true
+		case OpDelete:
+			var zero V
+			val, present = zero, false
+		}
+	}
+	return present, val
+}
+
 // complete signals every call's done channel, delivering results. The
 // sends are non-blocking (buffered completion channels), so results are
 // delivered inline on the engine — the paper's "fork to return the

@@ -1,0 +1,8 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation inflates allocation counts, so the AllocsPerRun
+// ceilings of snapshot_test.go only run without it.
+const raceEnabled = false

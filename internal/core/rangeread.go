@@ -2,32 +2,63 @@ package core
 
 import (
 	"cmp"
-	"runtime"
 )
 
 // Batched range reads. OpRange operations travel through the same parallel
 // buffer, feed buffer and cut batches as point operations, but they never
 // group with them: processBatch/interfaceRun split them out of the batch
 // before key grouping, run the point operations as before, and then serve
-// every range of the batch against the engine's segment trees — after the
-// batch's own effects have been applied, so a range linearizes at the end
-// of its cut batch. At that moment every item of the map lives in exactly
-// one segment key-map (the pbuffer was flushed into the batch and the
-// batch fully applied; nothing is pending "beside" the trees), so the
-// merged view is simply a bounded k-way merge of per-segment RangeInto
-// collections. M1 serves ranges directly (its engine run owns the whole
-// slab); M2 first drains the final slab to a momentary rest (see
-// M2.drainFinalSlab), which stalls only this engine's pipeline tail —
-// not other shards, and not the clients, who keep buffering.
+// every range of the batch after the batch's own effects have been
+// applied, so a range linearizes at the end of its cut batch.
+//
+// M1 serves ranges directly against its segment trees (its engine run owns
+// the whole slab, and at the batch boundary every item lives in exactly
+// one key-map), as a bounded k-way merge of per-segment RangeInto
+// collections.
+//
+// M2 cannot read its final slab trees — concurrent segment runs mutate
+// them — and since PR 6 it no longer waits for them to rest (the retired
+// drainFinalSlab approach, whose scan-tail p99 scaled with everything in
+// flight). Instead M2.serveRanges composes a batch-boundary-consistent
+// view out of three sources:
+//
+//   - the live first slab trees, which the interface owns outright
+//     (S[0..m-2] are interface-private; S[m-1] and the filter are guarded
+//     by the nlock0+FL[0] pair the reader takes);
+//   - each final slab segment's published epoch snapshot (snapshot.go) —
+//     a copied view the segments refresh at the end of every run, with
+//     every access (publish and read) serialized by the FL[0] the reader
+//     holds;
+//   - the filter overlay: the net state of every key with in-flight final
+//     slab operations, computed by a read-only replay of its filter entry
+//     (collectOverlay). Overlay verdicts mask whatever the snapshots say
+//     about those keys.
+//
+// The filter is what makes the overlay exact: every unfinished operation
+// that entered the final slab has exactly one filter entry (operations on
+// an in-flight key are absorbed into the existing entry, so keys are
+// distinct), and an entry carries everything needed to reconstruct the
+// key's net state — the replayed state when a prior resolution recorded
+// one (known), otherwise the snapshot base the travelling group will
+// itself observe, folded through the entry's pending groups exactly as a
+// future step 4c/terminal replay will fold them. Snapshots are stale by at
+// most the in-flight work (a run removes items at 4a and publishes their
+// fate only at its end), but every such limbo item is in the filter, so
+// the overlay rewrites precisely the keys whose snapshot entries could be
+// stale — the composition equals the net state of all batches up to the
+// boundary.
 
 // rangeScratch is the per-engine scratch behind serveRangeCalls: the
-// per-segment leaf collections, their boundaries, and the merge cursors,
-// all reused across batches so steady-state range serving allocates
-// nothing beyond growing the caller's Out buffers.
+// per-segment leaf collection, the concatenated per-source sorted runs,
+// their boundaries, the merge cursors, and the overlay buffer, all reused
+// across batches so steady-state range serving allocates nothing beyond
+// growing the caller's Out buffers.
 type rangeScratch[K cmp.Ordered, V any] struct {
-	leaves []*kmLeaf[K, V]
-	offs   []int
-	cur    []int
+	leaves  []*kmLeaf[K, V]
+	kvs     []KV[K, V]
+	offs    []int
+	cur     []int
+	overlay []ovKV[K, V]
 }
 
 // splitRangeCalls partitions a cut batch in place: point calls are
@@ -46,21 +77,32 @@ func splitRangeCalls[K cmp.Ordered, V any](batch, ranges []*call[K, V]) (points,
 	return batch[:w], ranges
 }
 
-// serveRangeCalls executes every range call against the given segments
-// (which together hold each item exactly once) and completes the calls.
-// Caller must guarantee the segments are stable for the duration (M1:
-// inside the engine run; M2: after drainFinalSlab).
-func serveRangeCalls[K cmp.Ordered, V any](segs []*segment[K, V], sc *rangeScratch[K, V], calls []*call[K, V]) {
+// serveRangeCalls executes every range call against the given sources and
+// completes the calls: live segments plus (M2 only) published segment
+// snapshots and a per-call filter overlay collected by ov. Caller must
+// guarantee the sources are stable for the duration (M1: inside the
+// engine run; M2: under nlock0+FL[0], see M2.serveRanges).
+func serveRangeCalls[K cmp.Ordered, V any](segs []*segment[K, V], snaps []*segSnap[K, V], ov func(lo, hi K) []ovKV[K, V], sc *rangeScratch[K, V], calls []*call[K, V]) {
 	for _, c := range calls {
-		serveOneRange(segs, sc, c)
+		var overlay []ovKV[K, V]
+		if ov != nil && c.op.Range != nil && c.op.Key < c.op.Range.Hi {
+			overlay = ov(c.op.Key, c.op.Range.Hi)
+		}
+		serveOneRange(segs, snaps, overlay, sc, c)
 		c.complete()
 	}
+	// The runs and the overlay hold key/value copies; don't pin them past
+	// the batch.
+	clear(sc.kvs)
+	sc.kvs = sc.kvs[:0]
+	clear(sc.overlay)
+	sc.overlay = sc.overlay[:0]
 }
 
 // serveOneRange fills one call's RangeReq.Out with the first Limit pairs
 // of [lo, hi) (lo exclusive under XLo) and sets the call's Result.OK to
 // the truncation verdict.
-func serveOneRange[K cmp.Ordered, V any](segs []*segment[K, V], sc *rangeScratch[K, V], c *call[K, V]) {
+func serveOneRange[K cmp.Ordered, V any](segs []*segment[K, V], snaps []*segSnap[K, V], overlay []ovKV[K, V], sc *rangeScratch[K, V], c *call[K, V]) {
 	req := c.op.Range
 	c.res = Result[V]{}
 	if req == nil {
@@ -70,136 +112,206 @@ func serveOneRange[K cmp.Ordered, V any](segs []*segment[K, V], sc *rangeScratch
 	if hi <= lo {
 		return
 	}
-	// Collect up to bound in-range leaves from every segment. Taking the
-	// per-segment bound (rather than sharing one running limit) is what
+	// Collect up to bound in-range pairs from every source. Taking the
+	// per-source bound (rather than sharing one running limit) is what
 	// makes the merge exact: each of the globally smallest `limit` keys
 	// has fewer than `limit` predecessors, so in particular fewer than
-	// `limit` within its own segment — it is always collected. Under XLo
-	// one collected leaf may be lo itself and is skipped below, hence the
-	// +1.
+	// `limit` within its own source — it is always collected. Under XLo
+	// one collected pair may be lo itself and is skipped below, hence the
+	// +1. The overlay is exempt from the bound (collectOverlay gathers the
+	// whole window): a bounded overlay could run out before a stale
+	// snapshot pair it must mask.
 	bound := limit
 	if limit > 0 && req.XLo {
 		bound = limit + 1
 	}
-	sc.leaves = sc.leaves[:0]
+	sc.kvs = sc.kvs[:0]
 	sc.offs = sc.offs[:0]
 	sc.cur = sc.cur[:0]
 	anyFull := false
 	for _, seg := range segs {
-		start := len(sc.leaves)
+		start := len(sc.kvs)
 		sc.offs = append(sc.offs, start)
 		sc.cur = append(sc.cur, start)
-		sc.leaves = seg.km.RangeInto(lo, hi, bound, sc.leaves[:start])
-		if bound > 0 && len(sc.leaves)-start == bound {
-			// The segment may hold further in-range items beyond its
+		sc.leaves = seg.km.RangeInto(lo, hi, bound, sc.leaves[:0])
+		for _, lf := range sc.leaves {
+			sc.kvs = append(sc.kvs, KV[K, V]{Key: lf.Key, Val: lf.Payload.val})
+		}
+		if bound > 0 && len(sc.kvs)-start == bound {
+			// The source may hold further in-range items beyond its
 			// collection: a conservative "more" verdict (a false positive
 			// costs the caller one empty follow-up page, never a missed
 			// item).
 			anyFull = true
 		}
 	}
-	sc.offs = append(sc.offs, len(sc.leaves))
+	for _, s := range snaps {
+		start := len(sc.kvs)
+		sc.offs = append(sc.offs, start)
+		sc.cur = append(sc.cur, start)
+		sc.kvs = s.rangeInto(lo, hi, bound, sc.kvs)
+		if bound > 0 && len(sc.kvs)-start == bound {
+			anyFull = true
+		}
+	}
+	sc.offs = append(sc.offs, len(sc.kvs))
+	sc.leaves = sc.leaves[:cap(sc.leaves)]
+	clear(sc.leaves) // don't pin leaves past the batch
+	sc.leaves = sc.leaves[:0]
 
-	// Bounded k-way merge. Keys are globally distinct across segments (an
-	// item lives in exactly one), so a plain min-pick needs no tie rule;
-	// the segment count is O(log log n), so the linear scan is cheap.
-	out := c.op.Range.Out
+	// Bounded k-way merge. Keys are globally distinct across live
+	// segments at a batch boundary; a snapshot run may disagree with
+	// another source only on keys the overlay covers, and the overlay
+	// wins: its verdict is emitted (or, for a net-absent key, suppressed)
+	// while every tied source cursor advances past the key.
+	out := req.Out
 	n0 := len(out)
 	truncated := false
+	ov := 0
 	for {
 		best := -1
 		for i := range sc.cur {
 			if sc.cur[i] == sc.offs[i+1] {
 				continue
 			}
-			if best < 0 || sc.leaves[sc.cur[i]].Key < sc.leaves[sc.cur[best]].Key {
+			if best < 0 || sc.kvs[sc.cur[i]].Key < sc.kvs[sc.cur[best]].Key {
 				best = i
 			}
 		}
-		if best < 0 {
+		haveSrc := best >= 0
+		haveOv := ov < len(overlay)
+		if !haveSrc && !haveOv {
 			break
 		}
-		lf := sc.leaves[sc.cur[best]]
-		sc.cur[best]++
-		if req.XLo && lf.Key == lo {
+		var k K
+		var v V
+		emit := true
+		if haveOv && (!haveSrc || overlay[ov].key <= sc.kvs[sc.cur[best]].Key) {
+			e := overlay[ov]
+			ov++
+			k, v, emit = e.key, e.val, e.present
+			for i := range sc.cur {
+				if sc.cur[i] < sc.offs[i+1] && sc.kvs[sc.cur[i]].Key == k {
+					sc.cur[i]++
+				}
+			}
+		} else {
+			k, v = sc.kvs[sc.cur[best]].Key, sc.kvs[sc.cur[best]].Val
+			sc.cur[best]++
+		}
+		if req.XLo && k == lo {
+			continue
+		}
+		if !emit {
 			continue
 		}
 		if limit > 0 && len(out)-n0 >= limit {
 			truncated = true
 			break
 		}
-		out = append(out, KV[K, V]{Key: lf.Key, Val: lf.Payload.val})
+		out = append(out, KV[K, V]{Key: k, Val: v})
 	}
 	req.Out = out
-	clear(sc.leaves) // don't pin leaves past the batch
 	c.res = Result[V]{OK: truncated || anyFull}
 }
 
 // serveRanges is the M1 half: ranges run at the very end of the engine
 // batch, against the slab the batch just finished mutating.
 func (m *M1[K, V]) serveRanges(calls []*call[K, V]) {
-	serveRangeCalls(m.slab.segs, &m.rangeSc, calls)
+	serveRangeCalls(m.slab.segs, nil, nil, &m.rangeSc, calls)
 }
 
-// serveRanges is the M2 half: the interface (the final slab's only
-// feeder) waits for the final slab to drain, then reads the first slab
-// and final slab trees directly.
+// serveRanges is the M2 half: the interface (running here) composes the
+// consistent view described in the package comment above — live first
+// slab trees under nlock0+FL[0], published final slab snapshots, filter
+// overlay — and serves every range against it while the final slab keeps
+// working. The only waiting is the bounded lock handoff: at most one
+// in-flight S[m] run (which holds FL[0] for its whole run) plus the
+// descending holders ahead in the front-lock queue, never the length of
+// the final slab's buffered pipeline.
 func (m *M2[K, V]) serveRanges(calls []*call[K, V]) {
-	m.drainFinalSlab()
-	segs := m.rangeSegSc[:0]
+	m.rangeServes.Add(1)
+	m.nlock0.Acquire(nlKeyLeft)
+	m.fl0.Acquire(flKeyInterface)
+
+	segs := append(m.rangeSegSc[:0], m.first.segs...)
+	snaps := m.snapSc[:0]
+	busy := m.flt.size.Load() > 0
 	m.segsMu.RLock()
-	segs = append(segs, m.first.segs...)
 	for _, f := range m.fsegs {
-		segs = append(segs, f.seg)
+		if s := f.snap.Load(); s != nil {
+			if len(s.deltas) > snapMaxDeltas {
+				// Publishers grow the chain freely between reads; the
+				// reader is the party that needs bounded per-key depth, so
+				// it compacts at load — under the same FL[0] every
+				// publisher takes (snapshot.go).
+				s = s.compacted()
+				f.snap.Store(s)
+			}
+			snaps = append(snaps, s)
+		}
+		if f.bufA.Load() > 0 {
+			busy = true
+		}
 	}
 	m.segsMu.RUnlock()
-	m.rangeSegSc = segs
-	serveRangeCalls(segs, &m.rangeSc, calls)
+	if busy {
+		m.rangeBusy.Add(1)
+	}
+
+	serveRangeCalls(segs, snaps, func(lo, hi K) []ovKV[K, V] {
+		m.rangeSc.overlay = m.collectOverlay(lo, hi, snaps, m.rangeSc.overlay[:0])
+		return m.rangeSc.overlay
+	}, &m.rangeSc, calls)
+
+	m.fl0.Release()
+	m.nlock0.Release()
+
+	// Clear the retained source lists: segments may be removed and
+	// snapshots superseded between scans, and a stale entry would pin
+	// their trees (and every value they hold) until the next range batch.
+	clear(segs)
+	clear(snaps)
+	m.rangeSegSc = segs[:0]
+	m.snapSc = snaps[:0]
 }
 
-// drainFinalSlab blocks until the final slab is at rest: every segment
-// activation idle, every segment buffer empty, and the filter empty. The
-// interface is the final slab's only external feeder and it is here (a
-// single interfaceRun is active at a time), so once a full pass observes
-// rest, nothing can start again until the interface itself forwards more
-// work — which it will not do before the pending ranges are served. This
-// is deliberately NOT Quiesce: clients keep submitting (their operations
-// buffer in the parallel buffer), other shards are untouched, and the
-// wait is bounded by the in-flight final-slab work (at most the filter
-// capacity plus buffered groups), not by the arrival of quiescence.
-func (m *M2[K, V]) drainFinalSlab() {
-	for {
-		m.segsMu.RLock()
-		gen := m.segsGen
-		fs := append(m.fsegSc[:0], m.fsegs...)
-		m.segsMu.RUnlock()
-		m.fsegSc = fs
-		// Left-to-right: S[m+k] is fed only by S[m+k-1]'s runs (and the
-		// interface, which is here), so once S[m+k-1] is at rest with an
-		// empty buffer it stays at rest, and the wait composes
-		// inductively down the slab.
-		for _, f := range fs {
-			f.act.WaitIdle()
-		}
-		quiet := m.flt.size.Load() == 0
-		for _, f := range fs {
-			if f.bufA.Load() != 0 {
-				quiet = false
+// collectOverlay appends the filter's net verdict for every in-flight key
+// in [lo, hi), in ascending key order. For each entry the replay base is
+// the recorded state when a prior resolution fixed one (known — the item
+// is then in no tree), otherwise the composed snapshot view of the key
+// (the state the travelling group will itself observe); the entry's
+// pending groups fold over that base read-only (group.peek). The
+// collection is deliberately unbounded — the filter holds at most ~2p²
+// entries, and a truncated overlay could fail to mask a stale snapshot
+// pair. Caller holds FL[0], which owns the filter.
+func (m *M2[K, V]) collectOverlay(lo, hi K, snaps []*segSnap[K, V], out []ovKV[K, V]) []ovKV[K, V] {
+	if m.flt.tree.Len() == 0 {
+		return out
+	}
+	m.ovLeafSc = m.flt.tree.RangeInto(lo, hi, 0, m.ovLeafSc[:0])
+	for _, lf := range m.ovLeafSc {
+		e := lf.Payload
+		var (
+			p bool
+			v V
+		)
+		if e.known {
+			p, v = e.present, e.val
+		} else {
+			for _, s := range snaps {
+				if sv, ok := s.get(lf.Key); ok {
+					p, v = true, sv
+					break
+				}
 			}
 		}
-		// The generation counter (bumped on every fseg create/remove)
-		// catches set changes a length compare would miss — a terminal
-		// segment removed and a new one created between snapshots leaves
-		// the length equal while the new segment (never waited on, its
-		// buffer never checked) may still hold work.
-		m.segsMu.RLock()
-		same := m.segsGen == gen
-		m.segsMu.RUnlock()
-		if quiet && same {
-			return
+		for _, g := range e.pending {
+			p, v = g.peek(p, v)
 		}
-		// A producer may be between enqueue and Activate; yield rather
-		// than spin on WaitIdle's immediate return.
-		runtime.Gosched()
+		out = append(out, ovKV[K, V]{key: lf.Key, val: v, present: p})
 	}
+	clear(m.ovLeafSc)
+	m.ovLeafSc = m.ovLeafSc[:0]
+	return out
 }

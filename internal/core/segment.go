@@ -144,6 +144,39 @@ func (s *segment[K, V]) removeItems(keys []K) moveBatch[K, V] {
 	return moveBatch[K, V]{kmLeaves: kmLeaves, recLeaves: recLeaves}
 }
 
+// moveScratch backs allocation-free segment removals: removeItems whose
+// returned moveBatch aliases the scratch, valid until the next removal
+// through the same scratch. One instance per single-threaded user (the
+// slab's engine run, each final slab segment's activation).
+type moveScratch[K cmp.Ordered, V any] struct {
+	del    []*kmLeaf[K, V]
+	recOrd []*twothree.SeqLeaf[K]
+	rank   []int
+	rec    []*twothree.SeqLeaf[K]
+}
+
+// removeItems is segment.removeItems into the scratch: it deletes the
+// given present keys (sorted, distinct) from seg and returns them as a
+// moveBatch aliasing ms.
+func (ms *moveScratch[K, V]) removeItems(seg *segment[K, V], keys []K) moveBatch[K, V] {
+	if len(keys) == 0 {
+		return moveBatch[K, V]{}
+	}
+	ms.del = grow(ms.del, len(keys))
+	kmLeaves := seg.km.BatchDeleteInto(keys, ms.del)
+	ms.recOrd = grow(ms.recOrd, len(kmLeaves))
+	for i, lf := range kmLeaves {
+		if lf == nil {
+			panic(fmt.Sprintf("core: removeItems: key %v absent", keys[i]))
+		}
+		ms.recOrd[i] = lf.Payload.rec
+	}
+	ms.rank = grow(ms.rank, len(kmLeaves))
+	ms.rec = grow(ms.rec, len(kmLeaves))
+	recLeaves := seg.rec.RemoveInto(ms.recOrd, ms.rank, ms.rec)
+	return moveBatch[K, V]{kmLeaves: kmLeaves, recLeaves: recLeaves}
+}
+
 // popBack removes the x least recent items (x is clamped to the segment
 // size) and returns them in recency order.
 func (s *segment[K, V]) popBack(x int) moveBatch[K, V] {

@@ -6,7 +6,6 @@ import (
 	"sort"
 
 	"repro/internal/metrics"
-	"repro/internal/twothree"
 )
 
 // slab is a run of consecutive working-set segments processed M1-style:
@@ -22,16 +21,13 @@ type slab[K cmp.Ordered, V any] struct {
 	cnt   *metrics.Counter
 	pools segPools[K, V] // shared node free-lists for every segment's trees
 
-	keySc    []K             // groupKeys of the pending batch
-	foundSc  []*kmLeaf[K, V] // BatchGetInto result
-	fKeys    []K             // keys of found groups (sorted subset)
-	fGroups  []*group[K, V]  // groups of found keys, aligned with fKeys
-	fPresent []bool          // net-present after resolve, aligned with fKeys
-	finished []*group[K, V]  // groups completed this pass
-	delSc    []*kmLeaf[K, V] // BatchDeleteInto scratch (removeItems)
-	rankSc   []int           // Seq.RemoveInto rank scratch
-	recSc    []*twothree.SeqLeaf[K]
-	recOrdSc []*twothree.SeqLeaf[K] // removeItems rec-pointer gather
+	keySc    []K               // groupKeys of the pending batch
+	foundSc  []*kmLeaf[K, V]   // BatchGetInto result
+	fKeys    []K               // keys of found groups (sorted subset)
+	fGroups  []*group[K, V]    // groups of found keys, aligned with fKeys
+	fPresent []bool            // net-present after resolve, aligned with fKeys
+	finished []*group[K, V]    // groups completed this pass
+	ms       moveScratch[K, V] // removeItemsInto scratch
 }
 
 // grow returns s[:n], reallocating when the capacity is short.
@@ -47,22 +43,7 @@ func grow[T any](s []T, n int) []T {
 // them as a moveBatch whose slices alias slab scratch — valid until the
 // next pass.
 func (s *slab[K, V]) removeItemsInto(seg *segment[K, V], keys []K) moveBatch[K, V] {
-	if len(keys) == 0 {
-		return moveBatch[K, V]{}
-	}
-	s.delSc = grow(s.delSc, len(keys))
-	kmLeaves := seg.km.BatchDeleteInto(keys, s.delSc)
-	s.recOrdSc = grow(s.recOrdSc, len(kmLeaves))
-	for i, lf := range kmLeaves {
-		if lf == nil {
-			panic(fmt.Sprintf("core: removeItems: key %v absent", keys[i]))
-		}
-		s.recOrdSc[i] = lf.Payload.rec
-	}
-	s.rankSc = grow(s.rankSc, len(kmLeaves))
-	s.recSc = grow(s.recSc, len(kmLeaves))
-	recLeaves := seg.rec.RemoveInto(s.recOrdSc, s.rankSc, s.recSc)
-	return moveBatch[K, V]{kmLeaves: kmLeaves, recLeaves: recLeaves}
+	return s.ms.removeItems(seg, keys)
 }
 
 // pass processes the pending groups at segment k (Section 6.1): search,

@@ -154,6 +154,14 @@ func (t *Tree[K, P]) Flatten() []*Node[K, P] {
 	return appendLeaves(t.root, make([]*Node[K, P], 0, t.Len()))
 }
 
+// FlattenInto is Flatten into caller-owned scratch: all leaves in key
+// order are appended to out[:0] and the extended slice returned, so a
+// caller that flattens repeatedly (M2's snapshot publication) reuses one
+// backing array instead of allocating per flatten.
+func (t *Tree[K, P]) FlattenInto(out []*Node[K, P]) []*Node[K, P] {
+	return appendLeaves(t.root, out[:0])
+}
+
 // Validate checks all structural invariants (test hook).
 func (t *Tree[K, P]) Validate() error { return validate(t.root, true) }
 
