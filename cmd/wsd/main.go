@@ -15,6 +15,9 @@
 //	wsd -coalesce-window 200us   # cross-connection group commit: depth-1
 //	                             # traffic from many clients rides combined
 //	                             # batches (README: tuning -coalesce-window)
+//	wsd -admin 127.0.0.1:6381    # admin HTTP endpoint: Prometheus /metrics,
+//	                             # JSON /statsz (depth and batch-stage
+//	                             # histograms), /debug/pprof
 //
 // Drive it with cmd/wsload, or any client speaking the wire protocol.
 // SIGINT/SIGTERM trigger a graceful shutdown: in-flight batches finish
@@ -26,6 +29,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -45,6 +49,8 @@ func main() {
 		coWin    = flag.Duration("coalesce-window", 0, "cross-connection coalescing window (0 = per-connection batching only)")
 		coBatch  = flag.Int("coalesce-batch", 1024, "coalescing size trigger in ops (with -coalesce-window)")
 		maxScan  = flag.Int("max-scan", 1000, "max pairs per SCAN page (clients page past it with the reply cursor)")
+		admin    = flag.String("admin", "", "admin HTTP listen address (/metrics, /statsz, /debug/pprof); empty = off")
+		workCnt  = flag.Bool("work-counter", false, "count structural work (pointer-machine units) in STATS and /statsz")
 	)
 	flag.Parse()
 
@@ -68,11 +74,27 @@ func main() {
 		MaxScan:        *maxScan,
 		CoalesceWindow: *coWin,
 		CoalesceBatch:  *coBatch,
+		WorkCounter:    *workCnt,
 	})
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("wsd: %v", err)
+	}
+
+	if *admin != "" {
+		al, err := net.Listen("tcp", *admin)
+		if err != nil {
+			log.Fatalf("wsd: admin: %v", err)
+		}
+		log.Printf("wsd: admin endpoint on http://%s (/metrics /statsz /debug/pprof)", al.Addr())
+		go func() {
+			// The admin mux is unauthenticated; bind it to loopback or an
+			// operations network, never the client-facing address.
+			if err := http.Serve(al, srv.AdminHandler()); err != nil {
+				log.Printf("wsd: admin: %v", err)
+			}
+		}()
 	}
 	mode := "per-connection batching"
 	if *coWin > 0 {

@@ -15,6 +15,12 @@
 //	                                        # commands read one cursor page
 //	                                        # (scan latency reported apart)
 //	wsload -json                            # one JSON object per workload
+//	wsload -statsz http://127.0.0.1:6381/statsz
+//	                                        # scrape the server's admin
+//	                                        # endpoint between runs and print
+//	                                        # server-side depth/stage
+//	                                        # percentiles next to the client
+//	                                        # latencies (wsd -admin)
 //
 // Pipeline depth is the interesting knob: the server drains each
 // connection's pipelined requests into one batch Apply, so deeper
@@ -58,6 +64,7 @@ func main() {
 		preload   = flag.Bool("preload", true, "insert every universe key before measuring")
 		seed      = flag.Int64("seed", 1, "generator seed")
 		jsonOut   = flag.Bool("json", false, "emit one JSON object per workload")
+		statsz    = flag.String("statsz", "", "admin /statsz URL to scrape between runs (server-side percentiles)")
 	)
 	flag.Parse()
 
@@ -80,7 +87,7 @@ func main() {
 		if w == "" {
 			continue
 		}
-		rep, err := loadgen.Run(loadgen.Config{
+		cfg := loadgen.Config{
 			Conns:       *conns,
 			Depth:       *depth,
 			Rate:        *rate,
@@ -95,7 +102,27 @@ func main() {
 			ScanSpan:    *scanSpan,
 			Preload:     *preload,
 			Seed:        *seed,
-		}, dial)
+		}
+		// With scraping on, preload runs before the baseline scrape so the
+		// reported server-side interval covers only the measured ops.
+		var prev loadgen.Statsz
+		if *statsz != "" {
+			if cfg.Preload {
+				if err := loadgen.Preload(cfg, dial); err != nil {
+					fmt.Fprintf(os.Stderr, "wsload: %s: preload: %v\n", w, err)
+					ok = false
+					continue
+				}
+				cfg.Preload = false
+			}
+			var err error
+			if prev, err = loadgen.ScrapeStatsz(*statsz); err != nil {
+				fmt.Fprintf(os.Stderr, "wsload: %v\n", err)
+				ok = false
+				continue
+			}
+		}
+		rep, err := loadgen.Run(cfg, dial)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "wsload: %s: %v\n", w, err)
 			ok = false
@@ -111,6 +138,15 @@ func main() {
 			fmt.Println(string(b))
 		} else {
 			fmt.Println(rep.String())
+		}
+		if *statsz != "" {
+			cur, err := loadgen.ScrapeStatsz(*statsz)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "wsload: %v\n", err)
+				ok = false
+				continue
+			}
+			fmt.Println(cur.Summary(prev))
 		}
 	}
 	if !ok {

@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Applier applies the concatenation of batches as one combined batch,
@@ -73,6 +74,10 @@ type Config struct {
 	// time, not by MaxDelay; the full window is only ever waited out when
 	// traffic is ramping down past its previous scale.
 	MaxDelay time.Duration
+	// Stages, when non-nil, receives batch-lifecycle timings: each job's
+	// Submit-to-cut wait (StageQueueWait) and each batch's open-window
+	// time (StageWindowWait). Nil disables the clock reads entirely.
+	Stages *obs.StageSet
 }
 
 func (c Config) withDefaults() Config {
@@ -89,16 +94,17 @@ func (c Config) withDefaults() Config {
 type Stats struct {
 	// Batches is the number of combined batches committed; Ops the total
 	// operations they carried; MaxBatch the largest single combined batch.
-	Batches  int64
-	Ops      int64
-	MaxBatch int64
+	// The JSON form is part of the server's /statsz schema.
+	Batches  int64 `json:"batches"`
+	Ops      int64 `json:"ops"`
+	MaxBatch int64 `json:"max_batch"`
 	// SizeCuts, WindowCuts and DrainCuts split Batches by what triggered
 	// the cut: the batch growing large enough (the MaxBatch threshold or
 	// the adaptive refill-to-previous-size trigger), the MaxDelay window
 	// expiring, or the Close drain.
-	SizeCuts   int64
-	WindowCuts int64
-	DrainCuts  int64
+	SizeCuts   int64 `json:"size_cuts"`
+	WindowCuts int64 `json:"window_cuts"`
+	DrainCuts  int64 `json:"drain_cuts"`
 }
 
 // AvgBatch returns the mean operations per committed combined batch.
@@ -119,6 +125,10 @@ type Job[K cmp.Ordered, V any] struct {
 	Ops []core.Op[K, V]
 	Res []core.Result[V]
 	wg  sync.WaitGroup
+
+	// submitAt is the Submit timestamp (obs.Now), set only when the
+	// coalescer traces stages; commit turns it into the queue-wait.
+	submitAt int64
 }
 
 // Wait blocks until the job's combined batch has been applied and Res is
@@ -210,6 +220,9 @@ func grow[T any](s []T, n int) []T {
 // FIFO and cuts are whole prefixes). Panics if the Coalescer is closed.
 func (c *Coalescer[K, V]) Submit(j *Job[K, V]) {
 	j.wg.Add(1)
+	if c.cfg.Stages != nil {
+		j.submitAt = obs.Now()
+	}
 	c.mu.Lock()
 	if c.closing {
 		c.mu.Unlock()
@@ -325,6 +338,9 @@ func (c *Coalescer[K, V]) run() {
 		// submission order.
 		jobs := c.jobs
 		nops := c.nops
+		if c.cfg.Stages != nil {
+			c.cfg.Stages.Record(obs.StageWindowWait, int64(time.Since(c.firstAt)))
+		}
 		c.jobs = c.free[:0]
 		c.free = jobs
 		c.nops = 0
@@ -338,6 +354,12 @@ func (c *Coalescer[K, V]) run() {
 // commit applies one cut as a single combined batch and releases its
 // submitters.
 func (c *Coalescer[K, V]) commit(jobs []*Job[K, V], nops int, cause cutCause) {
+	if st := c.cfg.Stages; st != nil {
+		cutAt := obs.Now()
+		for _, j := range jobs {
+			st.Record(obs.StageQueueWait, cutAt-j.submitAt)
+		}
+	}
 	c.batches = grow(c.batches, len(jobs))
 	c.dsts = grow(c.dsts, len(jobs))
 	for i, j := range jobs {

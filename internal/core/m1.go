@@ -10,6 +10,7 @@ import (
 	"repro/internal/esort"
 	"repro/internal/locks"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/pbuffer"
 )
 
@@ -23,6 +24,11 @@ type Config struct {
 	Pivot esort.PivotStrategy
 	// Counter, when non-nil, accumulates structural work for experiments.
 	Counter *metrics.Counter
+	// Obs, when non-nil, receives the engine's depth telemetry: per
+	// lookup, which structure answered it and at what segment index
+	// (internal/obs). Recording is per resolved group — a few atomic
+	// adds — so the hot path keeps its allocation ceilings.
+	Obs *obs.EngineObs
 	// RecordLinearization, when set, makes the engine log the linearization
 	// it induces (batch order; per key, arrival order) so experiments can
 	// compute the working-set bound W_L it must be measured against.
@@ -92,6 +98,7 @@ func NewM1[K cmp.Ordered, V any](cfg Config) *M1[K, V] {
 		rec:  &opRecorder[K, V]{on: cfg.RecordLinearization},
 	}
 	m.slab.cnt = cfg.Counter
+	m.slab.obs = cfg.Obs
 	m.slab.pools = newSegPools[K, V]()
 	m.act = locks.NewActivation(
 		func() bool { return m.pb.Len() > 0 || m.feedA.Load() > 0 },
@@ -233,10 +240,12 @@ func (m *M1[K, V]) runSegments(groups []*group[K, V]) {
 func (m *M1[K, V]) finishBatch(pending []*group[K, V]) {
 	insKeys := m.insKeys[:0]
 	insVals := m.insVals[:0]
+	tailCalls := 0
 	for _, g := range pending {
 		if g.resolved {
 			continue // deletion resolved when its item was found
 		}
+		tailCalls += len(g.calls)
 		var zero V
 		p, v := g.resolve(false, zero)
 		if p {
@@ -244,6 +253,7 @@ func (m *M1[K, V]) finishBatch(pending []*group[K, V]) {
 			insVals = append(insVals, v)
 		}
 	}
+	m.cfg.Obs.RecordLookup(obs.SrcTail, len(m.slab.segs), tailCalls)
 	m.insKeys, m.insVals = insKeys, insVals
 	if len(insKeys) > 0 {
 		m.slab.appendNew(insKeys, insVals, 0)

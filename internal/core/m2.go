@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/esort"
 	"repro/internal/locks"
+	"repro/internal/obs"
 	"repro/internal/pbuffer"
 	"repro/internal/sched"
 	"repro/internal/twothree"
@@ -207,6 +208,7 @@ func NewM2[K cmp.Ordered, V any](cfg Config) *M2[K, V] {
 		nlock0: locks.NewDedicated(2),
 	}
 	m.first.cnt = cfg.Counter
+	m.first.obs = cfg.Obs
 	m.first.pools = newSegPools[K, V]()
 	m.first.segs = make([]*segment[K, V], mSeg)
 	for k := 0; k < mSeg; k++ {
@@ -387,10 +389,12 @@ func (m *M2[K, V]) finishRanges() {
 func (m *M2[K, V]) finishInFirstSlab(pending []*group[K, V]) int {
 	var insKeys []K
 	var insVals []V
+	tailCalls := 0
 	for _, g := range pending {
 		if g.resolved {
 			continue // tagged deletion: already resolved in the first slab
 		}
+		tailCalls += len(g.calls)
 		var zero V
 		p, v := g.resolve(false, zero)
 		if p {
@@ -398,6 +402,7 @@ func (m *M2[K, V]) finishInFirstSlab(pending []*group[K, V]) int {
 			insVals = append(insVals, v)
 		}
 	}
+	m.cfg.Obs.RecordLookup(obs.SrcTail, m.mSeg, tailCalls)
 	if len(insKeys) > 0 {
 		overflow := m.first.appendNew(insKeys, insVals, m.mSeg)
 		if overflow.len() > 0 {
@@ -427,8 +432,12 @@ func (m *M2[K, V]) filterAndForward(pending []*group[K, V]) {
 	found := m.flt.tree.BatchGetInto(keys, m.fltFoundSc)
 	fwd := m.fwdSc[:0]
 	items := m.fltItemSc[:0]
+	absorbed := 0
 	for i, g := range pending {
 		if found[i] != nil {
+			// Answered by the filter: the in-flight entry's replay will
+			// resolve these calls, at the depth the filter guards.
+			absorbed += len(g.calls)
 			e := found[i].Payload
 			e.pending = append(e.pending, g)
 			continue
@@ -446,6 +455,7 @@ func (m *M2[K, V]) filterAndForward(pending []*group[K, V]) {
 		items = append(items, twothree.Item[K, *fentry[K, V]]{Key: g.key, Payload: e})
 		fwd = append(fwd, g)
 	}
+	m.cfg.Obs.RecordLookup(obs.SrcFilter, m.mSeg, absorbed)
 	if len(items) > 0 {
 		m.flt.tree.BatchUpsert(items)
 		m.flt.size.Add(int64(len(items)))
@@ -649,7 +659,17 @@ func (f *fseg[K, V]) runLocked(pos int) (sizeDelta int) {
 		}
 	}
 
-	// 4c: consult the filter for each found item.
+	// 4c: consult the filter for each found item. Every travelling group
+	// found here is answered at this segment (its entry's replay resolves
+	// it, present or net-deleted); absorbed groups riding the same entry
+	// were attributed to the filter when they joined it.
+	if eo := m.cfg.Obs; eo != nil {
+		n := 0
+		for _, g := range fGroups {
+			n += len(g.calls)
+		}
+		eo.RecordLookup(obs.SrcFinalSlab, f.k, n)
+	}
 	f.fPresent = grow(f.fPresent, len(fGroups))
 	f.fVals = grow(f.fVals, len(fGroups))
 	for i, g := range fGroups {
@@ -819,9 +839,17 @@ func (f *fseg[K, V]) resolveTerminal(a []*group[K, V], target *segment[K, V], po
 	m := f.m2
 	insKeys := f.insKeysSc[:0]
 	insVals := f.insValsSc[:0]
+	tailCalls := 0
 	for _, g := range a {
 		if f.inRPrime(g.key) {
 			continue
+		}
+		if !g.resolved {
+			// Reached the end of the structure unresolved: a miss or a
+			// fresh insert. (Resolved travellers — net deletions answered
+			// at an earlier segment, tagged first-slab deletions — were
+			// recorded where they resolved.)
+			tailCalls += len(g.calls)
 		}
 		leaf, ok := m.flt.tree.Get(g.key)
 		if !ok {
@@ -838,6 +866,7 @@ func (f *fseg[K, V]) resolveTerminal(a []*group[K, V], target *segment[K, V], po
 		m.flt.tree.Delete(g.key)
 		m.flt.size.Add(-1)
 	}
+	m.cfg.Obs.RecordLookup(obs.SrcTail, f.k+1, tailCalls)
 	if len(insKeys) > 0 {
 		target.pushFront(newItems(insKeys, insVals, insKeys))
 		if pos >= 1 {

@@ -2,6 +2,8 @@ package core
 
 import (
 	"cmp"
+
+	"repro/internal/obs"
 )
 
 // Batched range reads. OpRange operations travel through the same parallel
@@ -82,15 +84,20 @@ func splitRangeCalls[K cmp.Ordered, V any](batch, ranges []*call[K, V]) (points,
 // snapshots and a per-call filter overlay collected by ov. Caller must
 // guarantee the sources are stable for the duration (M1: inside the
 // engine run; M2: under nlock0+FL[0], see M2.serveRanges).
-func serveRangeCalls[K cmp.Ordered, V any](segs []*segment[K, V], snaps []*segSnap[K, V], ov func(lo, hi K) []ovKV[K, V], sc *rangeScratch[K, V], calls []*call[K, V]) {
+func serveRangeCalls[K cmp.Ordered, V any](segs []*segment[K, V], snaps []*segSnap[K, V], ov func(lo, hi K) []ovKV[K, V], sc *rangeScratch[K, V], calls []*call[K, V], eo *obs.EngineObs) {
+	var nLive, nSnap, nOv int
 	for _, c := range calls {
 		var overlay []ovKV[K, V]
 		if ov != nil && c.op.Range != nil && c.op.Key < c.op.Range.Hi {
 			overlay = ov(c.op.Key, c.op.Range.Hi)
 		}
-		serveOneRange(segs, snaps, overlay, sc, c)
+		l, s, o := serveOneRange(segs, snaps, overlay, sc, c)
+		nLive += l
+		nSnap += s
+		nOv += o
 		c.complete()
 	}
+	eo.RecordRange(len(calls), nLive, nSnap, nOv)
 	// The runs and the overlay hold key/value copies; don't pin them past
 	// the batch.
 	clear(sc.kvs)
@@ -101,8 +108,9 @@ func serveRangeCalls[K cmp.Ordered, V any](segs []*segment[K, V], snaps []*segSn
 
 // serveOneRange fills one call's RangeReq.Out with the first Limit pairs
 // of [lo, hi) (lo exclusive under XLo) and sets the call's Result.OK to
-// the truncation verdict.
-func serveOneRange[K cmp.Ordered, V any](segs []*segment[K, V], snaps []*segSnap[K, V], overlay []ovKV[K, V], sc *rangeScratch[K, V], c *call[K, V]) {
+// the truncation verdict. It reports the emitted pairs per source class
+// (live segment trees, snapshots, overlay) for depth telemetry.
+func serveOneRange[K cmp.Ordered, V any](segs []*segment[K, V], snaps []*segSnap[K, V], overlay []ovKV[K, V], sc *rangeScratch[K, V], c *call[K, V]) (nLive, nSnap, nOv int) {
 	req := c.op.Range
 	c.res = Result[V]{}
 	if req == nil {
@@ -186,6 +194,7 @@ func serveOneRange[K cmp.Ordered, V any](segs []*segment[K, V], snaps []*segSnap
 		var k K
 		var v V
 		emit := true
+		src := -1 // emitted from the overlay unless a source cursor wins
 		if haveOv && (!haveSrc || overlay[ov].key <= sc.kvs[sc.cur[best]].Key) {
 			e := overlay[ov]
 			ov++
@@ -198,6 +207,7 @@ func serveOneRange[K cmp.Ordered, V any](segs []*segment[K, V], snaps []*segSnap
 		} else {
 			k, v = sc.kvs[sc.cur[best]].Key, sc.kvs[sc.cur[best]].Val
 			sc.cur[best]++
+			src = best
 		}
 		if req.XLo && k == lo {
 			continue
@@ -210,15 +220,24 @@ func serveOneRange[K cmp.Ordered, V any](segs []*segment[K, V], snaps []*segSnap
 			break
 		}
 		out = append(out, KV[K, V]{Key: k, Val: v})
+		switch {
+		case src < 0:
+			nOv++
+		case src < len(segs):
+			nLive++
+		default:
+			nSnap++
+		}
 	}
 	req.Out = out
 	c.res = Result[V]{OK: truncated || anyFull}
+	return nLive, nSnap, nOv
 }
 
 // serveRanges is the M1 half: ranges run at the very end of the engine
 // batch, against the slab the batch just finished mutating.
 func (m *M1[K, V]) serveRanges(calls []*call[K, V]) {
-	serveRangeCalls(m.slab.segs, nil, nil, &m.rangeSc, calls)
+	serveRangeCalls(m.slab.segs, nil, nil, &m.rangeSc, calls, m.cfg.Obs)
 }
 
 // serveRanges is the M2 half: the interface (running here) composes the
@@ -262,7 +281,7 @@ func (m *M2[K, V]) serveRanges(calls []*call[K, V]) {
 	serveRangeCalls(segs, snaps, func(lo, hi K) []ovKV[K, V] {
 		m.rangeSc.overlay = m.collectOverlay(lo, hi, snaps, m.rangeSc.overlay[:0])
 		return m.rangeSc.overlay
-	}, &m.rangeSc, calls)
+	}, &m.rangeSc, calls, m.cfg.Obs)
 
 	m.fl0.Release()
 	m.nlock0.Release()

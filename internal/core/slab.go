@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // slab is a run of consecutive working-set segments processed M1-style:
@@ -19,6 +20,7 @@ import (
 type slab[K cmp.Ordered, V any] struct {
 	segs  []*segment[K, V]
 	cnt   *metrics.Counter
+	obs   *obs.EngineObs // depth telemetry sink (nil = off)
 	pools segPools[K, V] // shared node free-lists for every segment's trees
 
 	keySc    []K               // groupKeys of the pending batch
@@ -72,6 +74,13 @@ func (s *slab[K, V]) pass(k int, pending []*group[K, V]) (next []*group[K, V], s
 	}
 	s.fKeys, s.fGroups = fKeys, fGroups
 	if len(fKeys) > 0 {
+		if s.obs != nil {
+			n := 0
+			for _, g := range fGroups {
+				n += len(g.calls)
+			}
+			s.obs.RecordLookup(obs.SrcFirstSlab, k, n)
+		}
 		mb := s.removeItemsInto(seg, fKeys)
 		s.fPresent = grow(s.fPresent, len(fGroups))
 		finished := s.finished[:0]

@@ -80,11 +80,12 @@ func (c *Counter) Reset() {
 	c.moves.Store(0)
 }
 
-// Snapshot is an immutable copy of a Counter's values.
+// Snapshot is an immutable copy of a Counter's values. The JSON form is
+// part of the server's /statsz schema.
 type Snapshot struct {
-	Work        int64
-	Comparisons int64
-	Moves       int64
+	Work        int64 `json:"visits"`
+	Comparisons int64 `json:"comparisons"`
+	Moves       int64 `json:"moves"`
 }
 
 // Snapshot returns the current values.

@@ -1,0 +1,79 @@
+package obs
+
+// Stage identifies one step of a batch's lifecycle, from the wire to
+// the reply. Stage timings are recorded per batch (or per pipeline),
+// never per operation, so tracing costs a couple of clock reads per
+// batch no matter how many operations rode it.
+type Stage uint8
+
+const (
+	// StageParse is the reader half decoding a pipeline: from the first
+	// (blocking) command of the pipeline to the end of the non-blocking
+	// drain. The idle wait for the first command is excluded — it
+	// measures the client, not the server.
+	StageParse Stage = iota
+	// StageQueueWait is a coalesced job's time from Submit to its
+	// combined batch being cut (per job).
+	StageQueueWait
+	// StageWindowWait is the coalescer's open-window time: from the
+	// first job entering an empty queue to the cut (per batch).
+	StageWindowWait
+	// StageFanout is the shard map splitting a combined batch and
+	// submitting the per-shard sub-batches (counting-sort + submit).
+	StageFanout
+	// StageApply is the engine-apply wait: from the last sub-batch
+	// submitted to the last result collected.
+	StageApply
+	// StageReply is rendering a batch's replies into the write buffer.
+	StageReply
+
+	// NumStages is the number of lifecycle stages.
+	NumStages = int(StageReply) + 1
+)
+
+var stageNames = [NumStages]string{
+	"parse", "queue_wait", "window_wait", "fanout", "apply", "reply",
+}
+
+// String returns the stage's stable snake_case name (used as STATS and
+// /statsz keys; frozen by the server's golden test).
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// StageSet is a fixed set of per-stage duration histograms (values in
+// nanoseconds). Nil-receiver safe like everything in this package.
+type StageSet struct {
+	h [NumStages]Histogram
+}
+
+// Record adds one duration observation (in nanoseconds) to stage st.
+func (s *StageSet) Record(st Stage, ns int64) {
+	if s == nil {
+		return
+	}
+	s.h[st].Record(ns)
+}
+
+// RecordSince records the time elapsed since a Now() timestamp.
+func (s *StageSet) RecordSince(st Stage, start int64) {
+	if s == nil {
+		return
+	}
+	s.h[st].Record(Since(start))
+}
+
+// Snapshot returns a snapshot of every stage histogram.
+func (s *StageSet) Snapshot() [NumStages]HistSnapshot {
+	var out [NumStages]HistSnapshot
+	if s == nil {
+		return out
+	}
+	for i := range s.h {
+		out[i] = s.h[i].Snapshot()
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+// Admin endpoint: an HTTP mux exposing the server's telemetry for
+// scraping and profiling, served on a separate listener from the wire
+// protocol (wsd -admin). Three surfaces over the same snapshots that
+// back STATS:
+//
+//   - /metrics  — Prometheus text exposition: the merged working-set
+//     depth histogram, per-source resolution counters, the batch-stage
+//     duration histograms (in seconds), and the server's scalar
+//     counters.
+//   - /statsz   — JSON with full (trimmed) histogram buckets, so a
+//     client can reconstruct snapshots with obs.FromBuckets, diff two
+//     scrapes with HistSnapshot.Sub, and quantile the interval — this
+//     is how wsload reports server-side percentiles per run.
+//   - /debug/pprof/* — the standard Go profiles.
+//
+// Reading telemetry never locks the data path: every histogram read is
+// an atomic snapshot.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+
+	"repro/internal/coalesce"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+)
+
+// statszHist is one histogram in the /statsz reply: scalar summary plus
+// the trimmed bucket counts (log-bucketed, bucket i covers
+// [2^(i-1), 2^i)) from which obs.FromBuckets reconstructs the snapshot.
+type statszHist struct {
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+	Max     int64   `json:"max"`
+	P50     float64 `json:"p50"`
+	P95     float64 `json:"p95"`
+	P99     float64 `json:"p99"`
+	Buckets []int64 `json:"buckets,omitempty"`
+}
+
+func toStatszHist(h obs.HistSnapshot) statszHist {
+	return statszHist{
+		Count:   h.Count,
+		Sum:     h.Sum,
+		Max:     h.Max,
+		P50:     h.Quantile(0.50),
+		P95:     h.Quantile(0.95),
+		P99:     h.Quantile(0.99),
+		Buckets: h.TrimmedBuckets(),
+	}
+}
+
+// statszRange is the range-serving tally: batches served and pairs
+// emitted per source class.
+type statszRange struct {
+	Batches      int64 `json:"batches"`
+	PairsLive    int64 `json:"pairs_live"`
+	PairsSnap    int64 `json:"pairs_snap"`
+	PairsOverlay int64 `json:"pairs_overlay"`
+}
+
+// statszReply is the /statsz JSON document.
+type statszReply struct {
+	Engine       string                `json:"engine"`
+	Shards       int                   `json:"shards"`
+	Keys         int                   `json:"keys"`
+	Server       Stats                 `json:"server"`
+	Coalesce     *coalesce.Stats       `json:"coalesce,omitempty"`
+	Depth        statszHist            `json:"depth"`
+	DepthSources map[string]int64      `json:"depth_sources"`
+	Range        statszRange           `json:"range"`
+	Stages       map[string]statszHist `json:"stages"`
+	Work         *metrics.Snapshot     `json:"work,omitempty"`
+}
+
+// statsz builds the /statsz reply document.
+func (s *Server) statsz() statszReply {
+	r := statszReply{
+		Engine: s.Engine(),
+		Shards: s.store.Shards(),
+		Keys:   s.store.Len(),
+		Server: s.Stats(),
+	}
+	if cs, ok := s.Coalesced(); ok {
+		r.Coalesce = &cs
+	}
+	es := s.obsm.DepthSnapshot()
+	r.Depth = toStatszHist(es.Depth)
+	r.DepthSources = make(map[string]int64, obs.NumDepthSources)
+	for i := 0; i < obs.NumDepthSources; i++ {
+		r.DepthSources[obs.DepthSource(i).String()] = es.Sources[i]
+	}
+	r.Range = statszRange{
+		Batches:      es.RangeBatches,
+		PairsLive:    es.RangePairsLive,
+		PairsSnap:    es.RangePairsSnap,
+		PairsOverlay: es.RangePairsOverlay,
+	}
+	ss := s.obsm.Stages().Snapshot()
+	r.Stages = make(map[string]statszHist, obs.NumStages)
+	for i := range ss {
+		r.Stages[obs.Stage(i).String()] = toStatszHist(ss[i])
+	}
+	if s.work != nil {
+		ws := s.work.Snapshot()
+		r.Work = &ws
+	}
+	return r
+}
+
+// AdminHandler returns the admin HTTP mux: /metrics (Prometheus),
+// /statsz (JSON) and /debug/pprof/*. Serve it on its own listener —
+// the admin surface has no authentication and belongs on a loopback or
+// operations network, not the client-facing address.
+func (s *Server) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.serveMetrics)
+	mux.HandleFunc("/statsz", s.serveStatsz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (s *Server) serveStatsz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.statsz())
+}
+
+func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	st := s.Stats()
+	scalar := func(name, typ string, v int64) {
+		fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", name, typ, name, v)
+	}
+	writeGauge := func(name string, v int64) { scalar(name, "gauge", v) }
+	writeCounter := func(name string, v int64) { scalar(name, "counter", v) }
+	writeGauge("wsd_keys", int64(s.store.Len()))
+	writeGauge("wsd_shards", int64(s.store.Shards()))
+	writeGauge("wsd_conns", st.ActiveConns)
+	writeCounter("wsd_conns_total", st.TotalConns)
+	writeCounter("wsd_conns_rejected_total", st.RejectedConns)
+	writeCounter("wsd_batches_total", st.Batches)
+	writeCounter("wsd_ops_total", st.Ops)
+	writeGauge("wsd_batch_max", st.MaxBatch)
+	writeCounter("wsd_gets_total", st.Gets)
+	writeCounter("wsd_sets_total", st.Sets)
+	writeCounter("wsd_dels_total", st.Dels)
+	writeCounter("wsd_scans_total", st.Scans)
+	writeCounter("wsd_errors_total", st.Errors)
+	if cs, ok := s.Coalesced(); ok {
+		writeCounter("wsd_coalesce_size_cuts_total", cs.SizeCuts)
+		writeCounter("wsd_coalesce_window_cuts_total", cs.WindowCuts)
+		writeCounter("wsd_coalesce_drain_cuts_total", cs.DrainCuts)
+	}
+	if s.work != nil {
+		ws := s.work.Snapshot()
+		writeCounter("wsd_work_visits_total", ws.Work)
+		writeCounter("wsd_work_comparisons_total", ws.Comparisons)
+		writeCounter("wsd_work_moves_total", ws.Moves)
+	}
+	es := s.obsm.DepthSnapshot()
+	// The depth histogram's unit is a segment index, already integral:
+	// scale 1 keeps the bucket bounds exact.
+	es.Depth.WriteProm(w, "wsd_lookup_depth", "", 1)
+	fmt.Fprintf(w, "# TYPE wsd_lookup_source_total counter\n")
+	for i := 0; i < obs.NumDepthSources; i++ {
+		fmt.Fprintf(w, "wsd_lookup_source_total{source=%q} %d\n",
+			obs.DepthSource(i).String(), es.Sources[i])
+	}
+	ss := s.obsm.Stages().Snapshot()
+	for i := range ss {
+		// Stage durations are nanoseconds; 1e-9 emits Prometheus base
+		// seconds.
+		ss[i].WriteProm(w, "wsd_stage_"+obs.Stage(i).String()+"_seconds", "", 1e-9)
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	pws "repro"
 	"repro/internal/coalesce"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -166,6 +167,13 @@ func (c *conn) readPipeline() (firstErr, drainErr error) {
 	if err != nil {
 		return err, nil
 	}
+	// Parse timing starts after the blocking read: the wait for the first
+	// command measures the client's think time, not the server's decode.
+	var t0 int64
+	st := c.srv.stages()
+	if st != nil {
+		t0 = obs.Now()
+	}
 	c.cmds = append(c.cmds[:0], cmd)
 	for len(c.cmds) < c.srv.cfg.MaxPipeline && c.r.Buffered() > 0 {
 		next, err := c.r.ReadCommand()
@@ -174,6 +182,7 @@ func (c *conn) readPipeline() (firstErr, drainErr error) {
 		}
 		c.cmds = append(c.cmds, next)
 	}
+	st.RecordSince(obs.StageParse, t0)
 	return nil, nil
 }
 
@@ -228,7 +237,13 @@ func (c *conn) writeLoop() {
 		switch cj.kind {
 		case jobMap:
 			cj.job.Wait()
+			var t0 int64
+			st := c.srv.stages()
+			if st != nil {
+				t0 = obs.Now()
+			}
 			c.renderReplies(cj.pending, cj.job.Res)
+			st.RecordSince(obs.StageReply, t0)
 		case jobPing:
 			c.w.WriteSimple("PONG")
 		case jobQuit:
@@ -499,7 +514,13 @@ func (c *conn) flushBatch() {
 	res := s.store.ApplyInto(c.ops, c.res[:0])
 	c.res = res
 	s.st.recordBatch(len(c.ops))
+	var t0 int64
+	st := s.stages()
+	if st != nil {
+		t0 = obs.Now()
+	}
 	c.renderReplies(c.pending, res)
+	st.RecordSince(obs.StageReply, t0)
 	c.ops = c.ops[:0]
 	c.pending = c.pending[:0]
 }

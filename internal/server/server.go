@@ -38,12 +38,14 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	pws "repro"
 	"repro/internal/coalesce"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -87,6 +89,12 @@ type Config struct {
 	// CoalesceBatch is the coalescer's size trigger in operations
 	// (default 1024; only meaningful with CoalesceWindow > 0).
 	CoalesceBatch int
+	// WorkCounter attaches a structural-work counter (pointer-machine
+	// units: node visits, comparisons, item moves) to the map, surfaced
+	// in STATS and /statsz. Off by default — unlike the depth/stage
+	// telemetry it adds atomic traffic proportional to structural work,
+	// not to batches.
+	WorkCounter bool
 }
 
 func (c Config) withDefaults() Config {
@@ -108,21 +116,22 @@ func (c Config) withDefaults() Config {
 type Stats struct {
 	// ActiveConns and TotalConns count current and lifetime connections;
 	// RejectedConns counts connections turned away at the MaxConns limit.
-	ActiveConns   int64
-	TotalConns    int64
-	RejectedConns int64
+	// The JSON form is part of the /statsz schema.
+	ActiveConns   int64 `json:"conns"`
+	TotalConns    int64 `json:"total_conns"`
+	RejectedConns int64 `json:"rejected_conns"`
 	// Batches is the number of batch Applies submitted; Ops the total
 	// map operations in them; MaxBatch the largest single batch.
-	Batches  int64
-	Ops      int64
-	MaxBatch int64
+	Batches  int64 `json:"batches"`
+	Ops      int64 `json:"ops"`
+	MaxBatch int64 `json:"max_batch"`
 	// Per-op counters (MGET counts toward Gets, MSET toward Sets).
-	Gets  int64
-	Sets  int64
-	Dels  int64
-	Scans int64
+	Gets  int64 `json:"gets"`
+	Sets  int64 `json:"sets"`
+	Dels  int64 `json:"dels"`
+	Scans int64 `json:"scans"`
 	// Errors counts error replies written (bad arity, unknown commands).
-	Errors int64
+	Errors int64 `json:"errors"`
 }
 
 // AvgBatch returns the mean operations per submitted batch.
@@ -187,6 +196,14 @@ type Server struct {
 	// through it instead of applying their own batches (see conn.go).
 	co *coalesce.Coalescer[string, string]
 
+	// obsm is the map's telemetry bundle — per-shard working-set depth
+	// histograms plus the batch-stage histograms — always on for servers
+	// built with New (recording is alloc-free; see DESIGN.md
+	// "Observability").
+	obsm *pws.MapTelemetry
+	// work is the structural-work counter, nil unless Config.WorkCounter.
+	work *pws.WorkCounter
+
 	mu        sync.Mutex
 	conns     map[*conn]struct{}
 	listeners map[net.Listener]struct{}
@@ -202,17 +219,24 @@ type Server struct {
 // New creates a Server and its underlying sharded map.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	var work *pws.WorkCounter
+	if cfg.WorkCounter {
+		work = &pws.WorkCounter{}
+	}
 	s := &Server{
 		cfg: cfg,
 		store: pws.NewSharded[string, string](pws.ShardedOptions{
-			Options: pws.Options{P: cfg.P},
-			Shards:  cfg.Shards,
-			Engine:  cfg.Engine,
+			Options:   pws.Options{P: cfg.P, Counter: work},
+			Shards:    cfg.Shards,
+			Engine:    cfg.Engine,
+			Telemetry: true,
 		}),
+		work:      work,
 		conns:     make(map[*conn]struct{}),
 		listeners: make(map[net.Listener]struct{}),
 		closedCh:  make(chan struct{}),
 	}
+	s.obsm = s.store.Obs()
 	if cfg.CoalesceWindow > 0 {
 		// The applier is the single point where combined batches touch
 		// the map; it feeds the server's batch counters, which therefore
@@ -222,6 +246,7 @@ func New(cfg Config) *Server {
 		s.co = coalesce.New(coalesce.Config{
 			MaxBatch: cfg.CoalesceBatch,
 			MaxDelay: cfg.CoalesceWindow,
+			Stages:   s.obsm.Stages(),
 		}, func(batches [][]pws.Op[string, string], dsts [][]pws.Result[string]) {
 			n := 0
 			for _, b := range batches {
@@ -245,6 +270,15 @@ func (s *Server) Coalesced() (coalesce.Stats, bool) {
 
 // Stats returns a snapshot of the server counters.
 func (s *Server) Stats() Stats { return s.st.snapshot() }
+
+// Obs returns the map's telemetry bundle (depth and stage histograms).
+func (s *Server) Obs() *pws.MapTelemetry { return s.obsm }
+
+// Work returns the structural-work counter, nil unless Config.WorkCounter.
+func (s *Server) Work() *pws.WorkCounter { return s.work }
+
+// stages returns the batch-stage histogram set; nil-safe to record on.
+func (s *Server) stages() *obs.StageSet { return s.obsm.Stages() }
 
 // Shards returns the shard count of the underlying map.
 func (s *Server) Shards() int { return s.store.Shards() }
@@ -435,5 +469,49 @@ func (s *Server) statsText() string {
 			"coalesce_window %s\ncoalesce_size_cuts %d\ncoalesce_window_cuts %d\ncoalesce_drain_cuts %d\n",
 			s.cfg.CoalesceWindow, cs.SizeCuts, cs.WindowCuts, cs.DrainCuts)
 	}
-	return base
+	return base + s.statsTelemetry()
+}
+
+// statsTelemetry renders the STATS telemetry sections: the merged
+// working-set depth histogram with its per-source split and range
+// tallies, the optional structural-work counters, and one histo block
+// per batch stage. Key names and section order are frozen by
+// TestStatsTextGolden.
+func (s *Server) statsTelemetry() string {
+	mo := s.obsm
+	if mo == nil {
+		return ""
+	}
+	var b strings.Builder
+	es := mo.DepthSnapshot()
+	b.WriteString("SECTION depth\n")
+	for i := 0; i < obs.NumDepthSources; i++ {
+		fmt.Fprintf(&b, "depth_src_%s %d\n", obs.DepthSource(i), es.Sources[i])
+	}
+	fmt.Fprintf(&b,
+		"range_batches %d\nrange_pairs_live %d\nrange_pairs_snap %d\nrange_pairs_overlay %d\n",
+		es.RangeBatches, es.RangePairsLive, es.RangePairsSnap, es.RangePairsOverlay)
+	histoBlock(&b, "depth", es.Depth)
+	if s.work != nil {
+		ws := s.work.Snapshot()
+		fmt.Fprintf(&b, "SECTION work\nwork_visits %d\nwork_comparisons %d\nwork_moves %d\nwork_total %d\n",
+			ws.Work, ws.Comparisons, ws.Moves, ws.Total())
+	}
+	b.WriteString("SECTION stages\n")
+	ss := mo.Stages().Snapshot()
+	for i := range ss {
+		histoBlock(&b, "stage_"+obs.Stage(i).String(), ss[i])
+	}
+	return b.String()
+}
+
+// histoBlock writes one "SECTION histo <name>" block: count, quantiles
+// (linear-interpolated within the covering power-of-two bucket) and max,
+// in the histogram's native unit — segment index for depth, nanoseconds
+// for stages.
+func histoBlock(b *strings.Builder, name string, h obs.HistSnapshot) {
+	fmt.Fprintf(b, "SECTION histo %s\n%s_count %d\n%s_p50 %.2f\n%s_p95 %.2f\n%s_p99 %.2f\n%s_max %d\n",
+		name, name, h.Count,
+		name, h.Quantile(0.5), name, h.Quantile(0.95), name, h.Quantile(0.99),
+		name, h.Max)
 }

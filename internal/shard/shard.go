@@ -30,6 +30,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/esort"
 	"repro/internal/locks"
+	"repro/internal/obs"
 )
 
 // Engine selects the per-shard working-set map implementation.
@@ -52,6 +53,10 @@ type Config struct {
 	// defaults to max(2, GOMAXPROCS/S) so the shards divide the machine
 	// instead of each sizing its batches for the whole machine.
 	Shard core.Config
+	// Telemetry, when set, equips the map with an obs.MapObs: one depth
+	// sink per shard (overriding Shard.Obs) plus the fanout/apply stage
+	// histograms, retrievable via Map.Obs.
+	Telemetry bool
 }
 
 // engineMap is the per-shard surface shared by core.M1 and core.M2.
@@ -77,6 +82,11 @@ type engineMap[K cmp.Ordered, V any] interface {
 type Map[K cmp.Ordered, V any] struct {
 	seed   maphash.Seed
 	shards []engineMap[K, V]
+
+	// mobs is the map's telemetry bundle (nil without Config.Telemetry);
+	// stages caches mobs.Stages() so the hot path pays one nil check.
+	mobs   *obs.MapObs
+	stages *obs.StageSet
 
 	// workers are the persistent per-shard collectors behind Apply: one
 	// long-lived goroutine per shard that drives the shard's engine and
@@ -132,12 +142,20 @@ func New[K cmp.Ordered, V any](cfg Config) *Map[K, V] {
 		seed:   maphash.MakeSeed(),
 		shards: make([]engineMap[K, V], s),
 	}
+	if cfg.Telemetry {
+		m.mobs = obs.NewMapObs(s)
+		m.stages = m.mobs.Stages()
+	}
 	for i := range m.shards {
+		sc := sub
+		if m.mobs != nil {
+			sc.Obs = m.mobs.Engine(i)
+		}
 		switch cfg.Engine {
 		case EngineM2:
-			m.shards[i] = core.NewM2[K, V](sub)
+			m.shards[i] = core.NewM2[K, V](sc)
 		default:
-			m.shards[i] = core.NewM1[K, V](sub)
+			m.shards[i] = core.NewM1[K, V](sc)
 		}
 	}
 	m.workers = make([]chan applyJob[K, V], s)
@@ -153,6 +171,10 @@ func New[K cmp.Ordered, V any](cfg Config) *Map[K, V] {
 	}
 	return m
 }
+
+// Obs returns the map's telemetry bundle (nil unless Config.Telemetry
+// was set; the nil is safe to use — every obs method no-ops on it).
+func (m *Map[K, V]) Obs() *obs.MapObs { return m.mobs }
 
 // shardOf returns the shard index owning key k.
 func (m *Map[K, V]) shardOf(k K) int {
@@ -365,8 +387,17 @@ func (m *Map[K, V]) ApplyScattered(batches [][]core.Op[K, V], dsts [][]core.Resu
 	if total == 0 {
 		return
 	}
+	// Stage timing is per batch (two clock reads when enabled), recorded
+	// as fanout (split + submit) and apply (submit to last result).
+	var t0 int64
+	if m.stages != nil {
+		t0 = obs.Now()
+	}
 	if len(m.shards) == 1 {
-		m.shards[0].ApplyAsyncMulti(batches).CollectScattered(dsts)
+		pend := m.shards[0].ApplyAsyncMulti(batches)
+		tApply := m.markFanout(t0)
+		pend.CollectScattered(dsts)
+		m.stages.RecordSince(obs.StageApply, tApply)
 		return
 	}
 
@@ -408,7 +439,10 @@ func (m *Map[K, V]) ApplyScattered(batches [][]core.Op[K, V], dsts [][]core.Resu
 	if nonEmpty == 1 {
 		// Single-shard fast path: submission order is already sub-batch
 		// order, so the engine can take the batches as they are.
-		m.shards[single].ApplyAsyncMulti(batches).CollectScattered(dsts)
+		pend := m.shards[single].ApplyAsyncMulti(batches)
+		tApply := m.markFanout(t0)
+		pend.CollectScattered(dsts)
+		m.stages.RecordSince(obs.StageApply, tApply)
 		return
 	}
 
@@ -448,6 +482,7 @@ func (m *Map[K, V]) ApplyScattered(batches [][]core.Op[K, V], dsts [][]core.Resu
 		sc.pend[s] = m.shards[s].ApplyAsync(sc.subOps[lo:hi])
 		last = s
 	}
+	tApply := m.markFanout(t0)
 	for s := range m.shards {
 		lo, hi := sc.starts[s], cursor[s]
 		if lo == hi || s == last {
@@ -458,6 +493,7 @@ func (m *Map[K, V]) ApplyScattered(batches [][]core.Op[K, V], dsts [][]core.Resu
 	}
 	sc.pend[last].Collect(sc.subRes[sc.starts[last]:cursor[last]])
 	sc.wg.Wait()
+	m.stages.RecordSince(obs.StageApply, tApply)
 
 	// Scatter: results return to each submitter's own slice.
 	i = 0
@@ -468,6 +504,17 @@ func (m *Map[K, V]) ApplyScattered(batches [][]core.Op[K, V], dsts [][]core.Resu
 			i++
 		}
 	}
+}
+
+// markFanout closes the fanout stage opened at t0 and opens the apply
+// stage, returning its start timestamp (0 when telemetry is off).
+func (m *Map[K, V]) markFanout(t0 int64) int64 {
+	if m.stages == nil {
+		return 0
+	}
+	now := obs.Now()
+	m.stages.Record(obs.StageFanout, now-t0)
+	return now
 }
 
 // Len returns the current number of items (racy snapshot, summed across

@@ -8,6 +8,7 @@ import (
 	"repro/internal/esort"
 	"repro/internal/iacono"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/splay"
 )
@@ -80,6 +81,18 @@ const (
 // via Options.Counter to measure work bounds; see EXPERIMENTS.md.
 type WorkCounter = metrics.Counter
 
+// EngineTelemetry is one engine's depth-telemetry sink: a lock-free
+// histogram of the segment index at which each lookup was answered,
+// split by source (first slab, filter, final slab, tail) — the live
+// witness of the paper's O(log w) working-set property. Attach one via
+// Options.Obs; recording is alloc-free (see DESIGN.md "Observability").
+type EngineTelemetry = obs.EngineObs
+
+// MapTelemetry bundles a sharded map's telemetry: per-shard
+// EngineTelemetry plus the batch-stage histograms. Enable with
+// ShardedOptions.Telemetry and retrieve with Sharded.Obs.
+type MapTelemetry = obs.MapObs
+
 // Options configures the parallel maps.
 type Options struct {
 	// P is the paper's processor-count parameter p: batches are cut into
@@ -90,6 +103,10 @@ type Options struct {
 	Pivot PivotStrategy
 	// Counter, when non-nil, accumulates the map's structural work.
 	Counter *WorkCounter
+	// Obs, when non-nil, receives the engine's depth telemetry. For a
+	// sharded map prefer ShardedOptions.Telemetry, which creates one
+	// sink per shard.
+	Obs *EngineTelemetry
 	// RecordLinearization makes the engine record the operation order it
 	// induces, retrievable via the map's DrainLinearization method, so the
 	// working-set bound W_L can be computed for experiments.
@@ -101,6 +118,7 @@ func (o Options) toConfig() core.Config {
 		P:                   o.P,
 		Pivot:               o.Pivot,
 		Counter:             o.Counter,
+		Obs:                 o.Obs,
 		RecordLinearization: o.RecordLinearization,
 	}
 }
@@ -202,6 +220,11 @@ type ShardedOptions struct {
 	Shards int
 	// Engine selects the per-shard map implementation (default EngineM1).
 	Engine Engine
+	// Telemetry equips the map with a MapTelemetry bundle (one depth
+	// sink per shard, overriding Options.Obs, plus batch-stage
+	// histograms), retrievable via Sharded.Obs. Recording is alloc-free
+	// and costs a few atomic adds per resolved group.
+	Telemetry bool
 }
 
 // Sharded is a hash-sharded concurrent ordered map: operations are routed
@@ -221,8 +244,9 @@ type Sharded[K cmp.Ordered, V any] struct {
 // NewSharded creates a sharded map. Close it after use.
 func NewSharded[K cmp.Ordered, V any](o ShardedOptions) *Sharded[K, V] {
 	return &Sharded[K, V]{shard.New[K, V](shard.Config{
-		Shards: o.Shards,
-		Engine: o.Engine,
-		Shard:  o.toConfig(),
+		Shards:    o.Shards,
+		Engine:    o.Engine,
+		Shard:     o.toConfig(),
+		Telemetry: o.Telemetry,
 	})}
 }
