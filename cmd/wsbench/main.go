@@ -24,6 +24,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/experiments/e19"
 	"repro/internal/experiments/e20"
+	"repro/internal/experiments/e21"
 )
 
 type experiment struct {
@@ -52,6 +53,7 @@ var all = []experiment{
 		func(s experiments.Scale) experiments.Table { return experiments.E17ShardedScaling(s, *shardsFlag) }},
 	{"e19", "cross-connection batch coalescing: conns x depth x window (group commit)", e19.CoalesceSweep},
 	{"e20", "write tail latency under concurrent cursor-paged scans (batched range reads)", e20.ScanImpact},
+	{"e21", "durability cost: WAL fsync policy vs throughput/latency (group commit)", e21.FsyncSweep},
 }
 
 // shardsFlag is read by e17 and -sweep after flag.Parse.

@@ -15,9 +15,14 @@
 //	wsd -coalesce-window 200us   # cross-connection group commit: depth-1
 //	                             # traffic from many clients rides combined
 //	                             # batches (README: tuning -coalesce-window)
-//	wsd -admin 127.0.0.1:6381    # admin HTTP endpoint: Prometheus /metrics,
+//	wsd -data-dir /var/lib/wsd   # durable: group-commit WAL + snapshots;
+//	                             # restart recovers every acked write
+//	                             # (-fsync always|interval|never)
+//	wsd -admin :6381             # admin HTTP endpoint: Prometheus /metrics,
 //	                             # JSON /statsz (depth and batch-stage
-//	                             # histograms), /debug/pprof
+//	                             # histograms), /debug/pprof. A bare port
+//	                             # binds loopback; non-loopback requires
+//	                             # -admin-expose
 //
 // Drive it with cmd/wsload, or any client speaking the wire protocol.
 // SIGINT/SIGTERM trigger a graceful shutdown: in-flight batches finish
@@ -33,24 +38,33 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	pws "repro"
 	"repro/internal/server"
+	"repro/internal/wal"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":6380", "TCP listen address")
-		shards   = flag.Int("shards", 0, "shard count (0 = GOMAXPROCS)")
-		engine   = flag.String("engine", "m1", "per-shard engine: m1 (batched) or m2 (pipelined)")
-		p        = flag.Int("p", 0, "per-shard processor parameter p (0 = auto)")
-		maxConns = flag.Int("maxconns", 1024, "max concurrent connections")
-		maxPipe  = flag.Int("maxpipeline", 256, "max pipelined commands per batch")
-		coWin    = flag.Duration("coalesce-window", 0, "cross-connection coalescing window (0 = per-connection batching only)")
-		coBatch  = flag.Int("coalesce-batch", 1024, "coalescing size trigger in ops (with -coalesce-window)")
-		maxScan  = flag.Int("max-scan", 1000, "max pairs per SCAN page (clients page past it with the reply cursor)")
-		admin    = flag.String("admin", "", "admin HTTP listen address (/metrics, /statsz, /debug/pprof); empty = off")
-		workCnt  = flag.Bool("work-counter", false, "count structural work (pointer-machine units) in STATS and /statsz")
+		addr      = flag.String("addr", ":6380", "TCP listen address")
+		shards    = flag.Int("shards", 0, "shard count (0 = GOMAXPROCS)")
+		engine    = flag.String("engine", "m1", "per-shard engine: m1 (batched) or m2 (pipelined)")
+		p         = flag.Int("p", 0, "per-shard processor parameter p (0 = auto)")
+		maxConns  = flag.Int("maxconns", 1024, "max concurrent connections")
+		maxPipe   = flag.Int("maxpipeline", 256, "max pipelined commands per batch")
+		coWin     = flag.Duration("coalesce-window", 0, "cross-connection coalescing window (0 = per-connection batching only; forced on with -data-dir)")
+		coBatch   = flag.Int("coalesce-batch", 1024, "coalescing size trigger in ops (with -coalesce-window)")
+		maxScan   = flag.Int("max-scan", 1000, "max pairs per SCAN page (clients page past it with the reply cursor)")
+		admin     = flag.String("admin", "", "admin HTTP listen address (/metrics, /statsz, /debug/pprof); empty = off; empty host = loopback")
+		adminOpen = flag.Bool("admin-expose", false, "allow the unauthenticated admin endpoint on a non-loopback address")
+		workCnt   = flag.Bool("work-counter", false, "count structural work (pointer-machine units) in STATS and /statsz")
+		dataDir   = flag.String("data-dir", "", "durability directory (WAL segments + snapshots); empty = in-memory only")
+		fsync     = flag.String("fsync", "always", "WAL fsync policy: always (per group-commit cut), interval, or never")
+		fsyncIvl  = flag.Duration("fsync-interval", 100*time.Millisecond, "background fsync period for -fsync interval")
+		segBytes  = flag.Int64("segment-bytes", 64<<20, "WAL segment rotation size")
+		snapBytes = flag.Int64("snapshot-bytes", 64<<20, "checkpoint once the WAL grows this much past the last snapshot (negative = never)")
+		idleTO    = flag.Duration("idle-timeout", 0, "close connections idle longer than this (0 = never)")
 	)
 	flag.Parse()
 
@@ -65,7 +79,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	srv := server.New(server.Config{
+	cfg := server.Config{
 		Shards:         *shards,
 		Engine:         eng,
 		P:              *p,
@@ -75,7 +89,42 @@ func main() {
 		CoalesceWindow: *coWin,
 		CoalesceBatch:  *coBatch,
 		WorkCounter:    *workCnt,
-	})
+		IdleTimeout:    *idleTO,
+	}
+
+	var rec *wal.Recovery
+	if *dataDir != "" {
+		policy, err := wal.ParsePolicy(*fsync)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wsd: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.WAL, rec, err = wal.Open(wal.Options{
+			Dir:          *dataDir,
+			Policy:       policy,
+			SyncEvery:    *fsyncIvl,
+			SegmentBytes: *segBytes,
+		})
+		if err != nil {
+			log.Fatalf("wsd: wal: %v", err)
+		}
+		cfg.SnapshotBytes = *snapBytes
+		if *snapBytes < 0 {
+			cfg.SnapshotBytes = -1
+		}
+	}
+
+	srv := server.New(cfg)
+	if rec != nil {
+		t0 := time.Now()
+		n, err := srv.Recover(rec)
+		if err != nil {
+			log.Fatalf("wsd: recovery: %v", err)
+		}
+		ws, _ := srv.WALStats()
+		log.Printf("wsd: recovered %d records (snapshot seq %d, %d log batches) in %s from %s",
+			n, rec.SnapshotSeq(), ws.ReplayBatches, time.Since(t0).Round(time.Millisecond), *dataDir)
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -83,14 +132,19 @@ func main() {
 	}
 
 	if *admin != "" {
-		al, err := net.Listen("tcp", *admin)
+		aaddr, err := adminAddr(*admin, *adminOpen)
 		if err != nil {
 			log.Fatalf("wsd: admin: %v", err)
 		}
+		al, err := net.Listen("tcp", aaddr)
+		if err != nil {
+			log.Fatalf("wsd: admin: %v", err)
+		}
+		if *adminOpen {
+			log.Printf("wsd: WARNING: unauthenticated admin endpoint exposed on non-loopback %s", al.Addr())
+		}
 		log.Printf("wsd: admin endpoint on http://%s (/metrics /statsz /debug/pprof)", al.Addr())
 		go func() {
-			// The admin mux is unauthenticated; bind it to loopback or an
-			// operations network, never the client-facing address.
 			if err := http.Serve(al, srv.AdminHandler()); err != nil {
 				log.Printf("wsd: admin: %v", err)
 			}
@@ -99,6 +153,9 @@ func main() {
 	mode := "per-connection batching"
 	if *coWin > 0 {
 		mode = fmt.Sprintf("coalescing window=%s batch=%d", *coWin, *coBatch)
+	}
+	if cfg.WAL != nil {
+		mode += fmt.Sprintf(", durable fsync=%s", cfg.WAL.Policy())
 	}
 	log.Printf("wsd: serving on %s (engine=%s shards=%d, %s)", l.Addr(), srv.Engine(), srv.Shards(), mode)
 
@@ -117,4 +174,29 @@ func main() {
 	st := srv.Stats()
 	log.Printf("wsd: stopped after %d conns, %d batches, %d ops (avg batch %.1f)",
 		st.TotalConns, st.Batches, st.Ops, st.AvgBatch())
+}
+
+// adminAddr applies the admin endpoint's bind policy: the mux is
+// unauthenticated (it exposes pprof, including heap contents), so an
+// empty or loopback host binds as given (an empty host becomes
+// 127.0.0.1), while a non-loopback host — including the wildcard — is
+// refused unless -admin-expose explicitly opts in.
+func adminAddr(addr string, expose bool) (string, error) {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "", fmt.Errorf("bad address %q: %v", addr, err)
+	}
+	if host == "" {
+		return net.JoinHostPort("127.0.0.1", port), nil
+	}
+	if expose {
+		return addr, nil
+	}
+	if host == "localhost" {
+		return addr, nil
+	}
+	if ip := net.ParseIP(host); ip != nil && ip.IsLoopback() {
+		return addr, nil
+	}
+	return "", fmt.Errorf("refusing non-loopback admin address %q without -admin-expose (the endpoint is unauthenticated)", addr)
 }

@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+// TestAdminAddr pins the admin bind policy: loopback passes through, a
+// bare port binds loopback, and anything routable needs -admin-expose.
+func TestAdminAddr(t *testing.T) {
+	for _, tc := range []struct {
+		addr   string
+		expose bool
+		want   string // "" = must refuse
+	}{
+		{":6381", false, "127.0.0.1:6381"},
+		{"127.0.0.1:6381", false, "127.0.0.1:6381"},
+		{"[::1]:6381", false, "[::1]:6381"},
+		{"localhost:6381", false, "localhost:6381"},
+		{"0.0.0.0:6381", false, ""},
+		{"10.1.2.3:6381", false, ""},
+		{"example.com:6381", false, ""},
+		{"0.0.0.0:6381", true, "0.0.0.0:6381"},
+		{"10.1.2.3:6381", true, "10.1.2.3:6381"},
+		{"6381", false, ""}, // not host:port at all
+	} {
+		got, err := adminAddr(tc.addr, tc.expose)
+		if tc.want == "" {
+			if err == nil {
+				t.Errorf("adminAddr(%q, %v) = %q, want refusal", tc.addr, tc.expose, got)
+			}
+			continue
+		}
+		if err != nil || got != tc.want {
+			t.Errorf("adminAddr(%q, %v) = %q, %v, want %q", tc.addr, tc.expose, got, err, tc.want)
+		}
+	}
+}

@@ -14,6 +14,16 @@
 //	wsload -scan-frac 0.1 -scan-count 100   # mixed scan workload: 10% of
 //	                                        # commands read one cursor page
 //	                                        # (scan latency reported apart)
+//	wsload -retry 10s -op-timeout 5s        # ride through server restarts:
+//	                                        # dial failures back off (capped,
+//	                                        # jittered) and dropped batches
+//	                                        # are reissued on a fresh conn
+//	wsload -chaos -chaos-bin ./wsd -chaos-dir /tmp/chaos
+//	                                        # durability audit: spawn wsd over
+//	                                        # a data dir, SIGKILL it mid-load,
+//	                                        # restart, verify every acked
+//	                                        # write survived (exit 1 on any
+//	                                        # violation)
 //	wsload -json                            # one JSON object per workload
 //	wsload -statsz http://127.0.0.1:6381/statsz
 //	                                        # scrape the server's admin
@@ -65,8 +75,44 @@ func main() {
 		seed      = flag.Int64("seed", 1, "generator seed")
 		jsonOut   = flag.Bool("json", false, "emit one JSON object per workload")
 		statsz    = flag.String("statsz", "", "admin /statsz URL to scrape between runs (server-side percentiles)")
+		retry     = flag.Duration("retry", 0, "reconnect budget: redial with capped jittered backoff and reissue dropped batches for up to this long (0 = fail fast)")
+		opTimeout = flag.Duration("op-timeout", 0, "per-batch operation deadline (0 = none)")
+
+		chaos      = flag.Bool("chaos", false, "run the kill/restart durability audit instead of a load run")
+		chaosBin   = flag.String("chaos-bin", "", "wsd binary to spawn for -chaos")
+		chaosDir   = flag.String("chaos-dir", "", "data directory for -chaos (the spawned server's -data-dir)")
+		chaosKill  = flag.Int("chaos-kill", 0, "SIGKILL once this many ops are acked (0 = a third of the budget)")
+		chaosFsync = flag.String("chaos-fsync", "always", "fsync policy for the spawned server")
 	)
 	flag.Parse()
+
+	if *chaos {
+		rep, err := loadgen.Chaos(loadgen.ChaosConfig{
+			ServerBin:  *chaosBin,
+			DataDir:    *chaosDir,
+			Addr:       *addr,
+			Fsync:      *chaosFsync,
+			Conns:      *conns,
+			OpsPerConn: *n / max(*conns, 1),
+			Depth:      *depth,
+			KillAcked:  *chaosKill,
+			Seed:       *seed,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "wsload: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wsload: chaos: %v\n", err)
+			os.Exit(1)
+		}
+		b, _ := json.MarshalIndent(rep, "", "  ")
+		fmt.Println(string(b))
+		if len(rep.Violations) > 0 {
+			fmt.Fprintf(os.Stderr, "wsload: chaos: %d durability violations\n", len(rep.Violations))
+			os.Exit(1)
+		}
+		return
+	}
 
 	dial := func() (net.Conn, error) { return net.Dial("tcp", *addr) }
 
@@ -102,6 +148,8 @@ func main() {
 			ScanSpan:    *scanSpan,
 			Preload:     *preload,
 			Seed:        *seed,
+			Retry:       *retry,
+			OpTimeout:   *opTimeout,
 		}
 		// With scraping on, preload runs before the baseline scrape so the
 		// reported server-side interval covers only the measured ops.

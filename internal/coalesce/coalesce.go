@@ -51,6 +51,17 @@ import (
 // delivering each batch's results into the aligned dsts slice (the
 // contract of shard.Map.ApplyScattered, which is the intended
 // implementation; tests substitute their own).
+//
+// The applier is also the cut-commit seam: the commit loop releases a
+// cut's waiters (Job.Wait returns) only AFTER the applier has returned
+// for that cut. Anything the applier does synchronously — applying to
+// the map, appending the batch to a write-ahead log, fsyncing —
+// therefore happens strictly before any of the batch's replies can be
+// written, which is exactly the hook the server's durable mode plugs
+// into (one WAL append + fsync per cut, before the ack). Cuts are
+// applied one at a time by a single loop, so applier invocations are
+// totally ordered: a sequential log written from inside the applier
+// matches the map's linearization order.
 type Applier[K cmp.Ordered, V any] func(batches [][]core.Op[K, V], dsts [][]core.Result[V])
 
 // Config configures a Coalescer. The zero value gets the defaults noted.
@@ -352,7 +363,9 @@ func (c *Coalescer[K, V]) run() {
 }
 
 // commit applies one cut as a single combined batch and releases its
-// submitters.
+// submitters. The release strictly follows the applier's return — the
+// Applier contract durable mode depends on (no reply before the cut
+// is applied and logged).
 func (c *Coalescer[K, V]) commit(jobs []*Job[K, V], nops int, cause cutCause) {
 	if st := c.cfg.Stages; st != nil {
 		cutAt := obs.Now()

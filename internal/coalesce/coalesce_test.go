@@ -3,6 +3,7 @@ package coalesce
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -291,4 +292,61 @@ func TestCoalesceDuplicateCombining(t *testing.T) {
 			dupCost, singleCost)
 	}
 	t.Logf("single=%d combined-pair=%d", singleCost, dupCost)
+}
+
+// TestCoalesceReleaseAfterApply pins the Applier contract the server's
+// durable mode builds on: Job.Wait must not return for any job of a
+// cut until the applier has fully returned for that cut — whatever the
+// applier does synchronously (apply, WAL append, fsync) happens
+// strictly before any waiter is released.
+func TestCoalesceReleaseAfterApply(t *testing.T) {
+	// The applier marks each key "durable" only at its very END — after
+	// filling results and sleeping. A waiter whose Wait returned must
+	// find its own key already marked, or the release jumped the applier.
+	var durable sync.Map
+	var applied atomic.Int64
+	c := New(Config{MaxBatch: 4, MaxDelay: 50 * time.Microsecond},
+		func(batches [][]core.Op[string, string], dsts [][]core.Result[string]) {
+			for i, b := range batches {
+				for j := range b {
+					dsts[i][j] = core.Result[string]{}
+				}
+				applied.Add(int64(len(b)))
+			}
+			// Widen the window a prematurely released waiter would hit.
+			time.Sleep(200 * time.Microsecond)
+			for _, b := range batches {
+				for j := range b {
+					durable.Store(b[j].Key, true)
+				}
+			}
+		})
+	defer c.Close()
+
+	const waiters = 8
+	var wg sync.WaitGroup
+	var violations atomic.Int64
+	for w := 0; w < waiters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("w%d-%d", w, i)
+				j := &Job[string, string]{Ops: []core.Op[string, string]{
+					{Kind: core.OpInsert, Key: key, Val: "v"}}}
+				c.Submit(j)
+				j.Wait()
+				if _, ok := durable.Load(key); !ok {
+					violations.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d waiters released before the applier finished their cut", v)
+	}
+	if applied.Load() != waiters*50 {
+		t.Fatalf("applied %d ops, want %d", applied.Load(), waiters*50)
+	}
 }

@@ -1,0 +1,106 @@
+// Package e21 implements experiment E21 of EXPERIMENTS.md: the cost of
+// durability — throughput and latency across WAL fsync policies. Like
+// e19/e20 it lives in a sub-package because it drives the whole network
+// stack (internal/server + internal/loadgen), here with a real WAL on
+// disk underneath.
+package e21
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/loadgen"
+	"repro/internal/server"
+	"repro/internal/wal"
+)
+
+// FsyncSweep measures a write-heavy closed loop against the same server
+// under four durability settings: no WAL at all, fsync=never (the OS
+// decides when bytes reach the platter), fsync=interval (a background
+// 100ms sync loop), and fsync=always (one fsync per group-commit cut —
+// the setting whose acks are crash-proof). The experiment's point is
+// the group-commit economics: because one coalescer cut carries many
+// connections' writes, fsync=always costs one disk sync per *batch*,
+// not per write, so the throughput gap between "durable" and "fast"
+// stays a small factor instead of the 100-1000x a per-write fsync
+// would cost. The fsync stage histogram on /statsz (wal_fsync) shows
+// where the remaining gap lives.
+func FsyncSweep(s experiments.Scale) experiments.Table {
+	t := experiments.Table{
+		Title: "E21: durability cost — fsync policy vs throughput/latency (group-commit WAL)",
+		Header: []string{"fsync", "ops/s", "p50", "p99", "max",
+			"wal batches", "wal MiB", "fsyncs"},
+		Note: "32 conns, depth 1, 50% SETs, coalescing 200us; fsync=always syncs once per cut, so durable acks ride the same batch amortization as the tree work (ISSUE: durability PR)",
+	}
+	ops := s.N
+	if ops > 40_000 {
+		ops = 40_000 // 4 cells, each with real disk I/O
+	}
+	for _, policy := range []string{"off", "never", "interval", "always"} {
+		t.AddRow(runCell(policy, ops)...)
+	}
+	return t
+}
+
+func runCell(policy string, ops int) []string {
+	row := func(rep loadgen.Report, ws wal.Stats, haveWAL bool) []string {
+		batches, mib, syncs := "-", "-", "-"
+		if haveWAL {
+			batches = fmt.Sprint(ws.Batches)
+			mib = fmt.Sprintf("%.1f", float64(ws.Bytes)/(1<<20))
+			syncs = fmt.Sprint(ws.Syncs)
+		}
+		return []string{
+			policy,
+			fmt.Sprintf("%.0f", rep.OpsPerSec),
+			rep.P50.Round(time.Microsecond).String(),
+			rep.P99.Round(time.Microsecond).String(),
+			rep.Max.Round(time.Microsecond).String(),
+			batches, mib, syncs,
+		}
+	}
+	fail := func(err error) []string {
+		return []string{policy, "ERR: " + err.Error(), "-", "-", "-", "-", "-", "-"}
+	}
+
+	cfg := server.Config{CoalesceWindow: 200 * time.Microsecond}
+	haveWAL := policy != "off"
+	if haveWAL {
+		dir, err := os.MkdirTemp("", "e21-wal-")
+		if err != nil {
+			return fail(err)
+		}
+		defer os.RemoveAll(dir)
+		p, err := wal.ParsePolicy(policy)
+		if err != nil {
+			return fail(err)
+		}
+		log, _, err := wal.Open(wal.Options{Dir: dir, Policy: p})
+		if err != nil {
+			return fail(err)
+		}
+		cfg.WAL = log
+		cfg.SnapshotBytes = -1 // measure the log alone, not checkpoint I/O
+	}
+	srv := server.New(cfg)
+	defer srv.Close()
+
+	rep, err := loadgen.Run(loadgen.Config{
+		Conns:    32,
+		Depth:    1, // depth-1 fleet: the coalescer builds the batches
+		Ops:      ops,
+		Workload: loadgen.Zipf,
+		Universe: 1 << 14,
+		GetFrac:  0.5,
+		Preload:  true,
+		Seed:     21,
+	}, func() (net.Conn, error) { return srv.Pipe() })
+	if err != nil {
+		return fail(err)
+	}
+	ws, _ := srv.WALStats()
+	return row(rep, ws, haveWAL)
+}

@@ -1,0 +1,78 @@
+package loadgen
+
+// TestChaosKillRestart is the durability acceptance test: it builds the
+// real wsd binary, runs the kill/restart harness against it under
+// fsync=always, and requires a clean audit — every acked write
+// recovered, no phantoms — while proving the crash actually happened
+// (one kill, at least one reconnect ridden through).
+
+import (
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// buildWsd compiles cmd/wsd into dir and returns the binary path.
+func buildWsd(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "wsd")
+	cmd := exec.Command("go", "build", "-o", bin, "repro/cmd/wsd")
+	cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("go build repro/cmd/wsd: %v", err)
+	}
+	return bin
+}
+
+// freeAddr reserves an ephemeral port and frees it for the server.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func TestChaosKillRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills real server processes")
+	}
+	dir := t.TempDir()
+	rep, err := Chaos(ChaosConfig{
+		ServerBin:  buildWsd(t, dir),
+		DataDir:    filepath.Join(dir, "data"),
+		Addr:       freeAddr(t),
+		Conns:      4,
+		OpsPerConn: 3000,
+		Universe:   400,
+		Depth:      8,
+		Seed:       42,
+		Logf:       t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("Chaos: %v", err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("durability violation: %s", v)
+	}
+	// A passing audit only counts if the crash really happened and the
+	// workers really rode through it.
+	if rep.Kills != 1 {
+		t.Errorf("kills = %d, want 1", rep.Kills)
+	}
+	if rep.Reconnects == 0 {
+		t.Error("no reconnects: the kill did not interrupt any worker")
+	}
+	if rep.Acked < int64(4*3000)/2 {
+		t.Errorf("only %d ops acked, want most of the budget", rep.Acked)
+	}
+	if rep.DumpKeys == 0 {
+		t.Error("recovered server is empty")
+	}
+	t.Logf("chaos report: %+v", rep)
+}

@@ -89,6 +89,18 @@ type Config struct {
 	Preload bool
 	// Seed seeds the generators (default 1).
 	Seed int64
+	// Retry, when positive, is the reconnect budget: dial failures back
+	// off exponentially (capped, with jitter; see retry.go) for up to
+	// this long instead of failing the run, and a connection dropped
+	// mid-run is redialed with the interrupted batch reissued. A batch
+	// reissue can double-apply SETs/DELs — fine for load generation;
+	// the chaos harness does its own exactly-once accounting on top.
+	Retry time.Duration
+	// OpTimeout, when positive, bounds each pipelined batch (all sends,
+	// the flush, and all replies) with a connection deadline, so a
+	// wedged or killed server surfaces as an error — which Retry then
+	// turns into a reconnect — instead of a worker hung forever.
+	OpTimeout time.Duration
 	// Rate, when positive, switches to open-loop pacing: the connections
 	// together issue Rate operations per second on a fixed schedule
 	// (unpipelined, spread evenly across connections with staggered
@@ -168,6 +180,8 @@ type Report struct {
 	Scans   int           `json:"scans,omitempty"`
 	ScanP50 time.Duration `json:"scan_p50_ns,omitempty"`
 	ScanP99 time.Duration `json:"scan_p99_ns,omitempty"`
+	// Reconnects counts mid-run redials (only with Config.Retry set).
+	Reconnects int `json:"reconnects,omitempty"`
 }
 
 // String renders the report as one aligned line.
@@ -209,7 +223,7 @@ func genKeys(cfg Config, seed int64, n int) ([]int, error) {
 // Config.Preload is set; examples share it for their own warm-up.
 func Preload(cfg Config, dial func() (net.Conn, error)) error {
 	cfg = cfg.withDefaults()
-	nc, err := dial()
+	nc, err := dialRetry(dial, cfg.Retry, rand.New(rand.NewSource(cfg.Seed^0x51a7)))
 	if err != nil {
 		return err
 	}
@@ -246,10 +260,11 @@ func Preload(cfg Config, dial func() (net.Conn, error)) error {
 // connResult is one connection's measurements: point-op and scan
 // latencies separately (see Report.P50).
 type connResult struct {
-	lats     []time.Duration
-	scanLats []time.Duration
-	errs     int
-	err      error
+	lats       []time.Duration
+	scanLats   []time.Duration
+	errs       int
+	reconnects int
+	err        error
 }
 
 // Run executes one load run against whatever dial connects to. In the
@@ -293,7 +308,7 @@ func Run(cfg Config, dial func() (net.Conn, error)) (Report, error) {
 	wall := time.Since(start)
 
 	var all, scans []time.Duration
-	errs := 0
+	errs, reconnects := 0, 0
 	for _, r := range results {
 		if r.err != nil {
 			return Report{}, r.err
@@ -301,19 +316,21 @@ func Run(cfg Config, dial func() (net.Conn, error)) (Report, error) {
 		all = append(all, r.lats...)
 		scans = append(scans, r.scanLats...)
 		errs += r.errs
+		reconnects += r.reconnects
 	}
 	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
 	sort.Slice(scans, func(a, b int) bool { return scans[a] < scans[b] })
 	total := len(all) + len(scans)
 	rep := Report{
-		Workload: cfg.Workload,
-		Conns:    cfg.Conns,
-		Depth:    reportDepth(cfg),
-		Rate:     cfg.Rate,
-		Ops:      total,
-		Errors:   errs,
-		Duration: wall,
-		Scans:    len(scans),
+		Workload:   cfg.Workload,
+		Conns:      cfg.Conns,
+		Depth:      reportDepth(cfg),
+		Rate:       cfg.Rate,
+		Ops:        total,
+		Errors:     errs,
+		Duration:   wall,
+		Scans:      len(scans),
+		Reconnects: reconnects,
 	}
 	if wall > 0 {
 		rep.OpsPerSec = float64(total) / wall.Seconds()
@@ -396,13 +413,16 @@ func runConnRate(cfg Config, seed int64, n int, interval, offset time.Duration, 
 	if err != nil {
 		return connResult{err: err}
 	}
-	nc, err := dial()
+	rng := rand.New(rand.NewSource(seed ^ 0x9e3779b9))
+	// Open-loop runs retry only the initial dial: a mid-run reconnect
+	// would have to replay the fixed schedule's backlog, distorting the
+	// very latencies the mode exists to keep honest.
+	nc, err := dialRetry(dial, cfg.Retry, rng)
 	if err != nil {
 		return connResult{err: err}
 	}
 	defer nc.Close()
 	cl := wire.NewClient(nc)
-	rng := rand.New(rand.NewSource(seed ^ 0x9e3779b9))
 	kinds := planOps(cfg, rng, len(keys))
 	res := connResult{lats: make([]time.Duration, 0, n)}
 	start := time.Now().Add(offset)
@@ -462,54 +482,85 @@ func runConnRate(cfg Config, seed int64, n int, interval, offset time.Duration, 
 }
 
 // runConn drives one connection: write Depth requests, flush, read
-// Depth replies, repeat.
+// Depth replies, repeat. With Config.Retry set, a batch that fails is
+// reissued over a fresh (backoff-dialed) connection instead of ending
+// the run; its latencies then include the outage, as a real client's
+// would.
 func runConn(cfg Config, seed int64, n int, dial func() (net.Conn, error)) connResult {
 	keys, err := genKeys(cfg, seed, n)
 	if err != nil {
 		return connResult{err: err}
 	}
-	nc, err := dial()
+	rng := rand.New(rand.NewSource(seed ^ 0x9e3779b9))
+	nc, err := dialRetry(dial, cfg.Retry, rng)
 	if err != nil {
 		return connResult{err: err}
 	}
-	defer nc.Close()
+	defer func() { nc.Close() }()
 	cl := wire.NewClient(nc)
-	rng := rand.New(rand.NewSource(seed ^ 0x9e3779b9))
 	kinds := planOps(cfg, rng, len(keys))
 	res := connResult{lats: make([]time.Duration, 0, n)}
-	for off := 0; off < len(keys); off += cfg.Depth {
-		end := off + cfg.Depth
-		if end > len(keys) {
-			end = len(keys)
-		}
-		chunk := keys[off:end]
-		t0 := time.Now()
-		for i, k := range chunk {
+
+	// batch issues keys[off:end] once; any error aborts mid-batch.
+	batch := func(off, end int, t0 time.Time) error {
+		armOpDeadline(nc, cfg)
+		for i, k := range keys[off:end] {
 			if err := sendOp(cl, cfg, kinds[off+i], k); err != nil {
-				res.err = err
-				return res
+				return err
 			}
 		}
 		if err := cl.Flush(); err != nil {
-			res.err = err
-			return res
+			return err
 		}
-		for i := range chunk {
+		for i := off; i < end; i++ {
 			rep, err := cl.Recv()
 			if err != nil {
-				res.err = err
-				return res
+				return err
 			}
 			if rep.IsError() {
 				res.errs++
 			}
-			if kinds[off+i] == opScan {
+			if kinds[i] == opScan {
 				res.scanLats = append(res.scanLats, time.Since(t0))
 			} else {
 				res.lats = append(res.lats, time.Since(t0))
 			}
 		}
+		return nil
 	}
+
+	for off := 0; off < len(keys); off += cfg.Depth {
+		end := off + cfg.Depth
+		if end > len(keys) {
+			end = len(keys)
+		}
+		t0 := time.Now()
+		retries := 0
+		for {
+			lats, scanLats := len(res.lats), len(res.scanLats)
+			err := batch(off, end, t0)
+			if err == nil {
+				break
+			}
+			if cfg.Retry <= 0 || retries >= chunkRetryCap {
+				res.err = err
+				return res
+			}
+			// Drop the partial batch's latencies and reissue the whole
+			// batch over a fresh connection; replies already consumed are
+			// measured again — the reissue is the measurement.
+			res.lats, res.scanLats = res.lats[:lats], res.scanLats[:scanLats]
+			retries++
+			res.reconnects++
+			nc.Close()
+			if nc, err = dialRetry(dial, cfg.Retry, rng); err != nil {
+				res.err = err
+				return res
+			}
+			cl = wire.NewClient(nc)
+		}
+	}
+	armOpDeadline(nc, cfg)
 	cl.Do("QUIT")
 	return res
 }

@@ -1,0 +1,62 @@
+package loadgen
+
+// Connection retry: with Config.Retry set, dials back off exponentially
+// (with full jitter, capped) instead of failing the run, and the closed
+// loop rides through a dropped connection by redialing and reissuing
+// the interrupted batch. This is what lets a load run span a server
+// restart — the chaos harness kills wsd mid-run and the workers simply
+// reconnect when it comes back — and what keeps a fleet of wsload
+// processes from stampeding a just-restarted server in lockstep.
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+)
+
+const (
+	// backoffBase is the first retry delay; each failure doubles it.
+	backoffBase = 10 * time.Millisecond
+	// backoffCap bounds the exponential growth.
+	backoffCap = time.Second
+	// chunkRetryCap bounds consecutive reissues of one batch over fresh
+	// connections, so a server that accepts dials but errors every
+	// command fails the run instead of looping forever.
+	chunkRetryCap = 16
+)
+
+// dialRetry dials, retrying failures with capped exponential backoff
+// and full jitter until the budget elapses. A zero budget means one
+// attempt (plain dial).
+func dialRetry(dial func() (net.Conn, error), budget time.Duration, rng *rand.Rand) (net.Conn, error) {
+	nc, err := dial()
+	if err == nil || budget <= 0 {
+		return nc, err
+	}
+	deadline := time.Now().Add(budget)
+	delay := backoffBase
+	for {
+		// Full jitter: sleep U(1ms, delay] so concurrent retriers spread
+		// out instead of hammering the listener in phase.
+		time.Sleep(time.Millisecond + time.Duration(rng.Int63n(int64(delay))))
+		if delay *= 2; delay > backoffCap {
+			delay = backoffCap
+		}
+		if nc, err = dial(); err == nil {
+			return nc, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("loadgen: dial retry budget %s exhausted: %w", budget, err)
+		}
+	}
+}
+
+// armOpDeadline applies the per-batch operation timeout, if configured:
+// every send/flush/recv of the batch must land within it, so a wedged
+// server surfaces as an error instead of a hung worker.
+func armOpDeadline(nc net.Conn, cfg Config) {
+	if cfg.OpTimeout > 0 {
+		nc.SetDeadline(time.Now().Add(cfg.OpTimeout))
+	}
+}

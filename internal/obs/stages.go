@@ -26,13 +26,19 @@ const (
 	StageApply
 	// StageReply is rendering a batch's replies into the write buffer.
 	StageReply
+	// StageFsync is the durability hook: encoding the combined batch
+	// into the WAL and, under fsync=always, the fsync itself — between
+	// apply and reply, so an acked write is on disk. Appended after
+	// StageReply so earlier stage indices stay stable; zero-count when
+	// the server runs without a WAL.
+	StageFsync
 
 	// NumStages is the number of lifecycle stages.
-	NumStages = int(StageReply) + 1
+	NumStages = int(StageFsync) + 1
 )
 
 var stageNames = [NumStages]string{
-	"parse", "queue_wait", "window_wait", "fanout", "apply", "reply",
+	"parse", "queue_wait", "window_wait", "fanout", "apply", "reply", "fsync",
 }
 
 // String returns the stage's stable snake_case name (used as STATS and

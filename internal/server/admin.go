@@ -26,6 +26,7 @@ import (
 	"repro/internal/coalesce"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/wal"
 )
 
 // statszHist is one histogram in the /statsz reply: scalar summary plus
@@ -62,6 +63,15 @@ type statszRange struct {
 	PairsOverlay int64 `json:"pairs_overlay"`
 }
 
+// statszWAL is the durability block of the /statsz reply: the WAL's
+// scalar counters plus the fsync-duration and replay-batch-size
+// histograms (nanoseconds and records respectively).
+type statszWAL struct {
+	wal.Stats
+	Fsync       statszHist `json:"fsync"`
+	ReplayBatch statszHist `json:"replay_batch"`
+}
+
 // statszReply is the /statsz JSON document.
 type statszReply struct {
 	Engine       string                `json:"engine"`
@@ -74,6 +84,7 @@ type statszReply struct {
 	Range        statszRange           `json:"range"`
 	Stages       map[string]statszHist `json:"stages"`
 	Work         *metrics.Snapshot     `json:"work,omitempty"`
+	WAL          *statszWAL            `json:"wal,omitempty"`
 }
 
 // statsz builds the /statsz reply document.
@@ -107,6 +118,13 @@ func (s *Server) statsz() statszReply {
 	if s.work != nil {
 		ws := s.work.Snapshot()
 		r.Work = &ws
+	}
+	if ws, ok := s.WALStats(); ok {
+		r.WAL = &statszWAL{
+			Stats:       ws,
+			Fsync:       toStatszHist(s.wal.FsyncHist()),
+			ReplayBatch: toStatszHist(s.wal.ReplayHist()),
+		}
 	}
 	return r
 }
@@ -180,5 +198,20 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 		// Stage durations are nanoseconds; 1e-9 emits Prometheus base
 		// seconds.
 		ss[i].WriteProm(w, "wsd_stage_"+obs.Stage(i).String()+"_seconds", "", 1e-9)
+	}
+	if ws, ok := s.WALStats(); ok {
+		writeGauge("wsd_wal_seq", int64(ws.Seq))
+		writeGauge("wsd_wal_snap_seq", int64(ws.SnapSeq))
+		writeCounter("wsd_wal_batches_total", ws.Batches)
+		writeCounter("wsd_wal_records_total", ws.Records)
+		writeCounter("wsd_wal_bytes_total", ws.Bytes)
+		writeCounter("wsd_wal_syncs_total", ws.Syncs)
+		writeCounter("wsd_wal_sync_errors_total", ws.SyncErrors)
+		writeCounter("wsd_wal_rotations_total", ws.Rotations)
+		writeCounter("wsd_wal_snapshots_total", ws.Snapshots)
+		writeCounter("wsd_wal_torn_tails_total", ws.TornTails)
+		writeCounter("wsd_wal_replay_batches_total", ws.ReplayBatches)
+		writeCounter("wsd_wal_replay_records_total", ws.ReplayRecords)
+		s.wal.FsyncHist().WriteProm(w, "wsd_wal_fsync_seconds", "", 1e-9)
 	}
 }

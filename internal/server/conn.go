@@ -7,6 +7,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	pws "repro"
@@ -60,6 +61,50 @@ type conn struct {
 	ack        chan struct{}
 	writerDone chan struct{}
 	freeJobs   chan *connJob
+
+	// dlMu serializes read-deadline writers: the reader goroutine's
+	// idle-timeout arming/disarming and Close's shutdown grace. Once
+	// shuttingDown is set the shutdown deadline wins — the reader must
+	// not overwrite (or clear) it with an idle deadline.
+	dlMu         sync.Mutex
+	shuttingDown bool
+}
+
+// armShutdown sets the shutdown-grace read deadline (called by Close);
+// after it, idle-deadline writes become no-ops.
+func (c *conn) armShutdown() {
+	c.dlMu.Lock()
+	c.shuttingDown = true
+	c.nc.SetReadDeadline(time.Now().Add(shutdownGrace))
+	c.dlMu.Unlock()
+}
+
+// armIdle sets the idle-timeout read deadline ahead of a blocking read
+// for the next command. No-op without Config.IdleTimeout or once
+// shutdown owns the deadline.
+func (c *conn) armIdle() {
+	if c.srv.cfg.IdleTimeout <= 0 {
+		return
+	}
+	c.dlMu.Lock()
+	if !c.shuttingDown {
+		c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.IdleTimeout))
+	}
+	c.dlMu.Unlock()
+}
+
+// disarmIdle clears the idle deadline once a command arrived, so a
+// slow pipeline drain or a long batch commit never trips it — only
+// waiting for the FIRST command of a pipeline counts as idle.
+func (c *conn) disarmIdle() {
+	if c.srv.cfg.IdleTimeout <= 0 {
+		return
+	}
+	c.dlMu.Lock()
+	if !c.shuttingDown {
+		c.nc.SetReadDeadline(time.Time{})
+	}
+	c.dlMu.Unlock()
 }
 
 // shutdownGrace is how long past Close a connection may keep reading, so
@@ -163,10 +208,12 @@ func (c *conn) serve() {
 // replies owed); drainErr a failure mid-drain — the commands read before
 // it must still be processed and answered before the connection ends.
 func (c *conn) readPipeline() (firstErr, drainErr error) {
+	c.armIdle()
 	cmd, err := c.r.ReadCommand()
 	if err != nil {
 		return err, nil
 	}
+	c.disarmIdle()
 	// Parse timing starts after the blocking read: the wait for the first
 	// command measures the client's think time, not the server's decode.
 	var t0 int64

@@ -1,0 +1,240 @@
+package server
+
+// Durability tests at the server layer: a durable server survives a
+// close/reopen cycle with its exact key set, checkpoints compact the
+// log without changing the recovered state, the STATS surface grows a
+// wal section, and the idle-timeout reaper closes only idle
+// connections. The crash-consistency (SIGKILL) side lives in the
+// loadgen chaos harness; these tests cover the clean-restart contract.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	pws "repro"
+	"repro/internal/wal"
+	"repro/internal/wire"
+)
+
+// openDurable opens (or reopens) the WAL in dir and builds a server
+// over it, replaying whatever the log holds. SnapshotBytes is negative
+// so checkpoints happen only when a test asks for them.
+func openDurable(t *testing.T, dir string, eng pws.Engine) (*Server, *wal.Recovery) {
+	t.Helper()
+	log, rec, err := wal.Open(wal.Options{Dir: dir, Policy: wal.SyncAlways, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("wal.Open: %v", err)
+	}
+	srv := New(Config{Shards: 4, P: 2, Engine: eng, WAL: log, SnapshotBytes: -1})
+	if _, err := srv.Recover(rec); err != nil {
+		srv.Close()
+		t.Fatalf("Recover: %v", err)
+	}
+	return srv, rec
+}
+
+// mutate drives a deterministic set/del workload through the client
+// and mirrors it into want (nil value = deleted).
+func mutate(t *testing.T, c *wire.Client, want map[string]string, seed int64, ops int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < ops; i++ {
+		k := fmt.Sprintf("key-%04d", rng.Intn(300))
+		if rng.Intn(10) < 7 {
+			v := fmt.Sprintf("v%d.%d", seed, i)
+			if err := c.Set(k, v); err != nil {
+				t.Fatalf("SET %s: %v", k, err)
+			}
+			want[k] = v
+		} else {
+			if _, err := c.Del(k); err != nil {
+				t.Fatalf("DEL %s: %v", k, err)
+			}
+			delete(want, k)
+		}
+	}
+}
+
+// verify checks the server holds exactly want: every surviving key with
+// its last value, every deleted key absent, and no phantom extras.
+func verify(t *testing.T, srv *Server, want map[string]string) {
+	t.Helper()
+	c := pipeClient(t, srv)
+	n, err := c.Len()
+	if err != nil {
+		t.Fatalf("LEN: %v", err)
+	}
+	if n != int64(len(want)) {
+		t.Errorf("recovered %d keys, want %d", n, len(want))
+	}
+	for i := 0; i < 300; i++ {
+		k := fmt.Sprintf("key-%04d", i)
+		v, ok, err := c.Get(k)
+		if err != nil {
+			t.Fatalf("GET %s: %v", k, err)
+		}
+		wv, wok := want[k]
+		if ok != wok || v != wv {
+			t.Errorf("GET %s = (%q, %v), want (%q, %v)", k, v, ok, wv, wok)
+		}
+	}
+}
+
+// TestDurableRestartRecovers is the clean-restart contract: everything
+// acked before a graceful close is present, with its latest value,
+// after reopening the same data dir — for both engines.
+func TestDurableRestartRecovers(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		eng  pws.Engine
+	}{{"m1", pws.EngineM1}, {"m2", pws.EngineM2}} {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := tc.eng
+			dir := t.TempDir()
+			want := map[string]string{}
+
+			srv, _ := openDurable(t, dir, eng)
+			mutate(t, pipeClient(t, srv), want, 1, 1000)
+			verify(t, srv, want)
+			if err := srv.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+
+			srv2, rec := openDurable(t, dir, eng)
+			defer srv2.Close()
+			if rec.SnapshotSeq() != 0 {
+				t.Errorf("recovery used snapshot seq %d, want none", rec.SnapshotSeq())
+			}
+			ws, _ := srv2.WALStats()
+			if ws.ReplayRecords == 0 {
+				t.Error("recovery replayed no records")
+			}
+			verify(t, srv2, want)
+		})
+	}
+}
+
+// TestDurableCheckpointCompacts interleaves checkpoints with mutations
+// across two restart cycles: the second recovery must start from a
+// snapshot (sealed segments were pruned) and still converge to the
+// exact final state via replay over it.
+func TestDurableCheckpointCompacts(t *testing.T) {
+	dir := t.TempDir()
+	want := map[string]string{}
+
+	srv, _ := openDurable(t, dir, pws.EngineM1)
+	c := pipeClient(t, srv)
+	mutate(t, c, want, 2, 900)
+	if err := srv.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	mutate(t, c, want, 3, 900) // post-checkpoint tail to replay on top
+	ws, _ := srv.WALStats()
+	if ws.Snapshots != 1 || ws.SnapSeq == 0 {
+		t.Fatalf("after Checkpoint: stats %+v", ws)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	srv2, rec := openDurable(t, dir, pws.EngineM1)
+	if rec.SnapshotSeq() == 0 {
+		t.Error("second boot ignored the checkpoint")
+	}
+	ws2, _ := srv2.WALStats()
+	if ws2.ReplaySnapPairs == 0 || ws2.ReplayRecords <= ws2.ReplaySnapPairs {
+		t.Errorf("replay split snap=%d total=%d, want snapshot pairs plus a log tail",
+			ws2.ReplaySnapPairs, ws2.ReplayRecords)
+	}
+	verify(t, srv2, want)
+	if err := srv2.Close(); err != nil {
+		t.Fatalf("Close 2: %v", err)
+	}
+
+	// Third boot proves the pruned directory is still self-sufficient.
+	srv3, _ := openDurable(t, dir, pws.EngineM1)
+	defer srv3.Close()
+	verify(t, srv3, want)
+}
+
+// TestDurableStatsSurface pins the durable additions to the telemetry
+// surfaces: STATS gains the wal section (appended after the frozen
+// non-durable schema), and its counters are coherent with the load.
+func TestDurableStatsSurface(t *testing.T) {
+	srv, _ := openDurable(t, t.TempDir(), pws.EngineM1)
+	defer srv.Close()
+	c := pipeClient(t, srv)
+	mutate(t, c, map[string]string{}, 4, 200)
+
+	rep, err := c.Do("STATS")
+	if err != nil || rep.Kind != wire.BulkReply {
+		t.Fatalf("STATS = %+v, %v", rep, err)
+	}
+	for _, key := range []string{
+		"SECTION wal", "wal_policy", "wal_seq", "wal_snap_seq",
+		"wal_batches", "wal_records", "wal_bytes", "wal_syncs",
+		"wal_sync_errors", "wal_rotations", "wal_snapshots",
+		"wal_torn_tails", "wal_replay_batches", "wal_replay_records",
+		"SECTION histo wal_fsync", "wal_fsync_count",
+	} {
+		if !strings.Contains(rep.Str, key) {
+			t.Errorf("STATS missing %q", key)
+		}
+	}
+	ws, ok := srv.WALStats()
+	if !ok || ws.Batches == 0 || ws.Records == 0 || ws.Syncs == 0 {
+		t.Errorf("WAL stats after write load: %+v", ws)
+	}
+	if hist := srv.wal.FsyncHist(); hist.Count == 0 {
+		t.Error("fsync histogram empty under fsync=always")
+	}
+	if st := srv.Obs().Stages().Snapshot(); st[len(st)-1].Count == 0 {
+		t.Error("stage fsync recorded nothing under durable load")
+	}
+}
+
+// TestIdleTimeoutReapsOnlyIdle arms a short idle deadline and checks it
+// cuts a connection that never sends a command while leaving a slow but
+// live connection untouched.
+func TestIdleTimeoutReapsOnlyIdle(t *testing.T) {
+	srv := newTestServer(t, Config{IdleTimeout: 50 * time.Millisecond})
+	idleNC, err := srv.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idleNC.Close()
+	active := pipeClient(t, srv)
+
+	// The idle side never sends a byte; the server must close it. The
+	// blocking read observes that close as an error/EOF.
+	reaped := make(chan error, 1)
+	go func() {
+		_, err := idleNC.Read(make([]byte, 1))
+		reaped <- err
+	}()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		select {
+		case err := <-reaped:
+			t.Logf("idle connection reaped: %v", err)
+			// The active connection must have survived the reaping.
+			if r, err := active.Do("PING"); err != nil || r.Str != "PONG" {
+				t.Fatalf("active connection died with the idle one: %+v, %v", r, err)
+			}
+			return
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("idle connection survived 2s with a 50ms idle timeout")
+		}
+		// The active connection keeps talking, staying inside the window.
+		if r, err := active.Do("PING"); err != nil || r.Str != "PONG" {
+			t.Fatalf("active connection died: %+v, %v", r, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -46,6 +46,7 @@ import (
 	pws "repro"
 	"repro/internal/coalesce"
 	"repro/internal/obs"
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
@@ -95,6 +96,24 @@ type Config struct {
 	// telemetry it adds atomic traffic proportional to structural work,
 	// not to batches.
 	WorkCounter bool
+	// WAL, when set, makes the server durable: every committed batch is
+	// appended (and, per the log's fsync policy, synced) before its
+	// replies are written, and the background snapshotter checkpoints
+	// the map through the log. The server takes ownership: Close closes
+	// the log. Durable mode requires coalescing — New force-enables it
+	// with DefaultDurableWindow if CoalesceWindow is zero — because the
+	// scheduler's single commit loop is what gives the log a total
+	// order matching the map's linearization (see durable.go).
+	WAL *wal.Log
+	// SnapshotBytes triggers a background checkpoint once the WAL has
+	// grown this much past the last one (default 64 MiB; negative
+	// disables the background snapshotter — checkpoints then happen
+	// only via Checkpoint). Ignored without WAL.
+	SnapshotBytes int64
+	// IdleTimeout, when positive, closes connections that sit idle
+	// (no command read) longer than this, so dead clients stop pinning
+	// conn goroutines and pooled arenas forever. Zero disables it.
+	IdleTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -106,6 +125,14 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxScan < 1 {
 		c.MaxScan = 1000
+	}
+	if c.WAL != nil {
+		if c.SnapshotBytes == 0 {
+			c.SnapshotBytes = 64 << 20
+		}
+		if c.CoalesceWindow <= 0 {
+			c.CoalesceWindow = DefaultDurableWindow
+		}
 	}
 	return c
 }
@@ -204,6 +231,16 @@ type Server struct {
 	// work is the structural-work counter, nil unless Config.WorkCounter.
 	work *pws.WorkCounter
 
+	// Durability plumbing, nil/empty unless Config.WAL is set: the log,
+	// the applier's record scratch (touched only by the coalescer's
+	// single commit goroutine), the snapshot scan's upper-bound key, and
+	// the background snapshotter's lifecycle channels (see durable.go).
+	wal      *wal.Log
+	walRecs  []wal.Record
+	walHi    string
+	snapStop chan struct{}
+	snapDone chan struct{}
+
 	mu        sync.Mutex
 	conns     map[*conn]struct{}
 	listeners map[net.Listener]struct{}
@@ -237,12 +274,23 @@ func New(cfg Config) *Server {
 		closedCh:  make(chan struct{}),
 	}
 	s.obsm = s.store.Obs()
+	if cfg.WAL != nil {
+		s.wal = cfg.WAL
+		s.walHi = walHiSentinel(cfg.Limits)
+	}
 	if cfg.CoalesceWindow > 0 {
 		// The applier is the single point where combined batches touch
 		// the map; it feeds the server's batch counters, which therefore
 		// keep meaning "map-level batch Applies" in both modes. SCAN needs
 		// no exclusion here: range reads are batch ops themselves now, so
 		// combined commits and scan pages interleave freely on the map.
+		//
+		// In durable mode the applier is also the WAL commit hook: the
+		// combined batch is applied, then logged (and fsynced per
+		// policy), all before this callback returns and the coalescer
+		// releases the batch's jobs — so replies wait on durability.
+		// Apply-before-append is what makes fuzzy checkpoints correct
+		// (see durable.go).
 		s.co = coalesce.New(coalesce.Config{
 			MaxBatch: cfg.CoalesceBatch,
 			MaxDelay: cfg.CoalesceWindow,
@@ -254,7 +302,15 @@ func New(cfg Config) *Server {
 			}
 			s.store.ApplyScattered(batches, dsts)
 			s.st.recordBatch(n)
+			if s.wal != nil {
+				s.appendWAL(batches)
+			}
 		})
+	}
+	if s.wal != nil && cfg.SnapshotBytes > 0 {
+		s.snapStop = make(chan struct{})
+		s.snapDone = make(chan struct{})
+		go s.snapshotLoop()
 	}
 	return s
 }
@@ -433,10 +489,11 @@ func (s *Server) Close() error {
 		// connection mid-batch still writes and flushes its replies, and
 		// commands already in the transport's buffers are still drained
 		// and answered before the deadline ends the connection (see
-		// conn.serve). Close is the single deadline writer, so there is
-		// no race with the connection goroutines.
+		// conn.serve). Deadline writers — this shutdown grace and the
+		// reader's own idle-timeout arming — are serialized per
+		// connection by conn.dlMu, and armShutdown wins permanently.
 		for _, c := range cs {
-			c.nc.SetReadDeadline(time.Now().Add(shutdownGrace))
+			c.armShutdown()
 		}
 		s.wg.Wait()
 		// All connections are gone, so no job can still be submitted; the
@@ -445,6 +502,17 @@ func (s *Server) Close() error {
 		// before the map closes under it.
 		if s.co != nil {
 			s.co.Close()
+		}
+		// The coalescer is drained, so nothing appends to the WAL
+		// anymore; stop the snapshotter (it may be mid-RangePage, which
+		// needs the map alive) and seal the log before the map closes.
+		// A clean Close fsyncs everything regardless of policy.
+		if s.wal != nil {
+			if s.snapStop != nil {
+				close(s.snapStop)
+				<-s.snapDone
+			}
+			s.wal.Close()
 		}
 		s.store.Close()
 		close(s.closedCh)
@@ -469,7 +537,7 @@ func (s *Server) statsText() string {
 			"coalesce_window %s\ncoalesce_size_cuts %d\ncoalesce_window_cuts %d\ncoalesce_drain_cuts %d\n",
 			s.cfg.CoalesceWindow, cs.SizeCuts, cs.WindowCuts, cs.DrainCuts)
 	}
-	return base + s.statsTelemetry()
+	return base + s.statsWAL() + s.statsTelemetry()
 }
 
 // statsTelemetry renders the STATS telemetry sections: the merged

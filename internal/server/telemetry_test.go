@@ -59,7 +59,7 @@ func TestStatsTextGolden(t *testing.T) {
 	want = append(want, histo("depth")...)
 	want = append(want, "SECTION work", "work_visits", "work_comparisons", "work_moves", "work_total")
 	want = append(want, "SECTION stages")
-	for _, st := range []string{"parse", "queue_wait", "window_wait", "fanout", "apply", "reply"} {
+	for _, st := range []string{"parse", "queue_wait", "window_wait", "fanout", "apply", "reply", "fsync"} {
 		want = append(want, histo("stage_"+st)...)
 	}
 

@@ -1,0 +1,195 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Frame layout (one frame == one committed cut batch, the atomic unit
+// of both commit and recovery):
+//
+//	u32le payloadLen | u32le crc32c(payload) | payload
+//
+// payload:
+//
+//	uvarint nrecords
+//	nrecords times:
+//	  u8 kind (0 = set, 1 = delete)
+//	  uvarint klen | klen key bytes
+//	  [kind == 0] uvarint vlen | vlen value bytes
+//
+// The CRC covers the whole payload, so a torn write can never
+// half-apply a batch: either the frame checks out and every record in
+// it replays, or the frame is rejected whole. CRC32C (Castagnoli) is
+// the conventional storage polynomial and hardware-accelerated on
+// amd64/arm64.
+const (
+	frameHdrLen = 8
+	// maxFramePayload rejects absurd length prefixes before they turn
+	// into a giant allocation: a real frame is bounded by the coalescer
+	// cut (MaxBatch ops of MaxBulk bytes); 256 MiB is far above any
+	// frame this process can write, so hitting it means the header
+	// bytes are garbage.
+	maxFramePayload = 256 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one logged mutation. Del distinguishes a delete (Val
+// unused) from a set; Key/Val are copied into the frame at append
+// time, so callers may hand in arena-backed strings.
+type Record struct {
+	Key string
+	Val string
+	Del bool
+}
+
+// errTorn marks a frame that cannot be trusted from its start onward:
+// short header, short payload, CRC mismatch, or a payload that decodes
+// inconsistently. On the newest segment this is the expected signature
+// of a crash mid-write and recovery truncates it away; anywhere else it
+// is genuine corruption.
+var errTorn = errors.New("torn or corrupt frame")
+
+// IsTorn reports whether err marks a torn/corrupt frame (as opposed to
+// an I/O error talking to the file).
+func IsTorn(err error) bool { return errors.Is(err, errTorn) }
+
+// appendFrame encodes recs as one frame onto dst. An empty recs slice
+// encodes a valid zero-record frame — segments never contain one
+// (AppendBatch drops empty batches), which lets snapshots use it as an
+// explicit end-of-checkpoint terminator.
+func appendFrame(dst []byte, recs []Record) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0)
+	p0 := len(dst)
+	dst = binary.AppendUvarint(dst, uint64(len(recs)))
+	for i := range recs {
+		r := &recs[i]
+		kind := byte(0)
+		if r.Del {
+			kind = 1
+		}
+		dst = append(dst, kind)
+		dst = binary.AppendUvarint(dst, uint64(len(r.Key)))
+		dst = append(dst, r.Key...)
+		if !r.Del {
+			dst = binary.AppendUvarint(dst, uint64(len(r.Val)))
+			dst = append(dst, r.Val...)
+		}
+	}
+	payload := dst[p0:]
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.Checksum(payload, crcTable))
+	return dst
+}
+
+// decodePayload parses one CRC-verified payload, appending the records
+// to dst. Key/Val strings are fresh copies (recovery is off the hot
+// path; the frame buffer is reused underneath them).
+func decodePayload(payload []byte, dst []Record) ([]Record, error) {
+	n, w := binary.Uvarint(payload)
+	if w <= 0 {
+		return dst, fmt.Errorf("%w: bad record count varint", errTorn)
+	}
+	payload = payload[w:]
+	if n > uint64(len(payload)) {
+		// Each record costs at least one kind byte, so n can never
+		// exceed the remaining payload length in a well-formed frame.
+		return dst, fmt.Errorf("%w: record count %d exceeds payload", errTorn, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		if len(payload) == 0 {
+			return dst, fmt.Errorf("%w: truncated record", errTorn)
+		}
+		kind := payload[0]
+		payload = payload[1:]
+		if kind > 1 {
+			return dst, fmt.Errorf("%w: unknown record kind %d", errTorn, kind)
+		}
+		klen, w := binary.Uvarint(payload)
+		if w <= 0 || klen > uint64(len(payload)-w) {
+			return dst, fmt.Errorf("%w: bad key length", errTorn)
+		}
+		payload = payload[w:]
+		key := string(payload[:klen])
+		payload = payload[klen:]
+		var val string
+		if kind == 0 {
+			vlen, w := binary.Uvarint(payload)
+			if w <= 0 || vlen > uint64(len(payload)-w) {
+				return dst, fmt.Errorf("%w: bad value length", errTorn)
+			}
+			payload = payload[w:]
+			val = string(payload[:vlen])
+			payload = payload[vlen:]
+		}
+		dst = append(dst, Record{Key: key, Val: val, Del: kind == 1})
+	}
+	if len(payload) != 0 {
+		return dst, fmt.Errorf("%w: %d trailing bytes in frame", errTorn, len(payload))
+	}
+	return dst, nil
+}
+
+// frameScanner reads frames sequentially from r, tracking byte
+// offsets so recovery can truncate a torn tail exactly at the last
+// good frame boundary. next reuses its buffers: the returned slice is
+// valid until the following call.
+type frameScanner struct {
+	br   *bufio.Reader
+	off  int64
+	buf  []byte
+	recs []Record
+}
+
+func newFrameScanner(r io.Reader, off int64) *frameScanner {
+	return &frameScanner{br: bufio.NewReaderSize(r, 1<<16), off: off}
+}
+
+// next returns the records of the next frame and the offset at which
+// the frame starts. io.EOF means a clean end exactly at a frame
+// boundary; an errTorn-wrapped error means the stream is invalid from
+// the returned offset onward.
+func (s *frameScanner) next() ([]Record, int64, error) {
+	start := s.off
+	var hdr [frameHdrLen]byte
+	if _, err := io.ReadFull(s.br, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, start, io.EOF
+		}
+		if err == io.ErrUnexpectedEOF {
+			return nil, start, fmt.Errorf("%w: short frame header", errTorn)
+		}
+		return nil, start, err
+	}
+	plen := binary.LittleEndian.Uint32(hdr[:4])
+	wantCRC := binary.LittleEndian.Uint32(hdr[4:])
+	if plen > maxFramePayload {
+		return nil, start, fmt.Errorf("%w: frame payload length %d exceeds cap", errTorn, plen)
+	}
+	if cap(s.buf) < int(plen) {
+		s.buf = make([]byte, plen)
+	}
+	payload := s.buf[:plen]
+	if _, err := io.ReadFull(s.br, payload); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, start, fmt.Errorf("%w: short frame payload", errTorn)
+		}
+		return nil, start, err
+	}
+	if crc32.Checksum(payload, crcTable) != wantCRC {
+		return nil, start, fmt.Errorf("%w: crc mismatch", errTorn)
+	}
+	recs, err := decodePayload(payload, s.recs[:0])
+	s.recs = recs
+	if err != nil {
+		return nil, start, err
+	}
+	s.off = start + frameHdrLen + int64(plen)
+	return recs, start, nil
+}

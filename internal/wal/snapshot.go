@@ -1,0 +1,176 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+
+	"repro/internal/obs"
+)
+
+// snapChunk is how many pairs ride one checkpoint frame. Large enough
+// to amortize framing, small enough that the encode scratch stays
+// modest.
+const snapChunk = 512
+
+// Snapshot writes a checkpoint of the live map and prunes the log
+// behind it. stream must call emit once per live pair; it runs outside
+// the log's append lock, so appends proceed concurrently (the server
+// streams via cursor-paged range reads — the scan is fuzzy).
+//
+// Sequence: rotate to a fresh segment whose seq S becomes the
+// checkpoint's identity, scan the map into snap-<S>.ckpt.tmp, fsync,
+// rename into place, fsync the directory, then delete segments and
+// checkpoints older than S. The fuzzy scan is safe because the caller
+// applies mutations to the map BEFORE appending them: every record in
+// a segment < S was visible to the scan (or overwritten by a record
+// >= S that replays after it), so checkpoint + replay of segments >= S
+// reproduces the log's full prefix.
+//
+// The terminator frame (zero records) is the completion witness: a
+// checkpoint missing it — crash mid-write, even though renames are
+// atomic the fsync may not have landed — is skipped at recovery.
+func (l *Log) Snapshot(stream func(emit func(k, v string) error) error) error {
+	l.snapMu.Lock()
+	defer l.snapMu.Unlock()
+
+	l.mu.Lock()
+	if l.closed.Load() {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		return err
+	}
+	if err := l.rotateLocked(); err != nil {
+		err = l.fail(err)
+		l.mu.Unlock()
+		return err
+	}
+	cut := l.seq
+	l.mu.Unlock()
+
+	t0 := obs.Now()
+	final := filepath.Join(l.opt.Dir, ckptName(cut))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp) // no-op once renamed
+
+	bw := bufio.NewWriterSize(f, 1<<18)
+	var hdr [fileHdrLen]byte
+	copy(hdr[:], ckptMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], cut)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+
+	var pairs int64
+	var enc []byte
+	chunk := make([]Record, 0, snapChunk)
+	flush := func() error {
+		if len(chunk) == 0 {
+			return nil
+		}
+		enc = appendFrame(enc[:0], chunk)
+		pairs += int64(len(chunk))
+		chunk = chunk[:0]
+		_, err := bw.Write(enc)
+		return err
+	}
+	emit := func(k, v string) error {
+		chunk = append(chunk, Record{Key: k, Val: v})
+		if len(chunk) == snapChunk {
+			return flush()
+		}
+		return nil
+	}
+	if err := stream(emit); err != nil {
+		f.Close()
+		return err
+	}
+	if err := flush(); err != nil {
+		f.Close()
+		return err
+	}
+	enc = appendFrame(enc[:0], nil) // terminator: the write completed
+	if _, err := bw.Write(enc); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	st, _ := f.Stat()
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	if err := l.dir.Sync(); err != nil {
+		return err
+	}
+
+	l.snapSeq.Store(cut)
+	// Appends racing the scan land in segment >= cut and stay counted:
+	// reset by the pre-scan baseline rather than to zero.
+	l.sinceSnap.Store(l.segBytesSince(cut))
+	l.snapshots.Add(1)
+	l.snapPairs.Add(pairs)
+	if st != nil {
+		l.snapBytes.Add(st.Size())
+	}
+	l.lastSnapNs.Store(obs.Since(t0))
+	l.prune(cut)
+	return nil
+}
+
+// segBytesSince approximates the log bytes appended at or after the
+// checkpoint cut: only the active segment can hold them right after a
+// snapshot (everything older is pruned).
+func (l *Log) segBytesSince(cut uint64) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.seq == cut {
+		return l.size - fileHdrLen
+	}
+	return 0
+}
+
+// prune removes segments and checkpoints made obsolete by the durable
+// checkpoint at cut. Failures are warnings: stale files cost disk, not
+// correctness (recovery picks the newest valid checkpoint).
+func (l *Log) prune(cut uint64) {
+	entries, err := os.ReadDir(l.opt.Dir)
+	if err != nil {
+		l.opt.Logf("wal: prune: %v", err)
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		stale := false
+		if sq, ok := parseSeq(name, "wal-", ".log"); ok {
+			stale = sq < cut
+		} else if sq, ok := parseSeq(name, "snap-", ".ckpt"); ok {
+			stale = sq < cut
+		}
+		if !stale {
+			continue
+		}
+		if err := os.Remove(filepath.Join(l.opt.Dir, name)); err != nil {
+			l.opt.Logf("wal: prune %s: %v", name, err)
+		}
+	}
+}

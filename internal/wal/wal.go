@@ -1,0 +1,447 @@
+// Package wal implements the durability layer: a length-prefixed,
+// CRC32C-framed append-only log of committed batches, plus streamed
+// map checkpoints that let the log be truncated behind them.
+//
+// The write-side contract mirrors the server's group-commit design:
+// one AppendBatch call per coalescer cut, encoding the cut's mutations
+// as a single frame, with at most one fsync per cut (policy
+// SyncAlways). The batch economics that amortize tree work across a
+// combined batch amortize the disk write the same way — durability
+// costs one sequential write + one fsync per window, not per op.
+//
+// Correctness leans on one ordering rule enforced by the caller: a
+// batch is applied to the live map BEFORE it is appended here (see
+// internal/server). That makes fuzzy snapshots safe: Snapshot rotates
+// to a fresh segment first, so every record in older segments was
+// already visible to the map scan that follows — the checkpoint plus
+// replay of segments >= its seq converges to the pre-crash state by
+// per-key last-writer-wins.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Policy selects when appended frames are fsynced.
+type Policy int
+
+const (
+	// SyncAlways fsyncs once per AppendBatch (per coalescer cut): an
+	// acked write is on disk. The group-commit default.
+	SyncAlways Policy = iota
+	// SyncInterval fsyncs on a background ticker (Options.SyncEvery):
+	// bounded data loss, near-in-memory latency.
+	SyncInterval
+	// SyncNever leaves flushing to the OS page cache (and to segment
+	// seals, snapshots and Close, which always sync).
+	SyncNever
+)
+
+func (p Policy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// ParsePolicy parses the -fsync flag values always|interval|never.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval or never)", s)
+}
+
+// Options configures Open.
+type Options struct {
+	// Dir is the data directory; created if absent. Required.
+	Dir string
+	// Policy is the fsync policy (default SyncAlways).
+	Policy Policy
+	// SyncEvery is the SyncInterval ticker period (default 100ms).
+	SyncEvery time.Duration
+	// SegmentBytes rotates the active segment once it grows past this
+	// size (default 64 MiB).
+	SegmentBytes int64
+	// Logf receives recovery warnings (torn tails, skipped snapshots)
+	// and background-sync errors. Defaults to the standard logger.
+	Logf func(format string, args ...any)
+}
+
+// File naming: segments are wal-<seq>.log, checkpoints snap-<seq>.ckpt,
+// both carrying the 16-hex-digit sequence number so lexical order is
+// numeric order. A checkpoint with seq S captures the map state that
+// includes every segment < S; recovery is "newest valid snapshot +
+// replay segments >= its seq in order". Both file kinds start with an
+// 8-byte magic and the u64le seq, so a renamed file can't be replayed
+// under the wrong identity.
+const (
+	segMagic   = "PWSWAL1\n"
+	ckptMagic  = "PWSCKPT\n"
+	fileHdrLen = 16
+)
+
+func segName(seq uint64) string  { return fmt.Sprintf("wal-%016x.log", seq) }
+func ckptName(seq uint64) string { return fmt.Sprintf("snap-%016x.ckpt", seq) }
+
+// parseSeq extracts the sequence number from a segment or checkpoint
+// file name with the given prefix/suffix.
+func parseSeq(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	mid := name[len(prefix) : len(name)-len(suffix)]
+	if len(mid) != 16 {
+		return 0, false
+	}
+	var seq uint64
+	for i := 0; i < len(mid); i++ {
+		c := mid[i]
+		switch {
+		case c >= '0' && c <= '9':
+			seq = seq<<4 | uint64(c-'0')
+		case c >= 'a' && c <= 'f':
+			seq = seq<<4 | uint64(c-'a'+10)
+		default:
+			return 0, false
+		}
+	}
+	return seq, true
+}
+
+// ErrClosed is returned by operations on a closed Log.
+var ErrClosed = errors.New("wal: closed")
+
+// Log is an open write-ahead log. AppendBatch is safe for one writer
+// at a time (the server's single commit loop); Snapshot and the
+// background interval syncer may run concurrently with it.
+type Log struct {
+	opt Options
+	dir *os.File
+
+	mu    sync.Mutex
+	f     *os.File // active segment
+	w     *bufio.Writer
+	seq   uint64 // active segment sequence number
+	size  int64  // active segment size including header
+	dirty bool   // bytes written since the last fsync
+	enc   []byte // frame scratch, reused across appends
+	err   error  // first unrecoverable write error, sticky
+
+	closed atomic.Bool
+
+	snapMu    sync.Mutex // serializes Snapshot calls
+	snapSeq   atomic.Uint64
+	sinceSnap atomic.Int64
+
+	stopSync chan struct{}
+	syncDone chan struct{}
+
+	batches    atomic.Int64
+	records    atomic.Int64
+	bytes      atomic.Int64
+	syncs      atomic.Int64
+	syncErrs   atomic.Int64
+	rotations  atomic.Int64
+	snapshots  atomic.Int64
+	snapPairs  atomic.Int64
+	snapBytes  atomic.Int64
+	lastSnapNs atomic.Int64
+
+	tornTails       atomic.Int64
+	replayBatches   atomic.Int64
+	replayRecords   atomic.Int64
+	replaySnapPairs atomic.Int64
+
+	fsyncNs        obs.Histogram
+	replayBatchLen obs.Histogram
+}
+
+// AppendBatch encodes recs as one frame, writes it to the active
+// segment and — under SyncAlways — fsyncs before returning. Key/value
+// bytes are copied during encoding, so arena-backed strings are safe
+// to pass. Empty batches are dropped. An error means the batch may
+// not be durable; under SyncAlways the caller must not ack it.
+func (l *Log) AppendBatch(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed.Load() {
+		return ErrClosed
+	}
+	if l.err != nil {
+		return l.err
+	}
+	l.enc = appendFrame(l.enc[:0], recs)
+	if _, err := l.w.Write(l.enc); err != nil {
+		return l.fail(err)
+	}
+	n := int64(len(l.enc))
+	l.size += n
+	l.sinceSnap.Add(n)
+	l.batches.Add(1)
+	l.records.Add(int64(len(recs)))
+	l.bytes.Add(n)
+	l.dirty = true
+	if l.size >= l.opt.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return l.fail(err)
+		}
+	}
+	if l.opt.Policy == SyncAlways {
+		if err := l.syncLocked(); err != nil {
+			return l.fail(err)
+		}
+	}
+	return nil
+}
+
+// fail records the first unrecoverable write error; the log refuses
+// further appends after one (a half-written frame would otherwise be
+// followed by more frames behind a torn middle, which recovery treats
+// as fatal — stopping at the first error keeps all damage in the tail).
+func (l *Log) fail(err error) error {
+	l.syncErrs.Add(1)
+	if l.err == nil {
+		l.err = err
+	}
+	return err
+}
+
+// syncLocked flushes buffered frames and fsyncs the active segment,
+// recording the fsync latency. No-op when nothing was appended since
+// the last sync.
+func (l *Log) syncLocked() error {
+	if !l.dirty {
+		return nil
+	}
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	t0 := obs.Now()
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.fsyncNs.Record(obs.Since(t0))
+	l.syncs.Add(1)
+	l.dirty = false
+	return nil
+}
+
+// Sync forces an fsync of the active segment (used by tests and by
+// graceful shutdown paths that want durability under SyncNever).
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed.Load() {
+		return ErrClosed
+	}
+	if err := l.syncLocked(); err != nil {
+		return l.fail(err)
+	}
+	return nil
+}
+
+// rotateLocked seals the active segment (flush + fsync + close) and
+// opens the next one. Sealing always syncs regardless of policy, so
+// every frame in a sealed segment is durable and a torn tail can only
+// exist in the newest file.
+func (l *Log) rotateLocked() error {
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	l.dirty = false
+	l.seq++
+	f, size, err := createSegment(l.opt.Dir, l.seq)
+	if err != nil {
+		return err
+	}
+	if err := l.dir.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	l.w.Reset(f)
+	l.size = size
+	l.rotations.Add(1)
+	return nil
+}
+
+// createSegment creates a fresh segment file with its header written
+// and synced. The caller syncs the directory.
+func createSegment(dir string, seq uint64) (*os.File, int64, error) {
+	f, err := os.OpenFile(filepath.Join(dir, segName(seq)),
+		os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, 0, err
+	}
+	var hdr [fileHdrLen]byte
+	copy(hdr[:], segMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], seq)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	return f, fileHdrLen, nil
+}
+
+// syncLoop is the SyncInterval background ticker.
+func (l *Log) syncLoop() {
+	defer close(l.syncDone)
+	t := time.NewTicker(l.opt.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stopSync:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed.Load() && l.err == nil {
+				if err := l.syncLocked(); err != nil {
+					l.fail(err)
+					l.opt.Logf("wal: interval fsync: %v", err)
+				}
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// Close flushes, fsyncs and closes the log. After a clean Close the
+// entire log is durable regardless of policy. Concurrent Snapshot
+// calls must have finished (the server stops its snapshotter first).
+func (l *Log) Close() error {
+	if !l.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	if l.stopSync != nil {
+		close(l.stopSync)
+		<-l.syncDone
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	err := l.w.Flush()
+	if e := l.f.Sync(); err == nil {
+		err = e
+	}
+	if e := l.f.Close(); err == nil {
+		err = e
+	}
+	if e := l.dir.Close(); err == nil {
+		err = e
+	}
+	if err == nil {
+		err = l.err
+	}
+	return err
+}
+
+// Policy returns the configured fsync policy.
+func (l *Log) Policy() Policy { return l.opt.Policy }
+
+// Dir returns the data directory.
+func (l *Log) Dir() string { return l.opt.Dir }
+
+// Seq returns the active segment's sequence number.
+func (l *Log) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// SnapSeq returns the newest durable checkpoint's sequence number
+// (0 if none).
+func (l *Log) SnapSeq() uint64 { return l.snapSeq.Load() }
+
+// BytesSinceSnapshot returns the log bytes appended since the last
+// completed checkpoint — the snapshotter's trigger metric.
+func (l *Log) BytesSinceSnapshot() int64 { return l.sinceSnap.Load() }
+
+// FsyncHist returns a snapshot of the fsync latency histogram (ns).
+func (l *Log) FsyncHist() obs.HistSnapshot { return l.fsyncNs.Snapshot() }
+
+// ReplayHist returns a snapshot of the replayed-batch-size histogram
+// (records per frame), populated during recovery.
+func (l *Log) ReplayHist() obs.HistSnapshot { return l.replayBatchLen.Snapshot() }
+
+// Stats is a point-in-time scalar summary for STATS / /statsz.
+type Stats struct {
+	Policy          string `json:"policy"`
+	Seq             uint64 `json:"seq"`
+	SnapSeq         uint64 `json:"snap_seq"`
+	Batches         int64  `json:"batches"`
+	Records         int64  `json:"records"`
+	Bytes           int64  `json:"bytes"`
+	Syncs           int64  `json:"syncs"`
+	SyncErrors      int64  `json:"sync_errors"`
+	Rotations       int64  `json:"rotations"`
+	Snapshots       int64  `json:"snapshots"`
+	SnapshotPairs   int64  `json:"snapshot_pairs"`
+	SnapshotBytes   int64  `json:"snapshot_bytes"`
+	LastSnapshotNs  int64  `json:"last_snapshot_ns"`
+	SinceSnapshot   int64  `json:"bytes_since_snapshot"`
+	TornTails       int64  `json:"torn_tails"`
+	ReplayBatches   int64  `json:"replay_batches"`
+	ReplayRecords   int64  `json:"replay_records"`
+	ReplaySnapPairs int64  `json:"replay_snapshot_pairs"`
+}
+
+// Stats returns the current counters.
+func (l *Log) Stats() Stats {
+	return Stats{
+		Policy:          l.opt.Policy.String(),
+		Seq:             l.Seq(),
+		SnapSeq:         l.snapSeq.Load(),
+		Batches:         l.batches.Load(),
+		Records:         l.records.Load(),
+		Bytes:           l.bytes.Load(),
+		Syncs:           l.syncs.Load(),
+		SyncErrors:      l.syncErrs.Load(),
+		Rotations:       l.rotations.Load(),
+		Snapshots:       l.snapshots.Load(),
+		SnapshotPairs:   l.snapPairs.Load(),
+		SnapshotBytes:   l.snapBytes.Load(),
+		LastSnapshotNs:  l.lastSnapNs.Load(),
+		SinceSnapshot:   l.sinceSnap.Load(),
+		TornTails:       l.tornTails.Load(),
+		ReplayBatches:   l.replayBatches.Load(),
+		ReplayRecords:   l.replayRecords.Load(),
+		ReplaySnapPairs: l.replaySnapPairs.Load(),
+	}
+}
+
+func defaultLogf(format string, args ...any) { log.Printf(format, args...) }
