@@ -15,6 +15,9 @@
 //	wsd -coalesce-window 200us   # cross-connection group commit: depth-1
 //	                             # traffic from many clients rides combined
 //	                             # batches (README: tuning -coalesce-window)
+//	wsd -front-cache 0           # disable the per-shard hot-key read cache
+//	                             # (on by default; GETs of recently read
+//	                             # keys answer before the batch pipeline)
 //	wsd -data-dir /var/lib/wsd   # durable: group-commit WAL + snapshots;
 //	                             # restart recovers every acked write
 //	                             # (-fsync always|interval|never)
@@ -55,6 +58,7 @@ func main() {
 		maxPipe   = flag.Int("maxpipeline", 256, "max pipelined commands per batch")
 		coWin     = flag.Duration("coalesce-window", 0, "cross-connection coalescing window (0 = per-connection batching only; forced on with -data-dir)")
 		coBatch   = flag.Int("coalesce-batch", 1024, "coalescing size trigger in ops (with -coalesce-window)")
+		frontSz   = flag.Int("front-cache", server.DefaultFrontCache, "per-shard hot-key read cache entries (0 = off)")
 		maxScan   = flag.Int("max-scan", 1000, "max pairs per SCAN page (clients page past it with the reply cursor)")
 		admin     = flag.String("admin", "", "admin HTTP listen address (/metrics, /statsz, /debug/pprof); empty = off; empty host = loopback")
 		adminOpen = flag.Bool("admin-expose", false, "allow the unauthenticated admin endpoint on a non-loopback address")
@@ -88,8 +92,13 @@ func main() {
 		MaxScan:        *maxScan,
 		CoalesceWindow: *coWin,
 		CoalesceBatch:  *coBatch,
+		FrontCache:     *frontSz, // 0 remapped below: flag 0 = off, Config 0 = default
+
 		WorkCounter:    *workCnt,
 		IdleTimeout:    *idleTO,
+	}
+	if *frontSz <= 0 {
+		cfg.FrontCache = -1
 	}
 
 	var rec *wal.Recovery
@@ -153,6 +162,9 @@ func main() {
 	mode := "per-connection batching"
 	if *coWin > 0 {
 		mode = fmt.Sprintf("coalescing window=%s batch=%d", *coWin, *coBatch)
+	}
+	if *frontSz > 0 {
+		mode += fmt.Sprintf(", front-cache=%d/shard", *frontSz)
 	}
 	if cfg.WAL != nil {
 		mode += fmt.Sprintf(", durable fsync=%s", cfg.WAL.Policy())

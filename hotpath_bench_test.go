@@ -30,6 +30,58 @@ func BenchmarkHotPathM1Get(b *testing.B) {
 	}
 }
 
+// BenchmarkHotPathFrontCacheGet measures the hot-key read front at its
+// three operating points. hit: a warm cached key, the sub-microsecond
+// zero-alloc fast path the zipf acceptance criterion targets. miss: a
+// key outside the cached set on a front-enabled map, i.e. the full
+// engine path plus the consult/reserve overhead — the price uniform
+// workloads pay. contended: every processor hammering the same cached
+// key, which exercises the read-side scalability of the version-word
+// protocol (readers never write shared memory on a hit).
+func BenchmarkHotPathFrontCacheGet(b *testing.B) {
+	newWarm := func() *Sharded[int, int] {
+		m := NewSharded[int, int](ShardedOptions{FrontCache: 1024})
+		for i := 0; i < 4096; i++ {
+			m.Insert(i, i)
+		}
+		m.Get(7)
+		m.Get(7) // second Get is served from the front
+		return m
+	}
+	b.Run("hit", func(b *testing.B) {
+		m := newWarm()
+		defer m.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Get(7)
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		m := newWarm()
+		defer m.Close()
+		// Absent keys are never cached (an absent install clears the
+		// reservation instead of publishing), so every iteration is a
+		// steady-state miss: consult + reserve + engine + install.
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Get(4096 + i%4096)
+		}
+	})
+	b.Run("contended", func(b *testing.B) {
+		m := newWarm()
+		defer m.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				m.Get(7)
+			}
+		})
+	})
+}
+
 // BenchmarkHotPathRangePage measures a warm cursor page through the
 // sharded front-end: one 64-pair page of a broadcast batched range read
 // (one OpRange per shard riding its engine's cut batch, k-way merged),

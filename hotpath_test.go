@@ -31,6 +31,29 @@ func TestAllocsWarmM1Get(t *testing.T) {
 	}
 }
 
+func TestAllocsFrontCacheGet(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts inflated under -race")
+	}
+	m := NewSharded[int, int](ShardedOptions{FrontCache: 1024})
+	defer m.Close()
+	for i := 0; i < 1024; i++ {
+		m.Insert(i, i)
+	}
+	m.Get(7) // miss: reserves a slot and installs the engine's answer
+	m.Get(7) // hit
+	// A front-cache hit is a hash, a bounded probe and two atomic loads:
+	// the ceiling is exactly zero, so any allocation on the cached read
+	// path is a regression.
+	if n := testing.AllocsPerRun(200, func() { m.Get(7) }); n > 0 {
+		t.Errorf("front-cache hit Get: %.1f allocs/op, ceiling 0", n)
+	}
+	fs := m.FrontStats()
+	if fs.Hits < 200 {
+		t.Errorf("front cache recorded %d hits; the measured Gets were not cached", fs.Hits)
+	}
+}
+
 func TestAllocsRangePage(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts inflated under -race")

@@ -8,6 +8,7 @@ package experiments
 import (
 	"encoding/json"
 	"fmt"
+	"runtime"
 	"strings"
 )
 
@@ -56,11 +57,15 @@ func (t *Table) String() string {
 	return sb.String()
 }
 
-// jsonRow is the machine-readable form of one table row.
+// jsonRow is the machine-readable form of one table row. Go and
+// Gomaxprocs pin the row's environment so archived trajectories
+// (BENCH_*.json) stay comparable across machines and toolchains.
 type jsonRow struct {
-	Exp   string            `json:"exp"`
-	Title string            `json:"title"`
-	Cols  map[string]string `json:"cols"`
+	Exp        string            `json:"exp"`
+	Title      string            `json:"title"`
+	Go         string            `json:"go"`
+	Gomaxprocs int               `json:"gomaxprocs"`
+	Cols       map[string]string `json:"cols"`
 }
 
 // JSONRows renders the table as JSON lines — one object per row, keyed
@@ -78,7 +83,11 @@ func (t Table) JSONRows(id string) []string {
 			}
 			cols[key] = c
 		}
-		b, err := json.Marshal(jsonRow{Exp: id, Title: t.Title, Cols: cols})
+		b, err := json.Marshal(jsonRow{
+			Exp: id, Title: t.Title,
+			Go: runtime.Version(), Gomaxprocs: runtime.GOMAXPROCS(0),
+			Cols: cols,
+		})
 		if err != nil {
 			continue // string maps cannot fail to marshal
 		}

@@ -21,6 +21,7 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
@@ -182,6 +183,11 @@ type Report struct {
 	ScanP99 time.Duration `json:"scan_p99_ns,omitempty"`
 	// Reconnects counts mid-run redials (only with Config.Retry set).
 	Reconnects int `json:"reconnects,omitempty"`
+	// GoMaxProcs and GoVersion pin the run's environment so archived
+	// report rows (BENCH_*.json) stay comparable across machines and
+	// toolchains.
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go"`
 }
 
 // String renders the report as one aligned line.
@@ -331,6 +337,8 @@ func Run(cfg Config, dial func() (net.Conn, error)) (Report, error) {
 		Duration:   wall,
 		Scans:      len(scans),
 		Reconnects: reconnects,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
 	}
 	if wall > 0 {
 		rep.OpsPerSec = float64(total) / wall.Seconds()

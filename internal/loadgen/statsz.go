@@ -41,6 +41,23 @@ type Statsz struct {
 	DepthSources map[string]int64      `json:"depth_sources"`
 	Stages       map[string]StatszHist `json:"stages"`
 	Work         *StatszWork           `json:"work,omitempty"`
+	Front        *StatszFront          `json:"front,omitempty"`
+}
+
+// StatszFront mirrors the optional hot-key front cache block (present
+// when the server runs with the front cache enabled). The counters are
+// cumulative; diff two scrapes for a per-run hit ratio.
+type StatszFront struct {
+	Entries      int64      `json:"entries"`
+	Hits         int64      `json:"hits"`
+	Misses       int64      `json:"misses"`
+	Conflicts    int64      `json:"conflicts"`
+	Reserves     int64      `json:"reserves"`
+	Installs     int64      `json:"installs"`
+	InstallDrops int64      `json:"install_drops"`
+	Invalidates  int64      `json:"invalidates"`
+	Evictions    int64      `json:"evictions"`
+	HitNS        StatszHist `json:"hit_ns"`
 }
 
 // StatszWork mirrors the optional structural-work counters (present
@@ -110,6 +127,25 @@ func (s Statsz) Summary(prev Statsz) string {
 			if n > 0 {
 				fmt.Fprintf(&b, "  %s=%.0f%%", name, 100*float64(n)/float64(total))
 			}
+		}
+	}
+	if s.Front != nil {
+		// Interval hit ratio: cumulative counters diffed against the
+		// pre-run scrape (prev.Front may be nil on a freshly started
+		// server).
+		var ph, pm int64
+		if prev.Front != nil {
+			ph, pm = prev.Front.Hits, prev.Front.Misses
+		}
+		hits, misses := s.Front.Hits-ph, s.Front.Misses-pm
+		if lookups := hits + misses; lookups > 0 {
+			hitNS := s.Front.HitNS.Snapshot()
+			if prev.Front != nil {
+				hitNS = hitNS.Sub(prev.Front.HitNS.Snapshot())
+			}
+			fmt.Fprintf(&b, "\nserver front: hit=%.1f%% (%d/%d)  hit p50=%s p99=%s",
+				100*float64(hits)/float64(lookups), hits, lookups,
+				roundDur(hitNS.Quantile(0.50)), roundDur(hitNS.Quantile(0.99)))
 		}
 	}
 	stages := make([]string, 0, len(s.Stages))

@@ -16,13 +16,17 @@ const (
 	// SrcTail: reached the end of the structure — a miss or a fresh
 	// insert, the full-traversal outcome.
 	SrcTail
+	// SrcFront: answered by the lock-free hot-key front cache ahead of
+	// the batch pipeline (internal/frontcache) — the lookup never
+	// entered the engine, recorded at depth 0.
+	SrcFront
 
 	// NumDepthSources is the number of depth-source classes.
-	NumDepthSources = int(SrcTail) + 1
+	NumDepthSources = int(SrcFront) + 1
 )
 
 var srcNames = [NumDepthSources]string{
-	"first_slab", "filter", "final_slab", "tail",
+	"first_slab", "filter", "final_slab", "tail", "front",
 }
 
 // String returns the source's stable snake_case name.

@@ -24,6 +24,7 @@ import (
 	"net/http/pprof"
 
 	"repro/internal/coalesce"
+	"repro/internal/frontcache"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/wal"
@@ -72,6 +73,14 @@ type statszWAL struct {
 	ReplayBatch statszHist `json:"replay_batch"`
 }
 
+// statszFront is the hot-key front cache block of the /statsz reply:
+// the merged per-shard counters plus the cached-GET latency histogram
+// (nanoseconds). Absent when the front cache is disabled.
+type statszFront struct {
+	frontcache.Stats
+	HitNS statszHist `json:"hit_ns"`
+}
+
 // statszReply is the /statsz JSON document.
 type statszReply struct {
 	Engine       string                `json:"engine"`
@@ -79,6 +88,7 @@ type statszReply struct {
 	Keys         int                   `json:"keys"`
 	Server       Stats                 `json:"server"`
 	Coalesce     *coalesce.Stats       `json:"coalesce,omitempty"`
+	Front        *statszFront          `json:"front,omitempty"`
 	Depth        statszHist            `json:"depth"`
 	DepthSources map[string]int64      `json:"depth_sources"`
 	Range        statszRange           `json:"range"`
@@ -97,6 +107,9 @@ func (s *Server) statsz() statszReply {
 	}
 	if cs, ok := s.Coalesced(); ok {
 		r.Coalesce = &cs
+	}
+	if fs, ok := s.Front(); ok {
+		r.Front = &statszFront{Stats: fs, HitNS: toStatszHist(fs.HitNS)}
 	}
 	es := s.obsm.DepthSnapshot()
 	r.Depth = toStatszHist(es.Depth)
@@ -177,6 +190,20 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 		writeCounter("wsd_coalesce_size_cuts_total", cs.SizeCuts)
 		writeCounter("wsd_coalesce_window_cuts_total", cs.WindowCuts)
 		writeCounter("wsd_coalesce_drain_cuts_total", cs.DrainCuts)
+		writeCounter("wsd_coalesce_absorbed_total", cs.Absorbed)
+	}
+	if fs, ok := s.Front(); ok {
+		writeGauge("wsd_front_entries", fs.Entries)
+		writeCounter("wsd_front_hits_total", fs.Hits)
+		writeCounter("wsd_front_misses_total", fs.Misses)
+		writeCounter("wsd_front_conflicts_total", fs.Conflicts)
+		writeCounter("wsd_front_reserves_total", fs.Reserves)
+		writeCounter("wsd_front_installs_total", fs.Installs)
+		writeCounter("wsd_front_install_drops_total", fs.InstallDrops)
+		writeCounter("wsd_front_invalidates_total", fs.Invalidates)
+		writeCounter("wsd_front_evictions_total", fs.Evictions)
+		// Hit latency is nanoseconds; 1e-9 emits Prometheus base seconds.
+		fs.HitNS.WriteProm(w, "wsd_front_hit_seconds", "", 1e-9)
 	}
 	if s.work != nil {
 		ws := s.work.Snapshot()

@@ -186,16 +186,20 @@ func TestServerCoalescedExactReplies(t *testing.T) {
 		t.Error(err)
 	}
 	st := s.Stats()
-	if st.Ops != conns*rounds {
-		t.Errorf("ops = %d, want %d", st.Ops, conns*rounds)
+	// Front-cache hits are absorbed before the window and appear in no
+	// combined batch; batch ops plus absorbed must account for every
+	// command exactly.
+	cs, _ := s.Coalesced()
+	if st.Ops+cs.Absorbed != conns*rounds {
+		t.Errorf("ops+absorbed = %d+%d, want %d", st.Ops, cs.Absorbed, conns*rounds)
 	}
 	// Depth-1 traffic from 8 concurrent conns must have coalesced: far
 	// fewer map batches than ops.
 	if st.Batches >= st.Ops {
 		t.Errorf("no cross-connection coalescing: %d batches for %d ops", st.Batches, st.Ops)
 	}
-	t.Logf("coalesced: %d ops in %d batches (avg %.1f, max %d)",
-		st.Ops, st.Batches, st.AvgBatch(), st.MaxBatch)
+	t.Logf("coalesced: %d ops in %d batches (avg %.1f, max %d), %d absorbed",
+		st.Ops, st.Batches, st.AvgBatch(), st.MaxBatch, cs.Absorbed)
 }
 
 // TestServerCoalescedDuplicateAcrossConns checks that simultaneous

@@ -12,6 +12,7 @@ import (
 
 	pws "repro"
 	"repro/internal/coalesce"
+	"repro/internal/frontcache"
 	"repro/internal/obs"
 	"repro/internal/wire"
 )
@@ -52,6 +53,27 @@ type conn struct {
 	res     []pws.Result[string]
 	pending []pendingReply
 	scanBuf []pws.KV[string, string] // SCAN page buffer, reused across pages
+
+	// Front-cache state (zero/unused when the store has no front).
+	// hits are the GETs of the current batch segment answered straight
+	// from the hot-key front — they consume no op and no result slot,
+	// and renderReplies interleaves them back by position. tickets are
+	// the population reservations placed for GET misses, aligned to ops
+	// by index, installed once the segment's results arrive. writeKeys
+	// are the keys written earlier in the CURRENT pipeline: a later GET
+	// of such a key must not consult the front, because its batch may
+	// not have committed yet and program order within a pipeline must
+	// see the write (arena-aliased; reset each pipeline).
+	front     bool
+	hits      []frontHit
+	tickets   []opTicket
+	writeKeys []string
+	// resKey/mkRes defer the reservation key's stable copy to the
+	// claims that need it: mkRes (built once per connection, so the
+	// closure never allocates per op) clones resKey out of the read
+	// arena. nil when keys are already private copies (cloneAllKeys).
+	resKey string
+	mkRes  func() string
 
 	// Coalesced-mode plumbing (nil in per-connection batching mode).
 	// jobCh carries jobs to the writer half in submission order; ack is
@@ -120,7 +142,23 @@ const shutdownGrace = 50 * time.Millisecond
 // results it consumed.
 type pendingReply struct {
 	kind replyKind
-	n    int // ops consumed from the result slice
+	n    int // total keys answered (ops consumed = n - hits for GET kinds)
+	hits int // of n, how many were served by the front cache
+}
+
+// frontHit is one GET answered by the hot-key front: pos is the key's
+// position within its command (0 for single-key GET), val the cached
+// value. Hits are consumed in order by renderReplies.
+type frontHit struct {
+	pos int
+	val string
+}
+
+// opTicket pairs a front-cache population reservation with the index of
+// its fallback GET in the segment's ops (and so in its results).
+type opTicket struct {
+	idx int
+	tk  frontcache.Ticket[string, string]
 }
 
 type replyKind uint8
@@ -160,6 +198,8 @@ type connJob struct {
 	kind    jobKind
 	job     coalesce.Job[string, string] // jobMap: ops in, results out
 	pending []pendingReply               // jobMap: reply plan
+	hits    []frontHit                   // jobMap: front-cache answers to interleave
+	tickets []opTicket                   // jobMap: reservations to install from Res
 	errText string                       // jobErr: pre-rendered error text
 }
 
@@ -284,12 +324,13 @@ func (c *conn) writeLoop() {
 		switch cj.kind {
 		case jobMap:
 			cj.job.Wait()
+			installTickets(cj.tickets, cj.job.Res)
 			var t0 int64
 			st := c.srv.stages()
 			if st != nil {
 				t0 = obs.Now()
 			}
-			c.renderReplies(cj.pending, cj.job.Res)
+			c.renderReplies(cj.pending, cj.job.Res, cj.hits)
 			st.RecordSince(obs.StageReply, t0)
 		case jobPing:
 			c.w.WriteSimple("PONG")
@@ -332,12 +373,19 @@ func (c *conn) getJob() *connJob {
 	}
 }
 
-// putJob recycles a job frame: lengths reset, capacities kept.
+// putJob recycles a job frame: lengths reset, capacities kept. The hit
+// values and tickets are cleared, not just truncated — they reference
+// map-owned values and cache slots that must not stay reachable from
+// the free list.
 func (c *conn) putJob(cj *connJob) {
 	cj.kind = 0
 	cj.errText = ""
 	cj.job.Ops = cj.job.Ops[:0]
 	cj.pending = cj.pending[:0]
+	clear(cj.hits)
+	cj.hits = cj.hits[:0]
+	clear(cj.tickets)
+	cj.tickets = cj.tickets[:0]
 	select {
 	case c.freeJobs <- cj:
 	default:
@@ -409,6 +457,12 @@ func trunc(s string) string {
 func (c *conn) process(cmds []wire.Command) (quit bool) {
 	c.ops = c.ops[:0]
 	c.pending = c.pending[:0]
+	if c.front {
+		c.hits = c.hits[:0]
+		c.tickets = c.tickets[:0]
+		clear(c.writeKeys)
+		c.writeKeys = c.writeKeys[:0]
+	}
 	co := c.srv.co != nil
 	for _, cmd := range cmds {
 		switch name := strings.ToUpper(cmd.Name); name {
@@ -416,46 +470,61 @@ func (c *conn) process(cmds []wire.Command) (quit bool) {
 			if !c.wantArgs(cmd, len(cmd.Args) == 1) {
 				continue
 			}
-			c.ops = append(c.ops, pws.Op[string, string]{Kind: pws.OpGet, Key: c.key(cmd.Args[0])})
-			c.pending = append(c.pending, pendingReply{replyGet, 1})
 			c.srv.st.gets.Add(1)
+			if hit := c.frontOp(cmd.Args[0], 0); hit {
+				c.pending = append(c.pending, pendingReply{kind: replyGet, n: 1, hits: 1})
+				if co {
+					c.srv.co.Absorb(1)
+				}
+				continue
+			}
+			c.pending = append(c.pending, pendingReply{kind: replyGet, n: 1})
 		case "SET":
 			if !c.wantArgs(cmd, len(cmd.Args) == 2) {
 				continue
 			}
+			c.noteWrite(cmd.Args[0])
 			// Inserted keys and values outlive the pipeline inside the
 			// map; copy them out of the reader's arena.
 			c.ops = append(c.ops, pws.Op[string, string]{Kind: pws.OpInsert,
 				Key: strings.Clone(cmd.Args[0]), Val: strings.Clone(cmd.Args[1])})
-			c.pending = append(c.pending, pendingReply{replySet, 1})
+			c.pending = append(c.pending, pendingReply{kind: replySet, n: 1})
 			c.srv.st.sets.Add(1)
 		case "DEL":
 			if !c.wantArgs(cmd, len(cmd.Args) >= 1) {
 				continue
 			}
 			for _, k := range cmd.Args {
+				c.noteWrite(k)
 				c.ops = append(c.ops, pws.Op[string, string]{Kind: pws.OpDelete, Key: c.key(k)})
 			}
-			c.pending = append(c.pending, pendingReply{replyDel, len(cmd.Args)})
+			c.pending = append(c.pending, pendingReply{kind: replyDel, n: len(cmd.Args)})
 			c.srv.st.dels.Add(int64(len(cmd.Args)))
 		case "MGET":
 			if !c.wantArgs(cmd, len(cmd.Args) >= 1) {
 				continue
 			}
-			for _, k := range cmd.Args {
-				c.ops = append(c.ops, pws.Op[string, string]{Kind: pws.OpGet, Key: c.key(k)})
+			nhits := 0
+			for pos, k := range cmd.Args {
+				if c.frontOp(k, pos) {
+					nhits++
+				}
 			}
-			c.pending = append(c.pending, pendingReply{replyMGet, len(cmd.Args)})
+			c.pending = append(c.pending, pendingReply{kind: replyMGet, n: len(cmd.Args), hits: nhits})
 			c.srv.st.gets.Add(int64(len(cmd.Args)))
+			if nhits > 0 && co {
+				c.srv.co.Absorb(nhits)
+			}
 		case "MSET":
 			if !c.wantArgs(cmd, len(cmd.Args) >= 2 && len(cmd.Args)%2 == 0) {
 				continue
 			}
 			for i := 0; i < len(cmd.Args); i += 2 {
+				c.noteWrite(cmd.Args[i])
 				c.ops = append(c.ops, pws.Op[string, string]{Kind: pws.OpInsert,
 					Key: strings.Clone(cmd.Args[i]), Val: strings.Clone(cmd.Args[i+1])})
 			}
-			c.pending = append(c.pending, pendingReply{replyMSet, len(cmd.Args) / 2})
+			c.pending = append(c.pending, pendingReply{kind: replyMSet, n: len(cmd.Args) / 2})
 			c.srv.st.sets.Add(int64(len(cmd.Args) / 2))
 		case "LEN":
 			c.barrierSync()
@@ -538,6 +607,66 @@ func (c *conn) key(k string) string {
 	return k
 }
 
+// frontOp decodes one GET key: a front-cache hit appends a frontHit
+// (no op, no batch round trip — the reply comes straight from the
+// cache) and reports true; a miss appends the fallback op plus a
+// population reservation and reports false. Keys this pipeline already
+// wrote skip the front entirely — their write may sit in an
+// uncommitted batch, and program order within a pipeline must observe
+// it — and place no reservation (the write's commit-boundary
+// invalidation would kill the install anyway). pos is the key's
+// position within its command, for reply interleaving.
+func (c *conn) frontOp(k string, pos int) (hit bool) {
+	if c.front && !c.wroteKey(k) {
+		if v, ok := c.srv.store.FrontGet(k); ok {
+			c.hits = append(c.hits, frontHit{pos: pos, val: v})
+			return true
+		}
+		kk := c.key(k)
+		c.resKey = kk
+		if tk := c.srv.store.FrontReserve(kk, c.mkRes); tk.Reserved() {
+			c.tickets = append(c.tickets, opTicket{idx: len(c.ops), tk: tk})
+		}
+		c.ops = append(c.ops, pws.Op[string, string]{Kind: pws.OpGet, Key: kk})
+		return false
+	}
+	c.ops = append(c.ops, pws.Op[string, string]{Kind: pws.OpGet, Key: c.key(k)})
+	return false
+}
+
+// noteWrite records a key written by the current pipeline, gating later
+// front-cache consults of the same key (see frontOp). The recorded
+// strings alias the read arena; the list is reset at each pipeline
+// before the arena recycles.
+func (c *conn) noteWrite(k string) {
+	if c.front {
+		c.writeKeys = append(c.writeKeys, k)
+	}
+}
+
+// wroteKey reports whether the current pipeline already wrote k. A
+// linear scan: pipelines are bounded by MaxPipeline and writes are the
+// minority of a cache-worthy workload, so the scan stays cheap and
+// allocation-free.
+func (c *conn) wroteKey(k string) bool {
+	for _, w := range c.writeKeys {
+		if w == k {
+			return true
+		}
+	}
+	return false
+}
+
+// installTickets publishes a segment's results into the front cache
+// through the reservations placed at decode time. Runs after the
+// batch's results are released; each install's version guard drops it
+// if a later batch already invalidated (or recycled) the slot.
+func installTickets(tickets []opTicket, res []pws.Result[string]) {
+	for _, t := range tickets {
+		t.tk.Install(res[t.idx].Val, res[t.idx].OK)
+	}
+}
+
 // flushBatch cuts the accumulated operations. In per-connection batching
 // mode it submits them as one batch Apply and renders the replies in
 // place; in coalesced mode it swaps them into a job frame, submits the
@@ -545,7 +674,8 @@ func (c *conn) key(k string) string {
 // half — the reply order is the queue order, and the results arrive in
 // the job's own Res slice straight from the combined batch.
 func (c *conn) flushBatch() {
-	if len(c.ops) == 0 {
+	// A segment can be all front-cache hits: no ops, but replies owed.
+	if len(c.ops) == 0 && len(c.pending) == 0 {
 		return
 	}
 	s := c.srv
@@ -554,38 +684,64 @@ func (c *conn) flushBatch() {
 		cj.kind = jobMap
 		cj.job.Ops, c.ops = c.ops, cj.job.Ops[:0]
 		cj.pending, c.pending = c.pending, cj.pending[:0]
-		s.co.Submit(&cj.job)
+		cj.hits, c.hits = c.hits, cj.hits[:0]
+		cj.tickets, c.tickets = c.tickets, cj.tickets[:0]
+		// A hits-only job skips the scheduler: there is nothing to
+		// commit and no reason to wait out a coalesce window — Wait on
+		// the unsubmitted job returns immediately and the writer half
+		// renders the cached replies in queue order.
+		if len(cj.job.Ops) > 0 {
+			s.co.Submit(&cj.job)
+		}
 		c.jobCh <- cj
 		return
 	}
-	res := s.store.ApplyInto(c.ops, c.res[:0])
-	c.res = res
-	s.st.recordBatch(len(c.ops))
+	if len(c.ops) > 0 {
+		res := s.store.ApplyInto(c.ops, c.res[:0])
+		c.res = res
+		s.st.recordBatch(len(c.ops))
+		installTickets(c.tickets, res)
+	}
 	var t0 int64
 	st := s.stages()
 	if st != nil {
 		t0 = obs.Now()
 	}
-	c.renderReplies(c.pending, res)
+	c.renderReplies(c.pending, c.res[:len(c.ops)], c.hits)
 	st.RecordSince(obs.StageReply, t0)
 	c.ops = c.ops[:0]
 	c.pending = c.pending[:0]
+	if c.front {
+		clear(c.hits)
+		c.hits = c.hits[:0]
+		clear(c.tickets)
+		c.tickets = c.tickets[:0]
+	}
 }
 
-// renderReplies writes the per-command replies of one batch in order.
-func (c *conn) renderReplies(pending []pendingReply, res []pws.Result[string]) {
-	i := 0
+// renderReplies writes the per-command replies of one batch in order,
+// interleaving front-cache hits (which consumed no result slot) back
+// into their command positions: i cursors the batch results, j the
+// hits, and each GET-kind reply consumes exactly pending.hits entries
+// of hits, whose pos fields give the within-command interleave.
+func (c *conn) renderReplies(pending []pendingReply, res []pws.Result[string], hits []frontHit) {
+	i, j := 0, 0
 	for _, p := range pending {
 		switch p.kind {
 		case replyGet:
-			c.writeGet(res[i])
-			i++
+			if p.hits == 1 {
+				c.w.WriteBulk(hits[j].val)
+				j++
+			} else {
+				c.writeGet(res[i])
+				i++
+			}
 		case replySet:
 			c.w.WriteSimple("OK")
 			i++
 		case replyDel:
 			n := 0
-			for j := 0; j < p.n; j++ {
+			for k := 0; k < p.n; k++ {
 				if res[i].OK {
 					n++
 				}
@@ -594,9 +750,15 @@ func (c *conn) renderReplies(pending []pendingReply, res []pws.Result[string]) {
 			c.w.WriteInt(int64(n))
 		case replyMGet:
 			c.w.WriteArrayHeader(p.n)
-			for j := 0; j < p.n; j++ {
-				c.writeGet(res[i])
-				i++
+			end := j + p.hits
+			for pos := 0; pos < p.n; pos++ {
+				if j < end && hits[j].pos == pos {
+					c.w.WriteBulk(hits[j].val)
+					j++
+				} else {
+					c.writeGet(res[i])
+					i++
+				}
 			}
 		case replyMSet:
 			i += p.n

@@ -45,6 +45,7 @@ import (
 
 	pws "repro"
 	"repro/internal/coalesce"
+	"repro/internal/frontcache"
 	"repro/internal/obs"
 	"repro/internal/wal"
 	"repro/internal/wire"
@@ -114,7 +115,20 @@ type Config struct {
 	// (no command read) longer than this, so dead clients stop pinning
 	// conn goroutines and pooled arenas forever. Zero disables it.
 	IdleTimeout time.Duration
+	// FrontCache sizes the per-shard lock-free hot-key read front
+	// (internal/frontcache) in entries: GETs consult it before the
+	// batch pipeline and hot keys are answered in nanoseconds, with
+	// every write invalidating its key at the batch commit boundary so
+	// batch-level linearizability is preserved. 0 means the default
+	// (DefaultFrontCache entries per shard); negative disables the
+	// front — the same negative-really-zero convention the load
+	// generator's fraction knobs use.
+	FrontCache int
 }
+
+// DefaultFrontCache is the per-shard entry count of the hot-key read
+// front when Config.FrontCache is zero.
+const DefaultFrontCache = 4096
 
 func (c Config) withDefaults() Config {
 	if c.MaxConns < 1 {
@@ -125,6 +139,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxScan < 1 {
 		c.MaxScan = 1000
+	}
+	if c.FrontCache == 0 {
+		c.FrontCache = DefaultFrontCache
+	} else if c.FrontCache < 0 {
+		c.FrontCache = 0
 	}
 	if c.WAL != nil {
 		if c.SnapshotBytes == 0 {
@@ -263,10 +282,11 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg: cfg,
 		store: pws.NewSharded[string, string](pws.ShardedOptions{
-			Options:   pws.Options{P: cfg.P, Counter: work},
-			Shards:    cfg.Shards,
-			Engine:    cfg.Engine,
-			Telemetry: true,
+			Options:    pws.Options{P: cfg.P, Counter: work},
+			Shards:     cfg.Shards,
+			Engine:     cfg.Engine,
+			Telemetry:  true,
+			FrontCache: cfg.FrontCache,
 		}),
 		work:      work,
 		conns:     make(map[*conn]struct{}),
@@ -327,6 +347,17 @@ func (s *Server) Coalesced() (coalesce.Stats, bool) {
 // Stats returns a snapshot of the server counters.
 func (s *Server) Stats() Stats { return s.st.snapshot() }
 
+// Front reports whether the hot-key read front is enabled, and returns
+// its counters (merged across shards) when it is. Front hits are GETs
+// answered without a batch op, so total GET work is Stats().Ops plus
+// Front().Hits.
+func (s *Server) Front() (frontcache.Stats, bool) {
+	if !s.store.FrontEnabled() {
+		return frontcache.Stats{}, false
+	}
+	return s.store.FrontStats(), true
+}
+
 // Obs returns the map's telemetry bundle (depth and stage histograms).
 func (s *Server) Obs() *pws.MapTelemetry { return s.obsm }
 
@@ -370,6 +401,13 @@ func (s *Server) register(nc net.Conn) (*conn, error) {
 		r:            wire.NewReaderLimits(nc, s.cfg.Limits),
 		w:            wire.NewWriter(nc),
 		cloneAllKeys: s.cfg.Engine == pws.EngineM2,
+		front:        s.store.FrontEnabled(),
+	}
+	if c.front && !c.cloneAllKeys {
+		// M1 GET keys alias the read arena; the front must retain a
+		// stable copy when it claims a reservation. One closure per
+		// connection keeps the per-op reserve path allocation-free.
+		c.mkRes = func() string { return strings.Clone(c.resKey) }
 	}
 	s.conns[c] = struct{}{}
 	s.wg.Add(1)
@@ -534,10 +572,27 @@ func (s *Server) statsText() string {
 		st.Gets, st.Sets, st.Dels, st.Scans, st.Errors)
 	if cs, ok := s.Coalesced(); ok {
 		base += fmt.Sprintf(
-			"coalesce_window %s\ncoalesce_size_cuts %d\ncoalesce_window_cuts %d\ncoalesce_drain_cuts %d\n",
-			s.cfg.CoalesceWindow, cs.SizeCuts, cs.WindowCuts, cs.DrainCuts)
+			"coalesce_window %s\ncoalesce_size_cuts %d\ncoalesce_window_cuts %d\ncoalesce_drain_cuts %d\ncoalesce_absorbed %d\n",
+			s.cfg.CoalesceWindow, cs.SizeCuts, cs.WindowCuts, cs.DrainCuts, cs.Absorbed)
 	}
-	return base + s.statsWAL() + s.statsTelemetry()
+	return base + s.statsWAL() + s.statsFront() + s.statsTelemetry()
+}
+
+// statsFront renders the hot-key front-cache section, empty when the
+// front is disabled. Key names are frozen by TestStatsTextGolden.
+func (s *Server) statsFront() string {
+	fs, ok := s.Front()
+	if !ok {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b,
+		"SECTION front\nfront_entries %d\nfront_hits %d\nfront_misses %d\nfront_conflicts %d\n"+
+			"front_reserves %d\nfront_installs %d\nfront_install_drops %d\nfront_invalidates %d\nfront_evictions %d\n",
+		fs.Entries, fs.Hits, fs.Misses, fs.Conflicts,
+		fs.Reserves, fs.Installs, fs.InstallDrops, fs.Invalidates, fs.Evictions)
+	histoBlock(&b, "front_hit_ns", fs.HitNS)
+	return b.String()
 }
 
 // statsTelemetry renders the STATS telemetry sections: the merged

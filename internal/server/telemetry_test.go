@@ -52,10 +52,21 @@ func TestStatsTextGolden(t *testing.T) {
 		"batches", "ops", "max_batch", "avg_batch",
 		"gets", "sets", "dels", "scans", "errors",
 		"coalesce_window", "coalesce_size_cuts", "coalesce_window_cuts", "coalesce_drain_cuts",
+		"coalesce_absorbed",
+	}
+	want = append(want,
+		"SECTION front",
+		"front_entries", "front_hits", "front_misses", "front_conflicts",
+		"front_reserves", "front_installs", "front_install_drops",
+		"front_invalidates", "front_evictions",
+	)
+	want = append(want, histo("front_hit_ns")...)
+	want = append(want, []string{
 		"SECTION depth",
 		"depth_src_first_slab", "depth_src_filter", "depth_src_final_slab", "depth_src_tail",
+		"depth_src_front",
 		"range_batches", "range_pairs_live", "range_pairs_snap", "range_pairs_overlay",
-	}
+	}...)
 	want = append(want, histo("depth")...)
 	want = append(want, "SECTION work", "work_visits", "work_comparisons", "work_moves", "work_total")
 	want = append(want, "SECTION stages")
@@ -105,6 +116,25 @@ func TestStatsTextGolden(t *testing.T) {
 	}
 	if fmt.Sprint(got2) != fmt.Sprint(want2) {
 		t.Errorf("plain server STATS schema:\ngot  %v\nwant %v", got2, want2)
+	}
+
+	// Disabling the front cache drops exactly its section; everything
+	// else (including depth_src_front, which is part of the frozen
+	// source enum) stays.
+	srv3 := New(Config{FrontCache: -1})
+	defer srv3.Close()
+	got3 := statsKeys(srv3.statsText())
+	var want3 []string
+	for _, k := range want2 {
+		switch {
+		case k == "SECTION front", strings.HasPrefix(k, "front_"),
+			strings.HasPrefix(k, "SECTION histo front_"):
+			continue
+		}
+		want3 = append(want3, k)
+	}
+	if fmt.Sprint(got3) != fmt.Sprint(want3) {
+		t.Errorf("front-disabled STATS schema:\ngot  %v\nwant %v", got3, want3)
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/esort"
+	"repro/internal/frontcache"
 	"repro/internal/locks"
 	"repro/internal/obs"
 )
@@ -57,6 +58,13 @@ type Config struct {
 	// sink per shard (overriding Shard.Obs) plus the fanout/apply stage
 	// histograms, retrievable via Map.Obs.
 	Telemetry bool
+	// FrontCache, when positive, equips each shard with a lock-free
+	// hot-key read front of that many entries (internal/frontcache):
+	// Get consults it before the engine, and every write invalidates
+	// its key at the batch commit boundary (inside ApplyScattered,
+	// before results are released), preserving batch-level
+	// linearizability. 0 disables the front.
+	FrontCache int
 }
 
 // engineMap is the per-shard surface shared by core.M1 and core.M2.
@@ -82,6 +90,11 @@ type engineMap[K cmp.Ordered, V any] interface {
 type Map[K cmp.Ordered, V any] struct {
 	seed   maphash.Seed
 	shards []engineMap[K, V]
+
+	// fronts are the optional per-shard hot-key read caches (nil
+	// without Config.FrontCache). One maphash value routes both the
+	// shard and the cache bucket.
+	fronts []*frontcache.Cache[K, V]
 
 	// mobs is the map's telemetry bundle (nil without Config.Telemetry);
 	// stages caches mobs.Stages() so the hot path pays one nil check.
@@ -146,6 +159,12 @@ func New[K cmp.Ordered, V any](cfg Config) *Map[K, V] {
 		m.mobs = obs.NewMapObs(s)
 		m.stages = m.mobs.Stages()
 	}
+	if cfg.FrontCache > 0 {
+		m.fronts = make([]*frontcache.Cache[K, V], s)
+		for i := range m.fronts {
+			m.fronts[i] = frontcache.New[K, V](cfg.FrontCache)
+		}
+	}
 	for i := range m.shards {
 		sc := sub
 		if m.mobs != nil {
@@ -181,6 +200,81 @@ func (m *Map[K, V]) shardOf(k K) int {
 	return int(maphash.Comparable(m.seed, k) % uint64(len(m.shards)))
 }
 
+// FrontEnabled reports whether the map carries a hot-key read front.
+func (m *Map[K, V]) FrontEnabled() bool { return m.fronts != nil }
+
+// FrontGet consults the hot-key front for k without entering the batch
+// pipeline. A hit is recorded as a depth-0 lookup with source "front"
+// in the shard's depth telemetry (a front answer is the recency
+// hierarchy's cheapest layer). Zero allocations; always a miss when the
+// front is disabled.
+func (m *Map[K, V]) FrontGet(k K) (V, bool) {
+	if m.fronts == nil {
+		var zero V
+		return zero, false
+	}
+	h := maphash.Comparable(m.seed, k)
+	s := h % uint64(len(m.shards))
+	v, ok := m.fronts[s].Get(h, k)
+	if ok {
+		m.mobs.Engine(int(s)).RecordLookup(obs.SrcFront, 0, 1)
+	}
+	return v, ok
+}
+
+// FrontReserve places a population reservation for k ahead of a
+// fallback read through the batch pipeline; install the batch's result
+// through the returned ticket once it is released. The reservation
+// MUST be placed before the fallback op is submitted — that ordering
+// is what lets the commit-boundary invalidation sweep kill any install
+// whose value a later batch overwrote. The front retains the
+// reservation's key until the slot recycles: callers whose k aliases a
+// reusable buffer (the server's read arena) pass mk to materialize a
+// stable copy — called only when a slot is actually claimed — while
+// callers who own k pass nil. Returns an inert zero ticket when the
+// front is disabled or declines.
+func (m *Map[K, V]) FrontReserve(k K, mk func() K) frontcache.Ticket[K, V] {
+	if m.fronts == nil {
+		return frontcache.Ticket[K, V]{}
+	}
+	h := maphash.Comparable(m.seed, k)
+	return m.fronts[h%uint64(len(m.shards))].Reserve(h, k, mk)
+}
+
+// FrontStats returns the front's counters merged across shards (zero
+// when disabled).
+func (m *Map[K, V]) FrontStats() frontcache.Stats {
+	var st frontcache.Stats
+	for _, f := range m.fronts {
+		st = st.Merge(f.Stats())
+	}
+	return st
+}
+
+// frontInvalidate clears every key written by the batches from the
+// front. Called at the batch commit boundary — after the engines have
+// applied the ops, before ApplyScattered returns and the results are
+// released to callers — so a post-release front hit can never predate
+// the batch: batch-level linearizability, the same granularity the
+// coalescer linearizes at. Invalidate-only (no refresh-in-place):
+// clearing commutes across concurrently-committing appliers, while
+// racing refreshes could publish values in an order that disagrees
+// with the engines' linearization.
+func (m *Map[K, V]) frontInvalidate(batches [][]core.Op[K, V]) {
+	if m.fronts == nil {
+		return
+	}
+	for _, ops := range batches {
+		for i := range ops {
+			if ops[i].Kind != core.OpInsert && ops[i].Kind != core.OpDelete {
+				continue
+			}
+			h := maphash.Comparable(m.seed, ops[i].Key)
+			m.fronts[h%uint64(len(m.shards))].Invalidate(h, ops[i].Key)
+		}
+	}
+}
+
 // enter registers an in-flight operation, panicking if the map is closed.
 // The pending increment is published before the closed check, so an
 // operation that passes the check is always seen by Close's drain wait.
@@ -192,11 +286,22 @@ func (m *Map[K, V]) enter() {
 	}
 }
 
-// Get searches for key k.
+// Get searches for key k. With the front cache enabled the hot path is
+// a lock-free front probe; misses fall through to the engine and
+// install the result behind a reservation placed before the engine
+// read (so a concurrent write batch invalidates the in-flight
+// population rather than racing it). Get callers pass ordinary Go
+// strings/values they own — the front may retain k.
 func (m *Map[K, V]) Get(k K) (V, bool) {
+	if v, ok := m.FrontGet(k); ok {
+		return v, true
+	}
+	t := m.FrontReserve(k, nil)
 	m.enter()
-	defer m.pending.Done()
-	return m.shards[m.shardOf(k)].Get(k)
+	v, ok := m.shards[m.shardOf(k)].Get(k)
+	m.pending.Done()
+	t.Install(v, ok)
+	return v, ok
 }
 
 // Insert adds k with value v, or updates it if present; it returns the
@@ -204,7 +309,12 @@ func (m *Map[K, V]) Get(k K) (V, bool) {
 func (m *Map[K, V]) Insert(k K, v V) (V, bool) {
 	m.enter()
 	defer m.pending.Done()
-	return m.shards[m.shardOf(k)].Insert(k, v)
+	prev, ok := m.shards[m.shardOf(k)].Insert(k, v)
+	if m.fronts != nil {
+		h := maphash.Comparable(m.seed, k)
+		m.fronts[h%uint64(len(m.shards))].Invalidate(h, k)
+	}
+	return prev, ok
 }
 
 // Delete removes k; it returns the removed value and whether the key
@@ -212,7 +322,12 @@ func (m *Map[K, V]) Insert(k K, v V) (V, bool) {
 func (m *Map[K, V]) Delete(k K) (V, bool) {
 	m.enter()
 	defer m.pending.Done()
-	return m.shards[m.shardOf(k)].Delete(k)
+	prev, ok := m.shards[m.shardOf(k)].Delete(k)
+	if m.fronts != nil {
+		h := maphash.Comparable(m.seed, k)
+		m.fronts[h%uint64(len(m.shards))].Invalidate(h, k)
+	}
+	return prev, ok
 }
 
 // Apply submits a whole batch of operations at once and waits for all of
@@ -398,6 +513,7 @@ func (m *Map[K, V]) ApplyScattered(batches [][]core.Op[K, V], dsts [][]core.Resu
 		tApply := m.markFanout(t0)
 		pend.CollectScattered(dsts)
 		m.stages.RecordSince(obs.StageApply, tApply)
+		m.frontInvalidate(batches)
 		return
 	}
 
@@ -443,6 +559,7 @@ func (m *Map[K, V]) ApplyScattered(batches [][]core.Op[K, V], dsts [][]core.Resu
 		tApply := m.markFanout(t0)
 		pend.CollectScattered(dsts)
 		m.stages.RecordSince(obs.StageApply, tApply)
+		m.frontInvalidate(batches)
 		return
 	}
 
@@ -494,6 +611,9 @@ func (m *Map[K, V]) ApplyScattered(batches [][]core.Op[K, V], dsts [][]core.Resu
 	sc.pend[last].Collect(sc.subRes[sc.starts[last]:cursor[last]])
 	sc.wg.Wait()
 	m.stages.RecordSince(obs.StageApply, tApply)
+	// Commit boundary: the engines have applied every op; clear written
+	// keys from the front before the results leave this call.
+	m.frontInvalidate(batches)
 
 	// Scatter: results return to each submitter's own slice.
 	i = 0

@@ -306,3 +306,20 @@ func TestLinearizabilityShardedM2(t *testing.T) {
 		Options: Options{P: 2}, Shards: 4, Engine: EngineM2,
 	}))
 }
+
+// The front-cache variants run the same history checker with a small
+// hot-key read cache ahead of the batch pipeline, so cached Gets, the
+// commit-boundary invalidation sweep, and the install version guard are
+// all exercised against the sequential model (a stale cached read shows
+// up as a history violation).
+func TestLinearizabilityFrontShardedM1(t *testing.T) {
+	runLinearizabilityTest(t, NewSharded[int, int](ShardedOptions{
+		Options: Options{P: 2}, Shards: 4, Engine: EngineM1, FrontCache: 256,
+	}))
+}
+
+func TestLinearizabilityFrontShardedM2(t *testing.T) {
+	runLinearizabilityTest(t, NewSharded[int, int](ShardedOptions{
+		Options: Options{P: 2}, Shards: 4, Engine: EngineM2, FrontCache: 256,
+	}))
+}
