@@ -18,6 +18,10 @@
 //	wsd -front-cache 0           # disable the per-shard hot-key read cache
 //	                             # (on by default; GETs of recently read
 //	                             # keys answer before the batch pipeline)
+//	wsd -max-bytes 268435456     # bounded-memory cache mode: evict the
+//	                             # least-recent keys at batch boundaries
+//	                             # to hold ~256 MiB resident (0 = unbounded;
+//	                             # EXPIRE/SETEX per-key TTLs work either way)
 //	wsd -data-dir /var/lib/wsd   # durable: group-commit WAL + snapshots;
 //	                             # restart recovers every acked write
 //	                             # (-fsync always|interval|never)
@@ -59,6 +63,7 @@ func main() {
 		coWin     = flag.Duration("coalesce-window", 0, "cross-connection coalescing window (0 = per-connection batching only; forced on with -data-dir)")
 		coBatch   = flag.Int("coalesce-batch", 1024, "coalescing size trigger in ops (with -coalesce-window)")
 		frontSz   = flag.Int("front-cache", server.DefaultFrontCache, "per-shard hot-key read cache entries (0 = off)")
+		maxBytes  = flag.Int64("max-bytes", 0, "global resident-byte budget; least-recent keys evict at batch boundaries (0 = unbounded)")
 		maxScan   = flag.Int("max-scan", 1000, "max pairs per SCAN page (clients page past it with the reply cursor)")
 		admin     = flag.String("admin", "", "admin HTTP listen address (/metrics, /statsz, /debug/pprof); empty = off; empty host = loopback")
 		adminOpen = flag.Bool("admin-expose", false, "allow the unauthenticated admin endpoint on a non-loopback address")
@@ -93,7 +98,7 @@ func main() {
 		CoalesceWindow: *coWin,
 		CoalesceBatch:  *coBatch,
 		FrontCache:     *frontSz, // 0 remapped below: flag 0 = off, Config 0 = default
-
+		MaxBytes:       *maxBytes,
 		WorkCounter:    *workCnt,
 		IdleTimeout:    *idleTO,
 	}
@@ -165,6 +170,9 @@ func main() {
 	}
 	if *frontSz > 0 {
 		mode += fmt.Sprintf(", front-cache=%d/shard", *frontSz)
+	}
+	if *maxBytes > 0 {
+		mode += fmt.Sprintf(", max-bytes=%d", *maxBytes)
 	}
 	if cfg.WAL != nil {
 		mode += fmt.Sprintf(", durable fsync=%s", cfg.WAL.Policy())

@@ -71,6 +71,8 @@ func main() {
 		scanFrac  = flag.Float64("scan-frac", 0, "fraction of commands that are cursor-paged SCANs (scan latency reported separately)")
 		scanCount = flag.Int("scan-count", 100, "pairs per SCAN page")
 		scanSpan  = flag.Int("scan-span", 1024, "key-index width of each scan window")
+		ttlFrac   = flag.Float64("ttl-frac", 0, "fraction of writes issued as SETEX instead of SET (bounded-memory/TTL soaks)")
+		ttlSec    = flag.Int("ttl-sec", 60, "SETEX TTL in seconds for the -ttl-frac writes")
 		preload   = flag.Bool("preload", true, "insert every universe key before measuring")
 		seed      = flag.Int64("seed", 1, "generator seed")
 		jsonOut   = flag.Bool("json", false, "emit one JSON object per workload")
@@ -83,6 +85,8 @@ func main() {
 		chaosDir   = flag.String("chaos-dir", "", "data directory for -chaos (the spawned server's -data-dir)")
 		chaosKill  = flag.Int("chaos-kill", 0, "SIGKILL once this many ops are acked (0 = a third of the budget)")
 		chaosFsync = flag.String("chaos-fsync", "always", "fsync policy for the spawned server")
+		chaosTTL   = flag.Int("chaos-ttl", 0, "short-TTL keys planted for the expiry-resurrection audit (0 = default 64, negative = off)")
+		chaosMaxB  = flag.Int64("chaos-max-bytes", 0, "run the spawned server bounded (-max-bytes): acked SETs may evict, audit relaxes accordingly")
 	)
 	flag.Parse()
 
@@ -96,6 +100,8 @@ func main() {
 			OpsPerConn: *n / max(*conns, 1),
 			Depth:      *depth,
 			KillAcked:  *chaosKill,
+			TTLKeys:    *chaosTTL,
+			MaxBytes:   *chaosMaxB,
 			Seed:       *seed,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "wsload: "+format+"\n", args...)
@@ -146,6 +152,8 @@ func main() {
 			ScanFrac:    *scanFrac,
 			ScanCount:   *scanCount,
 			ScanSpan:    *scanSpan,
+			TTLFrac:     *ttlFrac,
+			TTLSeconds:  *ttlSec,
 			Preload:     *preload,
 			Seed:        *seed,
 			Retry:       *retry,

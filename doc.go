@@ -78,6 +78,22 @@
 // write. Misses and uniform workloads pay one failed probe and proceed
 // down the normal engine path unchanged.
 //
+// # Bounded memory and TTLs
+//
+// The working-set hierarchy doubles as a cache eviction policy. Give a
+// map a byte budget (Options.MaxBytes per engine, or
+// ShardedOptions.MaxBytes as a global budget split across shards) and
+// when resident bytes exceed it, the coldest items — the back of the
+// deepest segment, where the structure has already pushed the
+// least-recently-used keys — are evicted at batch boundaries. No
+// separate LRU list is maintained; access-driven promotion is the
+// policy. Per-key TTLs arm through OpExpire (an absolute unix-nanos
+// deadline; 0 clears): an expired key is a miss the moment its
+// deadline passes — in Get, ranges, Len, and the front cache — and is
+// physically reclaimed by a lazy batch-boundary sweep, never on the
+// per-operation hot path. Mem returns the MemStats health snapshot
+// (resident bytes, budget, eviction/expiry counts, armed TTLs).
+//
 // # Network service
 //
 // The maps are also servable over a socket: cmd/wsd fronts a Sharded

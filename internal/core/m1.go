@@ -33,6 +33,14 @@ type Config struct {
 	// it induces (batch order; per key, arrival order) so experiments can
 	// compute the working-set bound W_L it must be measured against.
 	RecordLinearization bool
+	// MaxBytes, when positive, bounds the engine's approximate resident
+	// bytes (keys + values + itemOverhead per item): at every batch
+	// boundary the engine evicts least-recent items from its deepest
+	// segment — the cold end of the working-set hierarchy — until back
+	// under budget. Evicted items vanish as if deleted; the SetOnEvict
+	// hook observes them. Zero or negative means unbounded (byte
+	// accounting still runs, so Bytes reports the footprint either way).
+	MaxBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -68,6 +76,7 @@ type M1[K cmp.Ordered, V any] struct {
 	// DESIGN.md "Allocation discipline".
 	feed    *feedBuffer[*call[K, V]]
 	slab    slab[K, V]
+	mem     *memAcct[K, V]
 	size    int
 	flushSc []*call[K, V]  // pbuffer.FlushInto target
 	batchSc []*call[K, V]  // feed.takeInto target
@@ -100,6 +109,8 @@ func NewM1[K cmp.Ordered, V any](cfg Config) *M1[K, V] {
 	m.slab.cnt = cfg.Counter
 	m.slab.obs = cfg.Obs
 	m.slab.pools = newSegPools[K, V]()
+	m.mem = newMemAcct[K, V](cfg.MaxBytes)
+	m.slab.mem = m.mem
 	m.act = locks.NewActivation(
 		func() bool { return m.pb.Len() > 0 || m.feedA.Load() > 0 },
 		m.engineRun,
@@ -145,6 +156,23 @@ func (m *M1[K, V]) do(op Op[K, V]) Result[V] {
 // Len returns the current number of items (racy snapshot).
 func (m *M1[K, V]) Len() int { return int(m.sizeA.Load()) }
 
+// Bytes returns the approximate resident bytes of the map's items
+// (keys + values + a flat per-item structural overhead).
+func (m *M1[K, V]) Bytes() int64 { return m.mem.bytes.Load() }
+
+// Evicted returns how many items the byte budget has evicted.
+func (m *M1[K, V]) Evicted() int64 { return m.mem.evicted.Load() }
+
+// SetOnEvict installs the eviction hook, called synchronously on the
+// engine goroutine for every item evicted by the byte budget. Must be
+// set before operations are submitted.
+func (m *M1[K, V]) SetOnEvict(fn func(K, V)) { m.mem.onEvict = fn }
+
+// SetTTLHooks installs the TTL sidecar hooks, consulted at group
+// resolution — the engine's per-key serialization point (see TTLHooks).
+// Must be set before operations are submitted.
+func (m *M1[K, V]) SetTTLHooks(h *TTLHooks[K]) { m.slab.ttl = h }
+
 // Batches returns the number of cut batches processed so far.
 func (m *M1[K, V]) Batches() int64 { return m.batches.Load() }
 
@@ -182,9 +210,23 @@ func (m *M1[K, V]) engineRun() bool {
 	m.batchSc = batch
 	m.feedA.Store(int64(m.feed.len()))
 	m.processBatch(batch)
+	m.maybeEvict()
 	m.batches.Add(1)
 	m.sizeA.Store(int64(m.size))
 	return true
+}
+
+// maybeEvict enforces the byte budget at the batch boundary: while over,
+// pop least-recent items from the deepest segment in bounded chunks.
+// Runs on the engine goroutine — never on a client's submit path.
+func (m *M1[K, V]) maybeEvict() {
+	for m.mem.over() {
+		n := m.slab.evictColdest(evictChunk)
+		if n == 0 {
+			return
+		}
+		m.size -= n
+	}
 }
 
 // numBunches is the cut-batch sizing rule of Section 6.1: ceil(log n / p)
@@ -247,7 +289,7 @@ func (m *M1[K, V]) finishBatch(pending []*group[K, V]) {
 		}
 		tailCalls += len(g.calls)
 		var zero V
-		p, v := g.resolve(false, zero)
+		p, v := g.resolve(false, zero, m.slab.ttl)
 		if p {
 			insKeys = append(insKeys, g.key) // pending is key-sorted
 			insVals = append(insVals, v)
@@ -256,7 +298,10 @@ func (m *M1[K, V]) finishBatch(pending []*group[K, V]) {
 	m.cfg.Obs.RecordLookup(obs.SrcTail, len(m.slab.segs), tailCalls)
 	m.insKeys, m.insVals = insKeys, insVals
 	if len(insKeys) > 0 {
-		m.slab.appendNew(insKeys, insVals, 0)
+		for i := range insKeys {
+			m.mem.add(insKeys[i], insVals[i])
+		}
+		m.slab.insertFront(insKeys, insVals, 0)
 		m.size += len(insKeys)
 	}
 	m.slab.trimEmpty()
@@ -271,6 +316,9 @@ func (m *M1[K, V]) CheckInvariants() error {
 	}
 	if total := m.slab.size(); total != m.size {
 		return fmt.Errorf("segment sizes sum to %d, tracked size %d", total, m.size)
+	}
+	if want, got := m.slab.recomputeBytes(), m.mem.bytes.Load(); want != got {
+		return fmt.Errorf("accounted bytes %d, recomputed %d", got, want)
 	}
 	return nil
 }

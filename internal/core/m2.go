@@ -42,10 +42,11 @@ type fentry[K cmp.Ordered, V any] struct {
 }
 
 // replay resolves all pending groups starting from the given state, moves
-// them to done, and records the resulting state.
-func (e *fentry[K, V]) replay(present bool, val V) (bool, V) {
+// them to done, and records the resulting state. ttl are the engine's
+// TTL sidecar hooks (nil = none), fired as the replayed ops take effect.
+func (e *fentry[K, V]) replay(present bool, val V, ttl *TTLHooks[K]) (bool, V) {
 	for _, g := range e.pending {
-		present, val = g.resolve(present, val)
+		present, val = g.resolve(present, val, ttl)
 	}
 	e.done = append(e.done, e.pending...)
 	e.pending = nil
@@ -172,6 +173,8 @@ type M2[K cmp.Ordered, V any] struct {
 	rangeBusy   atomic.Int64
 
 	first slab[K, V] // S[0..m-1]; S[m-1] additionally under nlock0+FL[0]
+	mem   *memAcct[K, V]
+	ttl   *TTLHooks[K] // TTL sidecar hooks (nil = off; see ops.go)
 
 	flt    filter[K, V]
 	fl0    *locks.Dedicated // FL[0]
@@ -210,6 +213,8 @@ func NewM2[K cmp.Ordered, V any](cfg Config) *M2[K, V] {
 	m.first.cnt = cfg.Counter
 	m.first.obs = cfg.Obs
 	m.first.pools = newSegPools[K, V]()
+	m.mem = newMemAcct[K, V](cfg.MaxBytes)
+	m.first.mem = m.mem
 	m.first.segs = make([]*segment[K, V], mSeg)
 	for k := 0; k < mSeg; k++ {
 		m.first.segs[k] = newSegment[K, V](k, cfg.Counter, m.first.pools)
@@ -262,6 +267,28 @@ func (m *M2[K, V]) do(op Op[K, V]) Result[V] {
 
 // Len returns the current number of items (racy snapshot).
 func (m *M2[K, V]) Len() int { return int(m.sizeA.Load()) }
+
+// Bytes returns the approximate resident bytes of the map's items
+// (keys + values + a flat per-item structural overhead).
+func (m *M2[K, V]) Bytes() int64 { return m.mem.bytes.Load() }
+
+// Evicted returns how many items the byte budget has evicted.
+func (m *M2[K, V]) Evicted() int64 { return m.mem.evicted.Load() }
+
+// SetOnEvict installs the eviction hook, called synchronously on the
+// evicting segment's run for every item the byte budget removes. Must
+// be set before operations are submitted.
+func (m *M2[K, V]) SetOnEvict(fn func(K, V)) { m.mem.onEvict = fn }
+
+// SetTTLHooks installs the TTL sidecar hooks, consulted at group
+// resolution — the engine's per-key serialization point, wherever it
+// happens: first slab pass, final slab observation, or terminal
+// resolution (see TTLHooks). Must be set before operations are
+// submitted.
+func (m *M2[K, V]) SetTTLHooks(h *TTLHooks[K]) {
+	m.ttl = h
+	m.first.ttl = h
+}
 
 // Batches returns the number of cut batches processed so far.
 func (m *M2[K, V]) Batches() int64 { return m.batches.Load() }
@@ -383,8 +410,9 @@ func (m *M2[K, V]) finishRanges() {
 }
 
 // finishInFirstSlab resolves end-of-structure groups when no final slab
-// exists: misses and deletions complete; insertions append at the back of
-// the first slab, spilling into a newly created S[m] if it overflows.
+// exists: misses and deletions complete; insertions enter at the front of
+// the first slab (an insert is an access with recency 1), spilling the
+// slab's coldest items into a newly created S[m] if it overflows.
 // Caller holds nlock0 and FL[0].
 func (m *M2[K, V]) finishInFirstSlab(pending []*group[K, V]) int {
 	var insKeys []K
@@ -396,15 +424,16 @@ func (m *M2[K, V]) finishInFirstSlab(pending []*group[K, V]) int {
 		}
 		tailCalls += len(g.calls)
 		var zero V
-		p, v := g.resolve(false, zero)
+		p, v := g.resolve(false, zero, m.ttl)
 		if p {
+			m.mem.add(g.key, v)
 			insKeys = append(insKeys, g.key)
 			insVals = append(insVals, v)
 		}
 	}
 	m.cfg.Obs.RecordLookup(obs.SrcTail, m.mSeg, tailCalls)
 	if len(insKeys) > 0 {
-		overflow := m.first.appendNew(insKeys, insVals, m.mSeg)
+		overflow := m.first.insertFront(insKeys, insVals, m.mSeg)
 		if overflow.len() > 0 {
 			f := m.createFseg(m.mSeg, m.nlock0)
 			f.seg.pushFront(overflow)
@@ -606,6 +635,7 @@ func (f *fseg[K, V]) runLocked(pos int) (sizeDelta int) {
 	} else {
 		prev = prevF.seg
 	}
+	deepest := isTerminal // still true after a growth split: f stays the cold end until the new segment fills
 	if isTerminal && prev.size()+f.seg.size() > capOf(f.k-1)+capOf(f.k) {
 		m.createFseg(f.k+1, f.right)
 		isTerminal = false
@@ -678,10 +708,21 @@ func (f *fseg[K, V]) runLocked(pos int) (sizeDelta int) {
 			panic("core: M2 found item with no filter entry")
 		}
 		e := leaf.Payload
-		p, v := e.replay(true, mb.kmLeaves[i].Payload.val)
+		old := mb.kmLeaves[i].Payload.val
+		// Present observation: consult the TTL ghost hook first (see
+		// slab.pass); a past-deadline item replays as absent and its
+		// dead incarnation is removed right here, under this run's
+		// locks.
+		obsP, base := true, old
+		if m.ttl.ghost(g.key) {
+			var zero V
+			obsP, base = false, zero
+		}
+		p, v := e.replay(obsP, base, m.ttl)
 		f.fPresent[i] = p
 		if p {
 			// Searched/updated: belongs to R'.
+			m.mem.swap(old, v)
 			f.fVals[i] = v
 			m.flt.tree.Delete(g.key)
 			m.flt.size.Add(-1)
@@ -689,6 +730,7 @@ func (f *fseg[K, V]) runLocked(pos int) (sizeDelta int) {
 		} else {
 			// Net deletion: tag and keep travelling; results return at the
 			// terminal segment.
+			m.mem.sub(g.key, old)
 			g.deleted = true
 			sizeDelta--
 		}
@@ -769,6 +811,25 @@ func (f *fseg[K, V]) runLocked(pos int) (sizeDelta int) {
 				f.recordPrev(pos, snapKV[K, V]{key: lf.Key, val: lf.Payload.val})
 			}
 			prev.pushBack(tb)
+		}
+	}
+
+	// Byte-budget eviction, at the cold end only: the deepest final slab
+	// segment pops its least-recent items until back under budget. It
+	// rides this run's already-held locks and snapshot publication —
+	// eviction is just more del events in evSelf — so the budget costs
+	// no extra locking and nothing on the per-op hot path. Every insert
+	// flows through a terminal run (resolveTerminal), so eviction keeps
+	// pace with growth; the first-slab-only regime (no final slab, at
+	// most the first slab's ~couple dozen items) is the budget floor.
+	if deepest && m.mem.over() {
+		for m.mem.over() && f.seg.size() > 0 {
+			tb := f.seg.popBack(min(evictChunk, f.seg.size()))
+			for _, lf := range tb.kmLeaves {
+				m.mem.evict(lf.Key, lf.Payload.val)
+				f.evSelf = append(f.evSelf, snapKV[K, V]{key: lf.Key, del: true})
+			}
+			sizeDelta -= tb.len()
 		}
 	}
 
@@ -856,8 +917,10 @@ func (f *fseg[K, V]) resolveTerminal(a []*group[K, V], target *segment[K, V], po
 			panic("core: M2 terminal op with no filter entry")
 		}
 		e := leaf.Payload
-		p, v := e.replay(e.start())
+		sp, sv := e.start()
+		p, v := e.replay(sp, sv, m.ttl)
 		if p {
+			m.mem.add(g.key, v)
 			insKeys = append(insKeys, g.key) // a is key-sorted
 			insVals = append(insVals, v)
 			sizeDelta++
@@ -935,6 +998,15 @@ func (m *M2[K, V]) CheckInvariants() error {
 	}
 	if total != int(m.sizeA.Load()) {
 		return fmt.Errorf("segments sum to %d, tracked size %d", total, m.sizeA.Load())
+	}
+	bytes := m.first.recomputeBytes()
+	for _, f := range m.fsegs {
+		for _, lf := range f.seg.km.Flatten() {
+			bytes += m.mem.itemBytes(lf.Key, lf.Payload.val)
+		}
+	}
+	if got := m.mem.bytes.Load(); bytes != got {
+		return fmt.Errorf("accounted bytes %d, recomputed %d", got, bytes)
 	}
 	return nil
 }

@@ -112,7 +112,7 @@ func TestGroupResolveReplaysArrivalOrder(t *testing.T) {
 		mk(OpGet, ""), mk(OpInsert, "a"), mk(OpGet, ""), mk(OpDelete, ""), mk(OpGet, ""), mk(OpInsert, "b"),
 	}
 	g.calls = cs
-	present, val := g.resolve(true, "orig")
+	present, val := g.resolve(true, "orig", nil)
 	if !present || val != "b" {
 		t.Fatalf("net state (%v, %q)", present, val)
 	}

@@ -32,6 +32,16 @@ const (
 	// Apply/ApplyAsync — except that it never groups with point operations
 	// and never adjusts recencies. Results are appended to Range.Out.
 	OpRange
+	// OpExpire arms (or clears) a key's TTL. To the engines it is a read
+	// — it observes presence and touches recency like OpGet and never
+	// mutates the stored value — except that resolving it against a
+	// present item fires the TTLHooks.Arm hook: the deadline itself
+	// lives in the sharded front-end's expiry table (internal/shard),
+	// keyed off Op.Deadline, not in the segment trees, and the hook is
+	// what orders the arm with every racing op on the key (see
+	// TTLHooks). Result.OK reports whether the key was present (and not
+	// already expired) when the op took effect.
+	OpExpire
 )
 
 // String returns the operation-kind name.
@@ -45,6 +55,8 @@ func (k OpKind) String() string {
 		return "delete"
 	case OpRange:
 		return "range"
+	case OpExpire:
+		return "expire"
 	default:
 		return "invalid"
 	}
@@ -80,10 +92,11 @@ type RangeReq[K cmp.Ordered, V any] struct {
 
 // Op is one map operation.
 type Op[K cmp.Ordered, V any] struct {
-	Kind  OpKind
-	Key   K               // OpRange: inclusive (exclusive under XLo) lower bound
-	Val   V               // OpInsert only
-	Range *RangeReq[K, V] // OpRange only
+	Kind     OpKind
+	Key      K               // OpRange: inclusive (exclusive under XLo) lower bound
+	Val      V               // OpInsert only
+	Range    *RangeReq[K, V] // OpRange only
+	Deadline int64           // OpExpire only: absolute unix-nano deadline; 0 clears the TTL
 }
 
 // Result is the outcome of one operation. For OpGet, Val/OK are the found
@@ -146,6 +159,46 @@ func (cp *callPool[K, V]) put(c *call[K, V]) {
 	cp.p.Put(c)
 }
 
+// TTLHooks wires a TTL sidecar (internal/shard's expiry table) into the
+// engines' per-key serialization point: group resolution. Deadlines
+// never live in the engines — the hooks are how the sidecar's state
+// transitions are ordered exactly with the engine's, which is what
+// makes expiry linearizable. All three hooks run on engine goroutines,
+// inside the critical section that owns the key, so they must be cheap
+// and must never call back into the engine. Engines with no hooks
+// installed (nil) pay a single predictable branch per resolved call.
+//
+// The protocol:
+//
+//   - When an engine observes a present item (found in a segment tree),
+//     it consults Ghost *before* replaying the group. Ghost reports
+//     whether the key's armed deadline has passed, atomically retiring
+//     the table entry when it has; true makes the engine treat the
+//     observation as "absent", so the dead incarnation is removed
+//     through the normal delete machinery — the observation IS the
+//     deletion, at the key's serialization point, so no racing op can
+//     ever see the ghost or double-delete it.
+//   - Clear fires as each insert or delete resolves: a fresh SET
+//     carries no TTL, and a DEL removes deadline and key together.
+//   - Arm fires as an OpExpire resolves against a present item,
+//     setting the absolute deadline (0 clears it). It returns whether
+//     the deadline was already past, in which case the engine treats
+//     the op as an immediate delete (Redis EXPIRE with a non-positive
+//     TTL) instead of arming a dead-on-arrival entry.
+type TTLHooks[K cmp.Ordered] struct {
+	Ghost func(k K) bool
+	Clear func(k K)
+	Arm   func(k K, deadline int64) bool
+}
+
+// ghost is the nil-safe Ghost consult used at the present-observation
+// sites: true means the observed incarnation is past its deadline (and
+// its table entry has been retired), so the observer replays the group
+// from "absent".
+func (h *TTLHooks[K]) ghost(k K) bool {
+	return h != nil && h.Ghost(k)
+}
+
 // group is the paper's group-operation (Section 6.1, footnote 7): all
 // operations of one batch on the same key, combined into a single operation
 // with the same cumulative effect. calls are kept in arrival order so that
@@ -176,19 +229,37 @@ type group[K cmp.Ordered, V any] struct {
 // trees, and only insert keys carry the caller's guarantee of a stable
 // backing (the server hands out transient arena-backed strings for search
 // keys but copies inserted ones; see wire.Reader's aliasing contract).
-func (g *group[K, V]) resolve(present bool, val V) (netPresent bool, netVal V) {
+// The ttl hooks (nil = none) fire as the ops they concern take effect,
+// so TTL state transitions are ordered exactly with the engine's; see
+// TTLHooks for the protocol. A caller at a present-observation site
+// must consult ttl.ghost first and pass the (possibly flipped) state.
+func (g *group[K, V]) resolve(present bool, val V, ttl *TTLHooks[K]) (netPresent bool, netVal V) {
 	for _, c := range g.calls {
 		switch c.op.Kind {
 		case OpGet:
 			c.res = Result[V]{Val: val, OK: present}
+		case OpExpire:
+			c.res = Result[V]{Val: val, OK: present}
+			if present && ttl != nil && ttl.Arm(c.op.Key, c.op.Deadline) {
+				// Deadline already past: the expire is an immediate
+				// delete, still inside this group's replay.
+				var zero V
+				val, present = zero, false
+			}
 		case OpInsert:
 			c.res = Result[V]{Val: val, OK: present}
 			val, present = c.op.Val, true
 			g.key = c.op.Key
+			if ttl != nil {
+				ttl.Clear(c.op.Key)
+			}
 		case OpDelete:
 			c.res = Result[V]{Val: val, OK: present}
 			var zero V
 			val, present = zero, false
+			if ttl != nil {
+				ttl.Clear(c.op.Key)
+			}
 		}
 	}
 	g.resolved = true

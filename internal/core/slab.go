@@ -22,6 +22,8 @@ type slab[K cmp.Ordered, V any] struct {
 	cnt   *metrics.Counter
 	obs   *obs.EngineObs // depth telemetry sink (nil = off)
 	pools segPools[K, V] // shared node free-lists for every segment's trees
+	mem   *memAcct[K, V] // byte accountant (nil = off; see core.go)
+	ttl   *TTLHooks[K]   // TTL sidecar hooks (nil = off; see ops.go)
 
 	keySc    []K               // groupKeys of the pending batch
 	foundSc  []*kmLeaf[K, V]   // BatchGetInto result
@@ -85,12 +87,28 @@ func (s *slab[K, V]) pass(k int, pending []*group[K, V]) (next []*group[K, V], s
 		s.fPresent = grow(s.fPresent, len(fGroups))
 		finished := s.finished[:0]
 		for i, g := range fGroups {
-			p, v := g.resolve(true, mb.kmLeaves[i].Payload.val)
+			old := mb.kmLeaves[i].Payload.val
+			// Present observation: consult the TTL ghost hook first. A
+			// past-deadline item replays as absent — the observation
+			// deletes the dead incarnation through the normal delete
+			// machinery, at the key's serialization point.
+			obsP, base := true, old
+			if s.ttl.ghost(g.key) {
+				var zero V
+				obsP, base = false, zero
+			}
+			p, v := g.resolve(obsP, base, s.ttl)
 			s.fPresent[i] = p
 			if p {
+				if s.mem != nil {
+					s.mem.swap(old, v)
+				}
 				mb.kmLeaves[i].Payload.val = v
 				finished = append(finished, g)
 			} else {
+				if s.mem != nil {
+					s.mem.sub(g.key, old)
+				}
 				g.deleted = true
 				sizeDelta--
 			}
@@ -159,28 +177,71 @@ func (s *slab[K, V]) size() int {
 	return total
 }
 
-// appendNew inserts brand-new items at the back of the last non-empty
-// segment region, growing segments up to maxSegs (0 = unbounded). Overflow
-// beyond the last allowed segment's capacity is removed from the back and
-// returned (in recency order) for the caller to place elsewhere.
-func (s *slab[K, V]) appendNew(keysSorted []K, vals []V, maxSegs int) moveBatch[K, V] {
-	mb := newItems(keysSorted, vals, keysSorted)
+// insertFront places brand-new items at the hierarchy's front — an
+// insertion is an access with recency 1, so a fresh key enters S[0]
+// like any other just-accessed item — and cascades each segment's
+// overflow toward the cold end, growing segments up to maxSegs
+// (0 = unbounded). Overflow past the last allowed segment is removed
+// from its back (the least-recent items) and returned for the caller
+// to place in the next structure layer. Entering at the front is what
+// keeps the eviction frontier (evictColdest, the deepest segment's
+// back) the genuinely coldest end: items reach it only by aging all
+// the way down, so a budget-saturated map sheds its stalest residents
+// instead of bouncing every new insert.
+func (s *slab[K, V]) insertFront(keysSorted []K, vals []V, maxSegs int) moveBatch[K, V] {
 	if len(s.segs) == 0 {
 		s.segs = append(s.segs, newSegment[K, V](0, s.cnt, s.pools))
 	}
-	s.segs[len(s.segs)-1].pushBack(mb)
-	for {
-		l := len(s.segs) - 1
+	s.segs[0].pushFront(newItems(keysSorted, vals, keysSorted))
+	for l := 0; ; l++ {
 		ex := s.segs[l].overBy()
 		if ex == 0 {
 			return moveBatch[K, V]{}
 		}
-		if maxSegs > 0 && len(s.segs) == maxSegs {
-			return s.segs[l].popBack(ex)
+		if l == len(s.segs)-1 {
+			if maxSegs > 0 && len(s.segs) == maxSegs {
+				return s.segs[l].popBack(ex)
+			}
+			s.segs = append(s.segs, newSegment[K, V](l+1, s.cnt, s.pools))
 		}
-		s.segs = append(s.segs, newSegment[K, V](l+1, s.cnt, s.pools))
 		s.segs[l+1].pushFront(s.segs[l].popBack(ex))
 	}
+}
+
+// evictColdest pops up to n of the least-recent items from the deepest
+// segment — the working-set hierarchy's cold end, the eviction frontier
+// — releasing each through the accountant (counter + onEvict hook). It
+// returns how many items were evicted. Only called from the engine's
+// single-threaded batch run, at a batch boundary.
+func (s *slab[K, V]) evictColdest(n int) int {
+	l := len(s.segs) - 1
+	if l < 0 || n <= 0 {
+		return 0
+	}
+	if sz := s.segs[l].size(); n > sz {
+		n = sz
+	}
+	mb := s.segs[l].popBack(n)
+	for _, lf := range mb.kmLeaves {
+		s.mem.evict(lf.Key, lf.Payload.val)
+	}
+	s.trimEmpty()
+	return mb.len()
+}
+
+// recomputeBytes returns the exact accounted byte total of every
+// resident item (test hook; quiescence required).
+func (s *slab[K, V]) recomputeBytes() int64 {
+	if s.mem == nil {
+		return 0
+	}
+	var total int64
+	for _, seg := range s.segs {
+		for _, lf := range seg.km.Flatten() {
+			total += s.mem.itemBytes(lf.Key, lf.Payload.val)
+		}
+	}
+	return total
 }
 
 // trimEmpty drops empty trailing segments.

@@ -12,7 +12,15 @@ package loadgen
 //     the outcome legitimately ambiguous;
 //   - an op that was sent but never acked may or may not have landed —
 //     both outcomes are allowed, but nothing else is;
-//   - any key the workers never wrote is a phantom.
+//   - any key the workers never wrote is a phantom;
+//   - a key whose TTL deadline passed before the audit must be gone: a
+//     crash and WAL replay must not resurrect it (expire records carry
+//     absolute deadlines) nor extend its life.
+//
+// With MaxBytes set the spawned server runs in bounded-memory cache
+// mode, where an acked SET may be legitimately evicted — absence then
+// stops being a violation (it is counted instead), but a corrupt value,
+// a resurrected DEL and a resurrected expired key still are.
 //
 // The model is exact because each worker owns a disjoint key range and
 // every SET carries a globally unique value, and because replies on one
@@ -27,6 +35,7 @@ import (
 	"os"
 	"os/exec"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -61,6 +70,14 @@ type ChaosConfig struct {
 	// KillAcked fires the SIGKILL once this many ops are acked fleet-wide
 	// (default: a third of the total budget).
 	KillAcked int
+	// TTLKeys is how many short-TTL keys are SETEXed before the load so
+	// the audit can assert none of them survives the crash once their
+	// deadline passes (default 64; negative disables the expiry audit).
+	TTLKeys int
+	// MaxBytes, when positive, runs the spawned server with -max-bytes:
+	// bounded-memory cache mode, under which an acked SET may be evicted
+	// (see the package comment on the relaxed audit).
+	MaxBytes int64
 	// Seed seeds the per-worker op streams (default 1).
 	Seed int64
 	// Logf receives progress lines (default: none).
@@ -92,6 +109,11 @@ func (c ChaosConfig) withDefaults() (ChaosConfig, error) {
 	if c.KillAcked < 1 {
 		c.KillAcked = c.Conns * c.OpsPerConn / 3
 	}
+	if c.TTLKeys == 0 {
+		c.TTLKeys = 64
+	} else if c.TTLKeys < 0 {
+		c.TTLKeys = 0
+	}
 	// The workers stop at their op budget; a trigger they can never
 	// reach would hang the killer. Keep headroom for unacked losses.
 	if max := c.Conns * c.OpsPerConn / 2; c.KillAcked > max {
@@ -115,6 +137,13 @@ type ChaosReport struct {
 	Kills      int   `json:"kills"`
 	Reconnects int64 `json:"reconnects"`
 	DumpKeys   int   `json:"dump_keys"`
+	// TTLKeys is how many short-TTL keys the expiry audit planted; each
+	// must be gone (not resurrected, not extended) once its deadline
+	// passes the crash.
+	TTLKeys int `json:"ttl_keys,omitempty"`
+	// Evicted counts acked SETs absent from the dump on a bounded-memory
+	// (MaxBytes) run — legitimate cache evictions there, not violations.
+	Evicted int `json:"evicted,omitempty"`
 	// Violations describe every audit failure: lost acked writes,
 	// resurrected deletes, corrupt values, phantom keys.
 	Violations []string `json:"violations,omitempty"`
@@ -153,6 +182,9 @@ func (p *chaosProc) start() error {
 		"-data-dir", p.cfg.DataDir,
 		"-fsync", p.cfg.Fsync,
 		"-snapshot-bytes", strconv.FormatInt(p.cfg.SnapshotBytes, 10),
+	}
+	if p.cfg.MaxBytes > 0 {
+		args = append(args, "-max-bytes", strconv.FormatInt(p.cfg.MaxBytes, 10))
 	}
 	args = append(args, p.cfg.ServerArgs...)
 	cmd := exec.Command(p.cfg.ServerBin, args...)
@@ -234,6 +266,15 @@ func Chaos(cfg ChaosConfig) (ChaosReport, error) {
 		return ChaosReport{}, err
 	}
 
+	// Plant the short-TTL keys before the load: their inserts and
+	// absolute expire deadlines reach the WAL, and whatever side of the
+	// deadline the crash lands on, the audit (which waits the deadline
+	// out) must find every one of them gone.
+	ttlDeadline, err := chaosExpire(cfg)
+	if err != nil {
+		return ChaosReport{}, err
+	}
+
 	var (
 		acked      atomic.Int64
 		reconnects atomic.Int64
@@ -303,20 +344,108 @@ func Chaos(cfg ChaosConfig) (ChaosReport, error) {
 
 	rep.Acked = acked.Load()
 	rep.Reconnects = reconnects.Load()
+	rep.TTLKeys = cfg.TTLKeys
 	for _, m := range models {
 		rep.Unresolved += len(m.unresolved)
 	}
 
-	// Audit the recovered, restarted server against the model.
+	// Wait out the planted TTLs (measured from after their SETEX acks,
+	// so the server-side deadlines are strictly earlier), then audit the
+	// recovered, restarted server against the model.
+	if cfg.TTLKeys > 0 {
+		if wait := time.Until(ttlDeadline.Add(200 * time.Millisecond)); wait > 0 {
+			cfg.Logf("chaos: waiting %s for the planted TTLs to pass", wait.Round(time.Millisecond))
+			time.Sleep(wait)
+		}
+	}
 	dump, err := chaosDump(cfg)
 	if err != nil {
 		return ChaosReport{}, err
 	}
 	rep.DumpKeys = len(dump)
-	rep.Violations = chaosAudit(models, dump)
-	cfg.Logf("chaos: audit: %d acked, %d unresolved ops, %d reconnects, %d live keys, %d violations",
-		rep.Acked, rep.Unresolved, rep.Reconnects, rep.DumpKeys, len(rep.Violations))
+	rep.Violations = chaosAudit(models, dump, cfg.MaxBytes > 0, &rep)
+	ttlViolations, err := chaosAuditTTL(cfg, dump)
+	if err != nil {
+		return ChaosReport{}, err
+	}
+	rep.Violations = append(rep.Violations, ttlViolations...)
+	cfg.Logf("chaos: audit: %d acked, %d unresolved ops, %d reconnects, %d live keys, %d ttl keys, %d evicted, %d violations",
+		rep.Acked, rep.Unresolved, rep.Reconnects, rep.DumpKeys, rep.TTLKeys, rep.Evicted, len(rep.Violations))
 	return rep, nil
+}
+
+// chaosTTLKey renders expiry-audit key j. The "cx" prefix sorts after
+// every worker range ("c%02d") and inside the dump's ["c", "d") window.
+func chaosTTLKey(j int) string { return fmt.Sprintf("cx-%05d", j) }
+
+// chaosExpire plants cfg.TTLKeys keys with a 1-second SETEX over one
+// pipelined connection and returns the client-side moment by which all
+// their server-side deadlines are guaranteed to have been set — the
+// returned time is taken after the acks, so server deadline <= it + 1s.
+func chaosExpire(cfg ChaosConfig) (time.Time, error) {
+	if cfg.TTLKeys == 0 {
+		return time.Time{}, nil
+	}
+	nc, err := chaosDial(cfg.Addr, cfg.Seed^0x77f1e, 15*time.Second)
+	if err != nil {
+		return time.Time{}, err
+	}
+	defer nc.Close()
+	cl := wire.NewClient(nc)
+	for j := 0; j < cfg.TTLKeys; j++ {
+		if err := cl.Send("SETEX", chaosTTLKey(j), "1", "ephemeral"); err != nil {
+			return time.Time{}, err
+		}
+	}
+	if err := cl.Flush(); err != nil {
+		return time.Time{}, err
+	}
+	for j := 0; j < cfg.TTLKeys; j++ {
+		rep, err := cl.Recv()
+		if err != nil {
+			return time.Time{}, err
+		}
+		if rep.IsError() {
+			return time.Time{}, fmt.Errorf("loadgen: chaos: SETEX: %s", rep.Str)
+		}
+	}
+	deadline := time.Now().Add(time.Second)
+	cl.Do("QUIT")
+	return deadline, nil
+}
+
+// chaosAuditTTL asserts every planted short-TTL key is dead on both
+// read paths: absent from the SCAN dump (ghost filtering) and a nil
+// GET (read-time enforcement). A hit on either is a resurrection — the
+// exact bug class absolute WAL deadlines exist to prevent.
+func chaosAuditTTL(cfg ChaosConfig, dump map[string]string) ([]string, error) {
+	if cfg.TTLKeys == 0 {
+		return nil, nil
+	}
+	var violations []string
+	nc, err := chaosDial(cfg.Addr, cfg.Seed^0xdead1, 15*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer nc.Close()
+	cl := wire.NewClient(nc)
+	for j := 0; j < cfg.TTLKeys; j++ {
+		key := chaosTTLKey(j)
+		if got, ok := dump[key]; ok {
+			violations = append(violations,
+				fmt.Sprintf("key %s: expired before the audit, resurrected in SCAN as %q", key, got))
+		}
+		rep, err := cl.Do("GET", key)
+		if err != nil {
+			return violations, fmt.Errorf("loadgen: chaos: ttl audit GET: %w", err)
+		}
+		if rep.Kind != wire.NilReply {
+			violations = append(violations,
+				fmt.Sprintf("key %s: expired before the audit, GET still answers %q", key, rep.Str))
+		}
+	}
+	cl.Do("QUIT")
+	return violations, nil
 }
 
 // chaosKey renders worker w's key j; worker ranges are disjoint by the
@@ -451,7 +580,11 @@ func chaosDump(cfg ChaosConfig) (map[string]string, error) {
 }
 
 // chaosAudit diffs the dumped server state against every worker model.
-func chaosAudit(models []*chaosModel, dump map[string]string) []string {
+// With lossy set (bounded-memory server), absence of an acked SET is a
+// legitimate eviction and is counted on rep instead of flagged — but a
+// wrong value or a resurrected DEL is still corruption: the budget only
+// ever removes keys, it never invents or revives them.
+func chaosAudit(models []*chaosModel, dump map[string]string, lossy bool, rep *ChaosReport) []string {
 	var violations []string
 	add := func(format string, args ...any) {
 		if len(violations) < 32 { // enough to diagnose; not megabytes
@@ -464,8 +597,10 @@ func chaosAudit(models []*chaosModel, dump map[string]string) []string {
 			touched[key] = true
 			got, present := dump[key]
 			if extra := m.unresolved[key]; len(extra) > 0 {
-				// Ambiguous: the acked state or any unacked successor.
+				// Ambiguous: the acked state or any unacked successor
+				// (or, on a lossy run, an eviction).
 				ok := present == st.present && (!present || got == st.val)
+				ok = ok || (lossy && !present)
 				for _, u := range extra {
 					ok = ok || (present == u.present && (!present || got == u.val))
 				}
@@ -477,7 +612,11 @@ func chaosAudit(models []*chaosModel, dump map[string]string) []string {
 			}
 			switch {
 			case st.present && !present:
-				add("key %s: acked SET %q LOST", key, st.val)
+				if lossy {
+					rep.Evicted++
+				} else {
+					add("key %s: acked SET %q LOST", key, st.val)
+				}
 			case st.present && got != st.val:
 				add("key %s: acked value %q, recovered %q", key, st.val, got)
 			case !st.present && present:
@@ -504,7 +643,9 @@ func chaosAudit(models []*chaosModel, dump map[string]string) []string {
 		}
 	}
 	for key := range dump {
-		if !touched[key] {
+		if !touched[key] && !strings.HasPrefix(key, "cx-") {
+			// "cx-" keys belong to the expiry audit (chaosAuditTTL), which
+			// reports their survival as a resurrection, not a phantom.
 			add("key %s: phantom (never written by any worker)", key)
 		}
 	}

@@ -85,6 +85,13 @@ type Config struct {
 	// ScanSpan is the key-index width of each scan's [lo, hi) window
 	// (default 1024).
 	ScanSpan int
+	// TTLFrac is the fraction of writes issued as SETEX (with a
+	// TTLSeconds TTL) instead of plain SET (default 0). Bounded-memory
+	// and TTL soaks use it to keep a churn of expiring keys in flight.
+	TTLFrac float64
+	// TTLSeconds is the TTL, in seconds, of the TTLFrac writes
+	// (default 60).
+	TTLSeconds int
 	// Preload, when set, inserts every universe key before measuring so
 	// GETs hit (default off; cmd/wsload turns it on).
 	Preload bool
@@ -144,6 +151,12 @@ func (c Config) withDefaults() Config {
 	if c.ScanFrac < 0 {
 		c.ScanFrac = 0
 	}
+	if c.TTLFrac < 0 {
+		c.TTLFrac = 0
+	}
+	if c.TTLSeconds < 1 {
+		c.TTLSeconds = 60
+	}
 	if c.ScanCount < 1 {
 		c.ScanCount = 100
 	}
@@ -176,6 +189,11 @@ type Report struct {
 	P95 time.Duration `json:"p95_ns"`
 	P99 time.Duration `json:"p99_ns"`
 	Max time.Duration `json:"max_ns"`
+	// Gets counts GET commands issued and GetHits the ones that found
+	// their key. On a bounded-memory or TTL run the hit ratio is the
+	// headline cache metric: evictions and expiries surface as misses.
+	Gets    int `json:"gets,omitempty"`
+	GetHits int `json:"get_hits,omitempty"`
 	// Scans counts SCAN commands issued; ScanP50/ScanP99 are their
 	// latency percentiles (zero when ScanFrac is 0).
 	Scans   int           `json:"scans,omitempty"`
@@ -199,10 +217,22 @@ func (r Report) String() string {
 	line := fmt.Sprintf("%-12s conns=%-3d %s ops=%-8d err=%-3d %10.0f ops/s  p50=%-9s p99=%-9s max=%s",
 		r.Workload, r.Conns, pacing, r.Ops, r.Errors,
 		r.OpsPerSec, r.P50, r.P99, r.Max)
+	if r.Gets > 0 {
+		line += fmt.Sprintf("  hit=%.1f%%", 100*r.HitRatio())
+	}
 	if r.Scans > 0 {
 		line += fmt.Sprintf("  scans=%d scan-p99=%s", r.Scans, r.ScanP99)
 	}
 	return line
+}
+
+// HitRatio is the fraction of GETs that found their key (0 when the
+// run issued none).
+func (r Report) HitRatio() float64 {
+	if r.Gets == 0 {
+		return 0
+	}
+	return float64(r.GetHits) / float64(r.Gets)
 }
 
 // Key renders key index k in the fixed-width form the server stores, so
@@ -268,6 +298,8 @@ func Preload(cfg Config, dial func() (net.Conn, error)) error {
 type connResult struct {
 	lats       []time.Duration
 	scanLats   []time.Duration
+	gets       int
+	hits       int
 	errs       int
 	reconnects int
 	err        error
@@ -324,6 +356,11 @@ func Run(cfg Config, dial func() (net.Conn, error)) (Report, error) {
 		errs += r.errs
 		reconnects += r.reconnects
 	}
+	gets, hits := 0, 0
+	for _, r := range results {
+		gets += r.gets
+		hits += r.hits
+	}
 	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
 	sort.Slice(scans, func(a, b int) bool { return scans[a] < scans[b] })
 	total := len(all) + len(scans)
@@ -335,6 +372,8 @@ func Run(cfg Config, dial func() (net.Conn, error)) (Report, error) {
 		Ops:        total,
 		Errors:     errs,
 		Duration:   wall,
+		Gets:       gets,
+		GetHits:    hits,
 		Scans:      len(scans),
 		Reconnects: reconnects,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
@@ -376,12 +415,14 @@ type opKind uint8
 const (
 	opGet opKind = iota
 	opSet
+	opSetex
 	opScan
 )
 
 // planOps draws each operation's kind up front (scan by ScanFrac, then
-// GET/SET by GetFrac), so paced senders and their reply readers agree on
-// which latencies are scans without sharing an RNG.
+// GET/SET by GetFrac, with TTLFrac of the writes upgraded to SETEX), so
+// paced senders and their reply readers agree on which latencies are
+// scans without sharing an RNG.
 func planOps(cfg Config, rng *rand.Rand, n int) []opKind {
 	kinds := make([]opKind, n)
 	for i := range kinds {
@@ -391,6 +432,8 @@ func planOps(cfg Config, rng *rand.Rand, n int) []opKind {
 			kinds[i] = opScan
 		case rng.Float64() < cfg.GetFrac:
 			kinds[i] = opGet
+		case rng.Float64() < cfg.TTLFrac:
+			kinds[i] = opSetex
 		default:
 			kinds[i] = opSet
 		}
@@ -405,6 +448,8 @@ func sendOp(cl *wire.Client, cfg Config, kind opKind, k int) error {
 		return cl.Send("SCAN", Key(k), Key(k+cfg.ScanSpan), strconv.Itoa(cfg.ScanCount))
 	case opGet:
 		return cl.Send("GET", Key(k))
+	case opSetex:
+		return cl.Send("SETEX", Key(k), strconv.Itoa(cfg.TTLSeconds), "v")
 	default:
 		return cl.Send("SET", Key(k), "v")
 	}
@@ -477,6 +522,11 @@ func runConnRate(cfg Config, seed int64, n int, interval, offset time.Duration, 
 		}
 		if rep.IsError() {
 			res.errs++
+		} else if kinds[i] == opGet {
+			res.gets++
+			if rep.Kind != wire.NilReply {
+				res.hits++
+			}
 		}
 		if kinds[i] == opScan {
 			res.scanLats = append(res.scanLats, time.Since(schedule(i)))
@@ -527,6 +577,11 @@ func runConn(cfg Config, seed int64, n int, dial func() (net.Conn, error)) connR
 			}
 			if rep.IsError() {
 				res.errs++
+			} else if kinds[i] == opGet {
+				res.gets++
+				if rep.Kind != wire.NilReply {
+					res.hits++
+				}
 			}
 			if kinds[i] == opScan {
 				res.scanLats = append(res.scanLats, time.Since(t0))
@@ -546,6 +601,7 @@ func runConn(cfg Config, seed int64, n int, dial func() (net.Conn, error)) connR
 		retries := 0
 		for {
 			lats, scanLats := len(res.lats), len(res.scanLats)
+			gets, hits := res.gets, res.hits
 			err := batch(off, end, t0)
 			if err == nil {
 				break
@@ -558,6 +614,7 @@ func runConn(cfg Config, seed int64, n int, dial func() (net.Conn, error)) connR
 			// batch over a fresh connection; replies already consumed are
 			// measured again — the reissue is the measurement.
 			res.lats, res.scanLats = res.lats[:lats], res.scanLats[:scanLats]
+			res.gets, res.hits = gets, hits
 			retries++
 			res.reconnects++
 			nc.Close()

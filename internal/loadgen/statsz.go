@@ -37,6 +37,7 @@ type Statsz struct {
 	Engine       string                `json:"engine"`
 	Shards       int                   `json:"shards"`
 	Keys         int                   `json:"keys"`
+	Memory       StatszMem             `json:"memory"`
 	Depth        StatszHist            `json:"depth"`
 	DepthSources map[string]int64      `json:"depth_sources"`
 	Stages       map[string]StatszHist `json:"stages"`
@@ -58,6 +59,17 @@ type StatszFront struct {
 	Invalidates  int64      `json:"invalidates"`
 	Evictions    int64      `json:"evictions"`
 	HitNS        StatszHist `json:"hit_ns"`
+}
+
+// StatszMem mirrors the bounded-memory/TTL block: the resident-byte
+// gauge against the configured budget plus the lifetime eviction and
+// expiry counters (diff two scrapes for a per-run count).
+type StatszMem struct {
+	MaxBytes int64 `json:"max_bytes"`
+	Bytes    int64 `json:"bytes"`
+	Evicted  int64 `json:"evicted"`
+	Expired  int64 `json:"expired"`
+	TTLs     int64 `json:"ttls"`
 }
 
 // StatszWork mirrors the optional structural-work counters (present
@@ -147,6 +159,18 @@ func (s Statsz) Summary(prev Statsz) string {
 				100*float64(hits)/float64(lookups), hits, lookups,
 				roundDur(hitNS.Quantile(0.50)), roundDur(hitNS.Quantile(0.99)))
 		}
+	}
+	// The memory line appears whenever the run is bounded or touched
+	// TTLs: resident bytes against the budget is the soak's pass/fail
+	// gauge, evicted/expired are the interval's removals.
+	if m := s.Memory; m.MaxBytes > 0 || m.Evicted+m.Expired+m.TTLs > 0 ||
+		prev.Memory.Evicted+prev.Memory.Expired > 0 {
+		fmt.Fprintf(&b, "\nserver memory: resident=%d", m.Bytes)
+		if m.MaxBytes > 0 {
+			fmt.Fprintf(&b, "/%d (%.0f%% of budget)", m.MaxBytes, 100*float64(m.Bytes)/float64(m.MaxBytes))
+		}
+		fmt.Fprintf(&b, "  evicted=%d expired=%d ttls=%d",
+			m.Evicted-prev.Memory.Evicted, m.Expired-prev.Memory.Expired, m.TTLs)
 	}
 	stages := make([]string, 0, len(s.Stages))
 	for name := range s.Stages {

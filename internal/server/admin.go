@@ -23,6 +23,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 
+	pws "repro"
 	"repro/internal/coalesce"
 	"repro/internal/frontcache"
 	"repro/internal/metrics"
@@ -87,6 +88,7 @@ type statszReply struct {
 	Shards       int                   `json:"shards"`
 	Keys         int                   `json:"keys"`
 	Server       Stats                 `json:"server"`
+	Memory       pws.MemStats          `json:"memory"`
 	Coalesce     *coalesce.Stats       `json:"coalesce,omitempty"`
 	Front        *statszFront          `json:"front,omitempty"`
 	Depth        statszHist            `json:"depth"`
@@ -104,6 +106,7 @@ func (s *Server) statsz() statszReply {
 		Shards: s.store.Shards(),
 		Keys:   s.store.Len(),
 		Server: s.Stats(),
+		Memory: s.store.Mem(),
 	}
 	if cs, ok := s.Coalesced(); ok {
 		r.Coalesce = &cs
@@ -184,8 +187,15 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	writeCounter("wsd_gets_total", st.Gets)
 	writeCounter("wsd_sets_total", st.Sets)
 	writeCounter("wsd_dels_total", st.Dels)
+	writeCounter("wsd_expires_total", st.Expires)
 	writeCounter("wsd_scans_total", st.Scans)
 	writeCounter("wsd_errors_total", st.Errors)
+	ms := s.store.Mem()
+	writeGauge("wsd_mem_max_bytes", ms.MaxBytes)
+	writeGauge("wsd_mem_bytes", ms.Bytes)
+	writeGauge("wsd_mem_ttls", ms.TTLs)
+	writeCounter("wsd_evicted_total", ms.Evicted)
+	writeCounter("wsd_expired_total", ms.Expired)
 	if cs, ok := s.Coalesced(); ok {
 		writeCounter("wsd_coalesce_size_cuts_total", cs.SizeCuts)
 		writeCounter("wsd_coalesce_window_cuts_total", cs.WindowCuts)

@@ -169,6 +169,8 @@ const (
 	replyDel
 	replyMGet
 	replyMSet
+	replyExpire // :1 armed / :0 missing, one result
+	replySetex  // +OK, consumes two results (insert + expire)
 )
 
 // jobKind tells the writer half what one queued job is.
@@ -515,6 +517,50 @@ func (c *conn) process(cmds []wire.Command) (quit bool) {
 			if nhits > 0 && co {
 				c.srv.co.Absorb(nhits)
 			}
+		case "EXPIRE":
+			if !c.wantArgs(cmd, len(cmd.Args) == 2) {
+				continue
+			}
+			secs, err := wire.ParseExpireSeconds(cmd.Args[1])
+			if err != nil {
+				c.flushBatch()
+				c.srv.st.errors.Add(1)
+				c.writeErr("ERR invalid expire time '" + trunc(cmd.Args[1]) + "'")
+				continue
+			}
+			c.noteWrite(cmd.Args[0])
+			// The deadline is resolved to ABSOLUTE nanos here, once, so
+			// the WAL logs a fixed point in time (replay must not restart
+			// the TTL). The key outlives the pipeline inside the expiry
+			// table; copy it out of the reader's arena.
+			c.ops = append(c.ops, pws.Op[string, string]{Kind: pws.OpExpire,
+				Key: strings.Clone(cmd.Args[0]), Deadline: c.srv.store.Now() + secs*int64(time.Second)})
+			c.pending = append(c.pending, pendingReply{kind: replyExpire, n: 1})
+			c.srv.st.expires.Add(1)
+		case "SETEX":
+			if !c.wantArgs(cmd, len(cmd.Args) == 3) {
+				continue
+			}
+			secs, err := wire.ParseExpireSeconds(cmd.Args[1])
+			if err != nil {
+				c.flushBatch()
+				c.srv.st.errors.Add(1)
+				c.writeErr("ERR invalid expire time '" + trunc(cmd.Args[1]) + "'")
+				continue
+			}
+			c.noteWrite(cmd.Args[0])
+			// Two ops, one reply: the insert makes the key live, the
+			// expire arms its TTL in the same combined batch (adjacent
+			// ops on one key land in one engine group, so no other
+			// operation can interleave between them).
+			k := strings.Clone(cmd.Args[0])
+			c.ops = append(c.ops, pws.Op[string, string]{Kind: pws.OpInsert,
+				Key: k, Val: strings.Clone(cmd.Args[2])})
+			c.ops = append(c.ops, pws.Op[string, string]{Kind: pws.OpExpire,
+				Key: k, Deadline: c.srv.store.Now() + secs*int64(time.Second)})
+			c.pending = append(c.pending, pendingReply{kind: replySetex, n: 2})
+			c.srv.st.sets.Add(1)
+			c.srv.st.expires.Add(1)
 		case "MSET":
 			if !c.wantArgs(cmd, len(cmd.Args) >= 2 && len(cmd.Args)%2 == 0) {
 				continue
@@ -762,6 +808,16 @@ func (c *conn) renderReplies(pending []pendingReply, res []pws.Result[string], h
 			}
 		case replyMSet:
 			i += p.n
+			c.w.WriteSimple("OK")
+		case replyExpire:
+			if res[i].OK {
+				c.w.WriteInt(1)
+			} else {
+				c.w.WriteInt(0)
+			}
+			i++
+		case replySetex:
+			i += p.n // insert + expire results; the reply is just OK
 			c.w.WriteSimple("OK")
 		}
 	}

@@ -73,6 +73,11 @@ func (s *Server) appendWAL(batches [][]pws.Op[string, string]) {
 				recs = append(recs, wal.Record{Key: b[i].Key, Val: b[i].Val})
 			case pws.OpDelete:
 				recs = append(recs, wal.Record{Key: b[i].Key, Del: true})
+			case pws.OpExpire:
+				// The deadline is logged ABSOLUTE (it was resolved from
+				// the TTL seconds at parse time), so replay can neither
+				// resurrect an expired key nor extend a live one.
+				recs = append(recs, wal.Record{Key: b[i].Key, Expire: true, Deadline: b[i].Deadline})
 			}
 		}
 	}
@@ -103,8 +108,17 @@ func (s *Server) appendWAL(batches [][]pws.Op[string, string]) {
 // replayed records through the sharded Apply bulk path. It must run
 // before the server accepts connections; it returns the number of
 // records applied (snapshot pairs + logged mutations).
+//
+// Expire records carry absolute deadlines, replayed in order as
+// OpExpire so re-arms and clears land exactly as logged — except a
+// deadline already in the past, which degrades to a delete: the key
+// died before the crash (or during the downtime) and must not
+// resurrect. Budget evictions are never logged; a recovered map that
+// exceeds its budget simply re-evicts from its cold end at the first
+// batch boundaries, converging to an equally-valid working set.
 func (s *Server) Recover(rec *wal.Recovery) (int64, error) {
 	var n int64
+	now := s.store.Now()
 	ops := make([]pws.Op[string, string], 0, restoreChunk)
 	var res []pws.Result[string]
 	flush := func() {
@@ -117,9 +131,14 @@ func (s *Server) Recover(rec *wal.Recovery) (int64, error) {
 	}
 	err := rec.Replay(func(recs []wal.Record) error {
 		for _, r := range recs {
-			if r.Del {
+			switch {
+			case r.Del:
 				ops = append(ops, pws.Op[string, string]{Kind: pws.OpDelete, Key: r.Key})
-			} else {
+			case r.Expire && r.Deadline <= now:
+				ops = append(ops, pws.Op[string, string]{Kind: pws.OpDelete, Key: r.Key})
+			case r.Expire:
+				ops = append(ops, pws.Op[string, string]{Kind: pws.OpExpire, Key: r.Key, Deadline: r.Deadline})
+			default:
 				ops = append(ops, pws.Op[string, string]{Kind: pws.OpInsert, Key: r.Key, Val: r.Val})
 			}
 			if len(ops) == restoreChunk {
@@ -140,22 +159,33 @@ func (s *Server) Checkpoint() error {
 	if s.wal == nil {
 		return nil
 	}
-	return s.wal.Snapshot(func(emit func(k, v string) error) error {
+	return s.wal.Snapshot(func(emit func(rec wal.Record) error) error {
 		lo, xlo := "", false
 		var buf []pws.KV[string, string]
 		for {
 			page, more := s.store.RangePage(lo, xlo, s.walHi, snapshotPage, buf[:0])
 			buf = page
 			for _, kv := range page {
-				if err := emit(kv.Key, kv.Val); err != nil {
+				if err := emit(wal.Record{Key: kv.Key, Val: kv.Val}); err != nil {
 					return err
 				}
 			}
 			if !more || len(page) == 0 {
-				return nil
+				break
 			}
 			lo, xlo = page[len(page)-1].Key, true
 		}
+		// Armed TTLs ride the same checkpoint as expire records (absolute
+		// deadlines), after the pairs so recovery arms keys that exist.
+		// Entries racing the fuzzy scan are repaired by the WAL tail,
+		// which replays every post-rotation mutation in order.
+		var eerr error
+		s.store.ExpiryEntries(func(k string, deadline int64) {
+			if eerr == nil {
+				eerr = emit(wal.Record{Key: k, Expire: true, Deadline: deadline})
+			}
+		})
+		return eerr
 	})
 }
 

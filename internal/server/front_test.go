@@ -103,6 +103,19 @@ func TestServerFrontCacheNoStaleRead(t *testing.T) {
 					t.Fatalf("round %d: GET after acked SET = %q, want %q (stale cached read)", i, got, v)
 				}
 			}
+			// On a loaded test machine the readers may barely get
+			// scheduled while the writer rounds run. Once the writes
+			// stop, the next reader read repopulates the front and the
+			// ones after it must hit — wait for that before stopping
+			// the readers, so the hit assertion below is not a race
+			// against the scheduler.
+			for deadline := time.Now().Add(10 * time.Second); ; {
+				fs, ok := srv.Front()
+				if ok && fs.Hits > 0 || time.Now().After(deadline) {
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
 			done.Store(true)
 			wg.Wait()
 			close(errc)

@@ -124,6 +124,17 @@ type Config struct {
 	// front — the same negative-really-zero convention the load
 	// generator's fraction knobs use.
 	FrontCache int
+	// MaxBytes, when positive, bounds the map's approximate resident
+	// bytes (keys + values + per-item structural overhead): the budget
+	// is split evenly across shards and enforced at batch boundaries by
+	// evicting each shard's least-recent items — the cold end of the
+	// working-set hierarchy. 0 means unbounded (byte accounting still
+	// runs either way; see STATS "SECTION memory").
+	MaxBytes int64
+	// Clock supplies the TTL clock as absolute unix-nanos. Tests inject
+	// a fake so EXPIRE deadlines and the map's expiry sweeps share one
+	// controllable time source. Nil means time.Now().UnixNano.
+	Clock func() int64
 }
 
 // DefaultFrontCache is the per-shard entry count of the hot-key read
@@ -171,11 +182,13 @@ type Stats struct {
 	Batches  int64 `json:"batches"`
 	Ops      int64 `json:"ops"`
 	MaxBatch int64 `json:"max_batch"`
-	// Per-op counters (MGET counts toward Gets, MSET toward Sets).
-	Gets  int64 `json:"gets"`
-	Sets  int64 `json:"sets"`
-	Dels  int64 `json:"dels"`
-	Scans int64 `json:"scans"`
+	// Per-op counters (MGET counts toward Gets, MSET toward Sets, and
+	// EXPIRE/SETEX toward Expires — SETEX also counts one Set).
+	Gets    int64 `json:"gets"`
+	Sets    int64 `json:"sets"`
+	Dels    int64 `json:"dels"`
+	Expires int64 `json:"expires"`
+	Scans   int64 `json:"scans"`
 	// Errors counts error replies written (bad arity, unknown commands).
 	Errors int64 `json:"errors"`
 }
@@ -199,6 +212,7 @@ type counters struct {
 	gets          atomic.Int64
 	sets          atomic.Int64
 	dels          atomic.Int64
+	expires       atomic.Int64
 	scans         atomic.Int64
 	errors        atomic.Int64
 }
@@ -225,6 +239,7 @@ func (c *counters) snapshot() Stats {
 		Gets:          c.gets.Load(),
 		Sets:          c.sets.Load(),
 		Dels:          c.dels.Load(),
+		Expires:       c.expires.Load(),
 		Scans:         c.scans.Load(),
 		Errors:        c.errors.Load(),
 	}
@@ -287,6 +302,8 @@ func New(cfg Config) *Server {
 			Engine:     cfg.Engine,
 			Telemetry:  true,
 			FrontCache: cfg.FrontCache,
+			MaxBytes:   cfg.MaxBytes,
+			Clock:      cfg.Clock,
 		}),
 		work:      work,
 		conns:     make(map[*conn]struct{}),
@@ -357,6 +374,12 @@ func (s *Server) Front() (frontcache.Stats, bool) {
 	}
 	return s.store.FrontStats(), true
 }
+
+// Mem returns the store's bounded-memory health snapshot: resident
+// bytes against the configured budget, lifetime evictions and TTL
+// expirations, and the currently armed TTL count. Soak harnesses
+// assert the budget ceiling through it.
+func (s *Server) Mem() pws.MemStats { return s.store.Mem() }
 
 // Obs returns the map's telemetry bundle (depth and stage histograms).
 func (s *Server) Obs() *pws.MapTelemetry { return s.obsm }
@@ -565,17 +588,27 @@ func (s *Server) statsText() string {
 	base := fmt.Sprintf(
 		"engine %s\nshards %d\nkeys %d\nconns %d\ntotal_conns %d\nrejected_conns %d\n"+
 			"batches %d\nops %d\nmax_batch %d\navg_batch %.2f\n"+
-			"gets %d\nsets %d\ndels %d\nscans %d\nerrors %d\n",
+			"gets %d\nsets %d\ndels %d\nexpires %d\nscans %d\nerrors %d\n",
 		s.Engine(), s.store.Shards(), s.store.Len(),
 		st.ActiveConns, st.TotalConns, st.RejectedConns,
 		st.Batches, st.Ops, st.MaxBatch, st.AvgBatch(),
-		st.Gets, st.Sets, st.Dels, st.Scans, st.Errors)
+		st.Gets, st.Sets, st.Dels, st.Expires, st.Scans, st.Errors)
 	if cs, ok := s.Coalesced(); ok {
 		base += fmt.Sprintf(
 			"coalesce_window %s\ncoalesce_size_cuts %d\ncoalesce_window_cuts %d\ncoalesce_drain_cuts %d\ncoalesce_absorbed %d\n",
 			s.cfg.CoalesceWindow, cs.SizeCuts, cs.WindowCuts, cs.DrainCuts, cs.Absorbed)
 	}
-	return base + s.statsWAL() + s.statsFront() + s.statsTelemetry()
+	return base + s.statsMemory() + s.statsWAL() + s.statsFront() + s.statsTelemetry()
+}
+
+// statsMemory renders the bounded-memory/TTL section. Byte accounting
+// is always on, so the section is always present — mem_max_bytes 0
+// means unbounded. Key names are frozen by TestStatsTextGolden.
+func (s *Server) statsMemory() string {
+	ms := s.store.Mem()
+	return fmt.Sprintf(
+		"SECTION memory\nmem_max_bytes %d\nmem_bytes %d\nmem_evicted %d\nmem_expired %d\nmem_ttls %d\n",
+		ms.MaxBytes, ms.Bytes, ms.Evicted, ms.Expired, ms.TTLs)
 }
 
 // statsFront renders the hot-key front-cache section, empty when the

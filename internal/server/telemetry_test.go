@@ -50,10 +50,14 @@ func TestStatsTextGolden(t *testing.T) {
 	want := []string{
 		"engine", "shards", "keys", "conns", "total_conns", "rejected_conns",
 		"batches", "ops", "max_batch", "avg_batch",
-		"gets", "sets", "dels", "scans", "errors",
+		"gets", "sets", "dels", "expires", "scans", "errors",
 		"coalesce_window", "coalesce_size_cuts", "coalesce_window_cuts", "coalesce_drain_cuts",
 		"coalesce_absorbed",
 	}
+	want = append(want,
+		"SECTION memory",
+		"mem_max_bytes", "mem_bytes", "mem_evicted", "mem_expired", "mem_ttls",
+	)
 	want = append(want,
 		"SECTION front",
 		"front_entries", "front_hits", "front_misses", "front_conflicts",

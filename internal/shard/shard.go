@@ -26,6 +26,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/esort"
@@ -65,6 +66,16 @@ type Config struct {
 	// before results are released), preserving batch-level
 	// linearizability. 0 disables the front.
 	FrontCache int
+	// MaxBytes, when positive, bounds the map's approximate resident
+	// bytes (keys + values + per-item structural overhead): the budget
+	// is split evenly across shards and each engine evicts its
+	// least-recent items — the cold end of its working-set hierarchy —
+	// at batch boundaries while over its share. Evicted keys vanish as
+	// if deleted. 0 means unbounded (byte accounting still runs).
+	MaxBytes int64
+	// Clock supplies the TTL clock as absolute unix-nanos (tests inject
+	// a fake). Defaults to time.Now().UnixNano.
+	Clock func() int64
 }
 
 // engineMap is the per-shard surface shared by core.M1 and core.M2.
@@ -78,6 +89,10 @@ type engineMap[K cmp.Ordered, V any] interface {
 	ApplyAsyncMulti(batches [][]core.Op[K, V]) core.Pending[K, V]
 	Items(visit func(k K, v V) bool)
 	Len() int
+	Bytes() int64
+	Evicted() int64
+	SetOnEvict(fn func(K, V))
+	SetTTLHooks(h *core.TTLHooks[K])
 	Batches() int64
 	Quiesce()
 	Close()
@@ -95,6 +110,13 @@ type Map[K cmp.Ordered, V any] struct {
 	// without Config.FrontCache). One maphash value routes both the
 	// shard and the cache bucket.
 	fronts []*frontcache.Cache[K, V]
+
+	// exp are the per-shard TTL sidecars (expiry.go), always present;
+	// a shard with no armed TTLs costs one atomic load to skip.
+	exp      []*expTable[K]
+	clock    func() int64
+	maxBytes int64
+	expired  atomic.Int64 // incarnations retired by TTL (lifetime)
 
 	// mobs is the map's telemetry bundle (nil without Config.Telemetry);
 	// stages caches mobs.Stages() so the hot path pays one nil check.
@@ -151,9 +173,21 @@ func New[K cmp.Ordered, V any](cfg Config) *Map[K, V] {
 			sub.P = 2
 		}
 	}
+	if cfg.MaxBytes > 0 {
+		sub.MaxBytes = cfg.MaxBytes / int64(s)
+		if sub.MaxBytes < 1 {
+			sub.MaxBytes = 1
+		}
+	}
 	m := &Map[K, V]{
-		seed:   maphash.MakeSeed(),
-		shards: make([]engineMap[K, V], s),
+		seed:     maphash.MakeSeed(),
+		shards:   make([]engineMap[K, V], s),
+		exp:      make([]*expTable[K], s),
+		clock:    cfg.Clock,
+		maxBytes: cfg.MaxBytes,
+	}
+	if m.clock == nil {
+		m.clock = func() int64 { return time.Now().UnixNano() }
 	}
 	if cfg.Telemetry {
 		m.mobs = obs.NewMapObs(s)
@@ -166,6 +200,7 @@ func New[K cmp.Ordered, V any](cfg Config) *Map[K, V] {
 		}
 	}
 	for i := range m.shards {
+		m.exp[i] = newExpTable[K]()
 		sc := sub
 		if m.mobs != nil {
 			sc.Obs = m.mobs.Engine(i)
@@ -176,6 +211,56 @@ func New[K cmp.Ordered, V any](cfg Config) *Map[K, V] {
 		default:
 			m.shards[i] = core.NewM1[K, V](sc)
 		}
+		// An engine-initiated removal (budget eviction) must go through
+		// the same invalidation path as a client DEL: drop the key's
+		// front slot and its TTL before the eviction's batch releases.
+		t := m.exp[i]
+		m.shards[i].SetOnEvict(func(k K, _ V) {
+			m.frontDrop(k)
+			t.clear(k)
+		})
+		// The TTL hooks put every expiry-state transition at the
+		// engine's per-key serialization point (core.TTLHooks,
+		// expiry.go): arming, clearing on writes, and retiring expired
+		// incarnations as the engine observes them. Each transition
+		// that kills a resident value also drops its front slot, so
+		// the front can never outlive the engine's copy.
+		m.shards[i].SetTTLHooks(&core.TTLHooks[K]{
+			Ghost: func(k K) bool {
+				// Armed-count gate first: with no TTLs in the shard
+				// the per-observation cost is one atomic load, no
+				// clock read.
+				if t.n.Load() == 0 {
+					return false
+				}
+				if t.ghost(k, m.now()) {
+					m.frontDrop(k)
+					m.expired.Add(1)
+					return true
+				}
+				return false
+			},
+			Clear: func(k K) {
+				if t.clear(k) {
+					m.frontDrop(k)
+				}
+			},
+			Arm: func(k K, deadline int64) bool {
+				if deadline != 0 && deadline <= m.now() {
+					// Already past: the engine deletes the key in the
+					// same replay instead of arming a dead entry. Drop
+					// any deadline a prior EXPIRE armed — the key is
+					// about to vanish, and a leftover entry would be
+					// counted as an unswept ghost forever.
+					t.clear(k)
+					m.frontDrop(k)
+					m.expired.Add(1)
+					return true
+				}
+				t.arm(k, deadline)
+				return false
+			},
+		})
 	}
 	m.workers = make([]chan applyJob[K, V], s)
 	for i := range m.workers {
@@ -216,6 +301,14 @@ func (m *Map[K, V]) FrontGet(k K) (V, bool) {
 	h := maphash.Comparable(m.seed, k)
 	s := h % uint64(len(m.shards))
 	v, ok := m.fronts[s].Get(h, k)
+	if ok && m.exp[s].n.Load() > 0 && m.exp[s].expired(k, m.now()) {
+		// The front held a key already past its deadline: expired is a
+		// miss even before the sweep. Drop the slot so later probes
+		// miss without the deadline check.
+		m.fronts[s].Invalidate(h, k)
+		var zero V
+		return zero, false
+	}
 	if ok {
 		m.mobs.Engine(int(s)).RecordLookup(obs.SrcFront, 0, 1)
 	}
@@ -251,27 +344,103 @@ func (m *Map[K, V]) FrontStats() frontcache.Stats {
 	return st
 }
 
-// frontInvalidate clears every key written by the batches from the
-// front. Called at the batch commit boundary — after the engines have
-// applied the ops, before ApplyScattered returns and the results are
-// released to callers — so a post-release front hit can never predate
-// the batch: batch-level linearizability, the same granularity the
-// coalescer linearizes at. Invalidate-only (no refresh-in-place):
+// now reads the TTL clock (absolute unix-nanos).
+func (m *Map[K, V]) now() int64 { return m.clock() }
+
+// Now reads the map's TTL clock (absolute unix-nanos; Config.Clock or
+// the wall clock). Deadline producers — the server turning EXPIRE
+// seconds into absolute deadlines — must derive them from this clock so
+// injected test clocks stay coherent.
+func (m *Map[K, V]) Now() int64 { return m.now() }
+
+// ttlAny reports whether any shard has armed TTLs (S atomic loads).
+func (m *Map[K, V]) ttlAny() bool {
+	for _, t := range m.exp {
+		if t.n.Load() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// expOf returns the expiry table of the shard owning k.
+func (m *Map[K, V]) expOf(k K) *expTable[K] { return m.exp[m.shardOf(k)] }
+
+// frontDrop is the single commit-boundary invalidation path: every
+// removal or overwrite — client SET/DEL, TTL expiry, budget eviction —
+// funnels through here, so the front can never keep serving a value
+// the engines no longer hold. Invalidate-only (no refresh-in-place):
 // clearing commutes across concurrently-committing appliers, while
 // racing refreshes could publish values in an order that disagrees
 // with the engines' linearization.
-func (m *Map[K, V]) frontInvalidate(batches [][]core.Op[K, V]) {
+func (m *Map[K, V]) frontDrop(k K) {
 	if m.fronts == nil {
 		return
 	}
-	for _, ops := range batches {
-		for i := range ops {
-			if ops[i].Kind != core.OpInsert && ops[i].Kind != core.OpDelete {
-				continue
+	h := maphash.Comparable(m.seed, k)
+	m.fronts[h%uint64(len(m.shards))].Invalidate(h, k)
+}
+
+// commitBoundary is the batch commit boundary's bookkeeping. It runs
+// after the engines have applied the ops and their results sit in the
+// submitters' slices, but before ApplyScattered returns and the results
+// are released — so callers observe batch-level linearizability, the
+// same granularity the coalescer linearizes at. It invalidates the
+// front slot of every written key (the front-cache write contract) and
+// then runs the lazy expiry sweep. TTL result semantics need no fixing
+// up here: the engines resolve them exactly, at each key's
+// serialization point, through the core.TTLHooks.
+func (m *Map[K, V]) commitBoundary(batches [][]core.Op[K, V]) {
+	if m.fronts != nil {
+		for _, ops := range batches {
+			for i := range ops {
+				switch ops[i].Kind {
+				case core.OpInsert, core.OpDelete:
+					m.frontDrop(ops[i].Key)
+				}
 			}
-			h := maphash.Comparable(m.seed, ops[i].Key)
-			m.fronts[h%uint64(len(m.shards))].Invalidate(h, ops[i].Key)
 		}
+	}
+	m.sweep()
+}
+
+// sweep resolves due TTLs lazily: for each shard with deadlines at or
+// before now, collect up to sweepMax due keys (dueKeys — the table
+// entries stay in place) and submit them as one plain engine Get
+// batch. The gets carry no payload; their whole point is to make the
+// engine observe each key, which fires the ghost consult at the key's
+// serialization point and removes the dead incarnation through the
+// engine's normal delete machinery (a ghosted group resolves to net
+// absent, so the get neither revives recency nor returns a value). A
+// write racing the sweep serializes with the observation either way:
+// if it resolves first it clears the deadline and the get degrades to
+// a harmless read of the fresh value. Runs only at commit boundaries —
+// never on the per-op hot path — and the common no-TTL and nothing-due
+// batches pay S atomic loads and no clock read. Concurrent sweeps are
+// safe: dueKeys hands out disjoint key sets and ghost retirement is
+// exactly-once.
+func (m *Map[K, V]) sweep() {
+	var now int64
+	for s, t := range m.exp {
+		nd := t.nextDue.Load()
+		if nd == 0 {
+			continue
+		}
+		if now == 0 {
+			now = m.now()
+		}
+		if nd > now {
+			continue
+		}
+		keys := t.dueKeys(now, sweepMax, nil)
+		if len(keys) == 0 {
+			continue
+		}
+		ops := make([]core.Op[K, V], len(keys))
+		for i, k := range keys {
+			ops[i] = core.Op[K, V]{Kind: core.OpGet, Key: k}
+		}
+		m.shards[s].ApplyInto(ops, make([]core.Result[V], len(keys)))
 	}
 }
 
@@ -300,6 +469,9 @@ func (m *Map[K, V]) Get(k K) (V, bool) {
 	m.enter()
 	v, ok := m.shards[m.shardOf(k)].Get(k)
 	m.pending.Done()
+	// No expiry post-check: the engine's own resolution consulted the
+	// ghost hook at the key's serialization point, so an expired key
+	// already read as absent (and was removed).
 	t.Install(v, ok)
 	return v, ok
 }
@@ -310,10 +482,10 @@ func (m *Map[K, V]) Insert(k K, v V) (V, bool) {
 	m.enter()
 	defer m.pending.Done()
 	prev, ok := m.shards[m.shardOf(k)].Insert(k, v)
-	if m.fronts != nil {
-		h := maphash.Comparable(m.seed, k)
-		m.fronts[h%uint64(len(m.shards))].Invalidate(h, k)
-	}
+	// TTL clearing (a fresh SET carries no TTL) and expired-previous-
+	// value semantics resolved in-engine via the hooks; the boundary
+	// only owes the front-cache write invalidation.
+	m.frontDrop(k)
 	return prev, ok
 }
 
@@ -323,11 +495,20 @@ func (m *Map[K, V]) Delete(k K) (V, bool) {
 	m.enter()
 	defer m.pending.Done()
 	prev, ok := m.shards[m.shardOf(k)].Delete(k)
-	if m.fronts != nil {
-		h := maphash.Comparable(m.seed, k)
-		m.fronts[h%uint64(len(m.shards))].Invalidate(h, k)
-	}
+	m.frontDrop(k)
 	return prev, ok
+}
+
+// Expire arms an absolute unix-nano deadline on k, riding the batch
+// pipeline so it linearizes like any other op: from the deadline on the
+// key reads as absent, and a later commit-boundary sweep removes it.
+// deadline 0 clears an armed TTL. Returns whether k was present (and
+// not already expired) — Redis EXPIRE semantics.
+func (m *Map[K, V]) Expire(k K, deadline int64) bool {
+	ops := [1]core.Op[K, V]{{Kind: core.OpExpire, Key: k, Deadline: deadline}}
+	var res [1]core.Result[V]
+	m.ApplyInto(ops[:], res[:])
+	return res[0].OK
 }
 
 // Apply submits a whole batch of operations at once and waits for all of
@@ -394,7 +575,76 @@ type rangeScratch[K cmp.Ordered, V any] struct {
 // page composes the per-shard snapshots, which is linearizable per
 // returned pair, and successive cursor pages likewise each read live
 // state.
+//
+// Expired-but-unswept keys are filtered out. The filter is a ghost set
+// pre-captured BEFORE the range is submitted: every armed key in
+// [lo, hi) whose deadline has already passed. Pre-capture (rather than
+// checking the table after the fetch) is what makes the filter sound
+// against racing writes: if the merged page carries a dead value, the
+// range linearized before the racing write that would have cleared the
+// key's table entry, so the entry was still armed — and already past —
+// when the capture ran, and the pair is dropped. Conversely a key in
+// the set was genuinely expired at capture time, which lies inside the
+// call's window, so omitting it is linearizable even if a concurrent
+// write revived it. Keys armed after the capture cannot be past-
+// deadline (an already-past EXPIRE deletes instead of arming), so no
+// second look at the table is needed. A page may come back shorter
+// than limit with more set (cursor callers resume and re-filter —
+// never a missed live item), and a page whose raw contents were all
+// ghosts is retried internally past the raw cursor, so callers never
+// see an empty page with more=true while live items remain.
 func (m *Map[K, V]) RangePage(lo K, xlo bool, hi K, limit int, dst []Entry[K, V]) (page []Entry[K, V], more bool) {
+	if !m.ttlAny() {
+		return m.rangePage(lo, xlo, hi, limit, dst)
+	}
+	now := m.now()
+	var ghosts map[K]struct{}
+	for _, t := range m.exp {
+		if t.n.Load() == 0 {
+			continue
+		}
+		t.entries(func(k K, dl int64) {
+			if dl <= now && k < hi && (k > lo || (k == lo && !xlo)) {
+				if ghosts == nil {
+					ghosts = make(map[K]struct{})
+				}
+				ghosts[k] = struct{}{}
+			}
+		})
+	}
+	if ghosts == nil {
+		return m.rangePage(lo, xlo, hi, limit, dst)
+	}
+	n0 := len(dst)
+	cur, xcur := lo, xlo
+	for {
+		before := len(dst)
+		dst, more = m.rangePage(cur, xcur, hi, limit, dst)
+		raw := len(dst) - before
+		var rawLast K
+		if raw > 0 {
+			rawLast = dst[len(dst)-1].Key
+		}
+		w := before
+		for i := before; i < len(dst); i++ {
+			if _, dead := ghosts[dst[i].Key]; !dead {
+				dst[w] = dst[i]
+				w++
+			}
+		}
+		dst = dst[:w]
+		if len(dst) > n0 || !more || raw == 0 {
+			return dst, more
+		}
+		// Everything fetched was a ghost; resume past the raw cursor so
+		// the caller never turns a ghost-only page into early EOF.
+		cur, xcur = rawLast, true
+	}
+}
+
+// rangePage is RangePage without the expiry filter: one broadcast, one
+// k-way merge.
+func (m *Map[K, V]) rangePage(lo K, xlo bool, hi K, limit int, dst []Entry[K, V]) (page []Entry[K, V], more bool) {
 	m.enter()
 	defer m.pending.Done()
 
@@ -513,7 +763,7 @@ func (m *Map[K, V]) ApplyScattered(batches [][]core.Op[K, V], dsts [][]core.Resu
 		tApply := m.markFanout(t0)
 		pend.CollectScattered(dsts)
 		m.stages.RecordSince(obs.StageApply, tApply)
-		m.frontInvalidate(batches)
+		m.commitBoundary(batches)
 		return
 	}
 
@@ -559,7 +809,7 @@ func (m *Map[K, V]) ApplyScattered(batches [][]core.Op[K, V], dsts [][]core.Resu
 		tApply := m.markFanout(t0)
 		pend.CollectScattered(dsts)
 		m.stages.RecordSince(obs.StageApply, tApply)
-		m.frontInvalidate(batches)
+		m.commitBoundary(batches)
 		return
 	}
 
@@ -611,9 +861,6 @@ func (m *Map[K, V]) ApplyScattered(batches [][]core.Op[K, V], dsts [][]core.Resu
 	sc.pend[last].Collect(sc.subRes[sc.starts[last]:cursor[last]])
 	sc.wg.Wait()
 	m.stages.RecordSince(obs.StageApply, tApply)
-	// Commit boundary: the engines have applied every op; clear written
-	// keys from the front before the results leave this call.
-	m.frontInvalidate(batches)
 
 	// Scatter: results return to each submitter's own slice.
 	i = 0
@@ -624,6 +871,11 @@ func (m *Map[K, V]) ApplyScattered(batches [][]core.Op[K, V], dsts [][]core.Resu
 			i++
 		}
 	}
+	// Commit boundary: the engines have applied every op and the results
+	// sit in the submitters' slices; fix up expired observations, clear
+	// written keys from the front and sweep due TTLs before the results
+	// leave this call.
+	m.commitBoundary(batches)
 }
 
 // markFanout closes the fanout stage opened at t0 and opens the apply
@@ -637,14 +889,59 @@ func (m *Map[K, V]) markFanout(t0 int64) int64 {
 	return now
 }
 
-// Len returns the current number of items (racy snapshot, summed across
-// shards).
+// Len returns the current number of live items (racy snapshot, summed
+// across shards). Expired-but-unswept keys are not counted: engines
+// still hold them until the next sweep, so their count is subtracted
+// from the engine totals, and Len converges to the exact live count at
+// the batch boundary that sweeps them.
 func (m *Map[K, V]) Len() int {
 	n := 0
 	for _, s := range m.shards {
 		n += s.Len()
 	}
+	if m.ttlAny() {
+		now := m.now()
+		for _, t := range m.exp {
+			n -= t.expiredCount(now)
+		}
+		if n < 0 {
+			n = 0
+		}
+	}
 	return n
+}
+
+// MemStats is the bounded-memory health snapshot of a sharded map.
+// The JSON form is part of the wsd /statsz schema.
+type MemStats struct {
+	MaxBytes int64 `json:"max_bytes"` // configured global budget (0 = unbounded)
+	Bytes    int64 `json:"bytes"`     // approximate resident bytes, summed across shards
+	Evicted  int64 `json:"evicted"`   // items evicted by the byte budget (lifetime)
+	Expired  int64 `json:"expired"`   // items removed by TTL sweeps (lifetime)
+	TTLs     int64 `json:"ttls"`      // currently armed TTLs
+}
+
+// Mem returns the bounded-memory health snapshot (racy, like Len).
+func (m *Map[K, V]) Mem() MemStats {
+	st := MemStats{MaxBytes: m.maxBytes, Expired: m.expired.Load()}
+	for _, s := range m.shards {
+		st.Bytes += s.Bytes()
+		st.Evicted += s.Evicted()
+	}
+	for _, t := range m.exp {
+		st.TTLs += t.n.Load()
+	}
+	return st
+}
+
+// ExpiryEntries visits every armed (key, deadline) pair across shards —
+// the checkpoint stream's expiry section. Each shard's entries are
+// visited under that shard's table lock; arms and clears racing the
+// walk may or may not be seen (the WAL tail replays them at recovery).
+func (m *Map[K, V]) ExpiryEntries(visit func(k K, deadline int64)) {
+	for _, t := range m.exp {
+		t.entries(visit)
+	}
 }
 
 // Shards returns the shard count.
@@ -728,7 +1025,19 @@ func (m *Map[K, V]) snapshot() []Entry[K, V] {
 		}(i, s)
 	}
 	wg.Wait()
-	return esort.MergeK(lists, func(a, b Entry[K, V]) bool { return a.Key < b.Key })
+	merged := esort.MergeK(lists, func(a, b Entry[K, V]) bool { return a.Key < b.Key })
+	if m.ttlAny() {
+		now := m.now()
+		w := 0
+		for _, e := range merged {
+			if !m.expOf(e.Key).expired(e.Key, now) {
+				merged[w] = e
+				w++
+			}
+		}
+		merged = merged[:w]
+	}
+	return merged
 }
 
 // Items visits every item in ascending key order, merging the per-shard

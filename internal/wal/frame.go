@@ -18,9 +18,10 @@ import (
 //
 //	uvarint nrecords
 //	nrecords times:
-//	  u8 kind (0 = set, 1 = delete)
+//	  u8 kind (0 = set, 1 = delete, 2 = expire)
 //	  uvarint klen | klen key bytes
 //	  [kind == 0] uvarint vlen | vlen value bytes
+//	  [kind == 2] uvarint absolute unix-nano deadline
 //
 // The CRC covers the whole payload, so a torn write can never
 // half-apply a batch: either the frame checks out and every record in
@@ -39,13 +40,21 @@ const (
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
-// Record is one logged mutation. Del distinguishes a delete (Val
-// unused) from a set; Key/Val are copied into the frame at append
-// time, so callers may hand in arena-backed strings.
+// Record is one logged mutation: a set (the default; Key/Val), a
+// delete (Del; Val unused), or an expire (Expire; Deadline is the
+// ABSOLUTE unix-nano deadline armed on Key, Val unused). Deadlines are
+// absolute on purpose: a relative TTL would restart on every replay,
+// letting a crash-restart loop extend a key's life indefinitely —
+// replaying an absolute deadline re-expires exactly on schedule, and
+// one already in the past degrades to a delete. Key/Val are copied
+// into the frame at append time, so callers may hand in arena-backed
+// strings.
 type Record struct {
-	Key string
-	Val string
-	Del bool
+	Key      string
+	Val      string
+	Del      bool
+	Expire   bool
+	Deadline int64
 }
 
 // errTorn marks a frame that cannot be trusted from its start onward:
@@ -71,15 +80,21 @@ func appendFrame(dst []byte, recs []Record) []byte {
 	for i := range recs {
 		r := &recs[i]
 		kind := byte(0)
-		if r.Del {
+		switch {
+		case r.Del:
 			kind = 1
+		case r.Expire:
+			kind = 2
 		}
 		dst = append(dst, kind)
 		dst = binary.AppendUvarint(dst, uint64(len(r.Key)))
 		dst = append(dst, r.Key...)
-		if !r.Del {
+		switch kind {
+		case 0:
 			dst = binary.AppendUvarint(dst, uint64(len(r.Val)))
 			dst = append(dst, r.Val...)
+		case 2:
+			dst = binary.AppendUvarint(dst, uint64(r.Deadline))
 		}
 	}
 	payload := dst[p0:]
@@ -108,7 +123,7 @@ func decodePayload(payload []byte, dst []Record) ([]Record, error) {
 		}
 		kind := payload[0]
 		payload = payload[1:]
-		if kind > 1 {
+		if kind > 2 {
 			return dst, fmt.Errorf("%w: unknown record kind %d", errTorn, kind)
 		}
 		klen, w := binary.Uvarint(payload)
@@ -119,7 +134,9 @@ func decodePayload(payload []byte, dst []Record) ([]Record, error) {
 		key := string(payload[:klen])
 		payload = payload[klen:]
 		var val string
-		if kind == 0 {
+		var deadline int64
+		switch kind {
+		case 0:
 			vlen, w := binary.Uvarint(payload)
 			if w <= 0 || vlen > uint64(len(payload)-w) {
 				return dst, fmt.Errorf("%w: bad value length", errTorn)
@@ -127,8 +144,15 @@ func decodePayload(payload []byte, dst []Record) ([]Record, error) {
 			payload = payload[w:]
 			val = string(payload[:vlen])
 			payload = payload[vlen:]
+		case 2:
+			dl, w := binary.Uvarint(payload)
+			if w <= 0 || dl > 1<<62 {
+				return dst, fmt.Errorf("%w: bad expire deadline", errTorn)
+			}
+			payload = payload[w:]
+			deadline = int64(dl)
 		}
-		dst = append(dst, Record{Key: key, Val: val, Del: kind == 1})
+		dst = append(dst, Record{Key: key, Val: val, Del: kind == 1, Expire: kind == 2, Deadline: deadline})
 	}
 	if len(payload) != 0 {
 		return dst, fmt.Errorf("%w: %d trailing bytes in frame", errTorn, len(payload))

@@ -248,8 +248,9 @@ func repairTail(path string, seq uint64, logf func(string, ...any)) (bool, error
 }
 
 // validateSnapshot fully scans a checkpoint: header, every frame's
-// CRC, record shape (pairs only, no deletes) and the zero-record
-// terminator frame that proves the write completed.
+// CRC, record shape (pairs and expire records — a checkpoint carries
+// the live kv state plus the armed TTL deadlines, never deletes) and
+// the zero-record terminator frame that proves the write completed.
 func validateSnapshot(path string, seq uint64) error {
 	f, err := os.Open(path)
 	if err != nil {

@@ -3,6 +3,7 @@ package wal
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"os"
 	"path/filepath"
 
@@ -15,9 +16,11 @@ import (
 const snapChunk = 512
 
 // Snapshot writes a checkpoint of the live map and prunes the log
-// behind it. stream must call emit once per live pair; it runs outside
-// the log's append lock, so appends proceed concurrently (the server
-// streams via cursor-paged range reads — the scan is fuzzy).
+// behind it. stream must call emit once per live record — the kv pairs
+// (set records) and then the armed TTL deadlines (expire records;
+// deletes are invalid in a checkpoint). It runs outside the log's
+// append lock, so appends proceed concurrently (the server streams via
+// cursor-paged range reads — the scan is fuzzy).
 //
 // Sequence: rotate to a fresh segment whose seq S becomes the
 // checkpoint's identity, scan the map into snap-<S>.ckpt.tmp, fsync,
@@ -31,7 +34,7 @@ const snapChunk = 512
 // The terminator frame (zero records) is the completion witness: a
 // checkpoint missing it — crash mid-write, even though renames are
 // atomic the fsync may not have landed — is skipped at recovery.
-func (l *Log) Snapshot(stream func(emit func(k, v string) error) error) error {
+func (l *Log) Snapshot(stream func(emit func(rec Record) error) error) error {
 	l.snapMu.Lock()
 	defer l.snapMu.Unlock()
 
@@ -84,8 +87,11 @@ func (l *Log) Snapshot(stream func(emit func(k, v string) error) error) error {
 		_, err := bw.Write(enc)
 		return err
 	}
-	emit := func(k, v string) error {
-		chunk = append(chunk, Record{Key: k, Val: v})
+	emit := func(rec Record) error {
+		if rec.Del {
+			return errors.New("wal: delete record in snapshot stream")
+		}
+		chunk = append(chunk, rec)
 		if len(chunk) == snapChunk {
 			return flush()
 		}

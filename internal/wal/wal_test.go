@@ -149,9 +149,9 @@ func TestSnapshotPrunesAndRecovers(t *testing.T) {
 	snap := func() {
 		// Stream the model map as the "live map": the test's analog of
 		// the server's RangePage scan.
-		if err := l.Snapshot(func(emit func(k, v string) error) error {
+		if err := l.Snapshot(func(emit func(rec Record) error) error {
 			for k, v := range live {
-				if err := emit(k, v); err != nil {
+				if err := emit(Record{Key: k, Val: v}); err != nil {
 					return err
 				}
 			}
@@ -213,9 +213,9 @@ func TestInvalidSnapshotSkipped(t *testing.T) {
 		}
 		want[k] = v
 	}
-	if err := l.Snapshot(func(emit func(k, v string) error) error {
+	if err := l.Snapshot(func(emit func(rec Record) error) error {
 		for k, v := range want {
-			if err := emit(k, v); err != nil {
+			if err := emit(Record{Key: k, Val: v}); err != nil {
 				return err
 			}
 		}

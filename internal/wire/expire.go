@@ -1,0 +1,25 @@
+package wire
+
+import (
+	"errors"
+	"strconv"
+)
+
+// MaxExpireSeconds caps EXPIRE/SETEX TTL arguments. Generous (about a
+// century) while keeping now + seconds*1e9 far from int64 overflow, so
+// the absolute unix-nano deadlines the server derives can never wrap.
+const MaxExpireSeconds = int64(100 * 365 * 24 * 3600)
+
+var errExpireSeconds = errors.New("wire: invalid expire seconds")
+
+// ParseExpireSeconds parses the seconds argument of EXPIRE/SETEX: a
+// plain positive decimal integer, at most MaxExpireSeconds. Zero and
+// negative TTLs are rejected rather than treated as an immediate
+// delete — a client that wants a delete should say DEL.
+func ParseExpireSeconds(s string) (int64, error) {
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n <= 0 || n > MaxExpireSeconds {
+		return 0, errExpireSeconds
+	}
+	return n, nil
+}

@@ -1,0 +1,40 @@
+package wire
+
+import (
+	"strconv"
+	"testing"
+)
+
+// FuzzExpireParse drives ParseExpireSeconds with arbitrary byte soup:
+// it must never panic, never accept a value outside (0, MaxExpireSeconds],
+// and must agree with the reference strconv parse on everything it does
+// accept (no silent reinterpretation of weird encodings).
+func FuzzExpireParse(f *testing.F) {
+	f.Add("1")
+	f.Add("60")
+	f.Add("0")
+	f.Add("-1")
+	f.Add("+5")
+	f.Add("9223372036854775807")
+	f.Add("99999999999999999999999")
+	f.Add("1e3")
+	f.Add(" 1")
+	f.Add("0x10")
+	f.Add("3153600000")
+	f.Fuzz(func(t *testing.T, s string) {
+		n, err := ParseExpireSeconds(s)
+		if err != nil {
+			if n != 0 {
+				t.Fatalf("ParseExpireSeconds(%q) returned %d with error", s, n)
+			}
+			return
+		}
+		if n <= 0 || n > MaxExpireSeconds {
+			t.Fatalf("ParseExpireSeconds(%q) accepted out-of-range %d", s, n)
+		}
+		ref, rerr := strconv.ParseInt(s, 10, 64)
+		if rerr != nil || ref != n {
+			t.Fatalf("ParseExpireSeconds(%q) = %d disagrees with strconv (%d, %v)", s, n, ref, rerr)
+		}
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // Concurrent linearizability-style property test: many goroutines hammer
@@ -31,11 +32,24 @@ import (
 // point always has a recorded interval intersecting the window, and a
 // check failure is a real consistency violation, never timestamp skew.
 
+// Expiry runs extend the model with per-key deadlines: an armed TTL is
+// a delete that takes effect at the key's absolute deadline, enforced
+// lazily by the map. Every op therefore classifies the key's pre-op
+// state by wall-clock bracketing — stamped before and after the map
+// call — as definitely-present (the call finished before the deadline),
+// definitely-absent (it started after), or ambiguous (the call window
+// straddles the deadline, where either outcome is legal). Only the
+// definite classes assert exact results, so a failure is a real
+// consistency violation, never clock skew.
+
 type histEntry struct {
 	val   int
 	ok    bool
 	start int64 // stamped before the creating map op
 	end   int64 // stamped after the superseding map op; 0 = still current
+	// deadline is the armed TTL (absolute unix-nanos; 0 = none): the
+	// entry reads as live before it and as absent after it.
+	deadline int64
 }
 
 // refModel is the per-key-striped reference: stripe s guards hist[s].
@@ -67,7 +81,34 @@ func (m *refModel) record(k int, e histEntry) {
 	if h := m.hist[k]; len(h) > 0 {
 		h[len(h)-1].end = e.end
 	}
-	m.hist[k] = append(m.hist[k], histEntry{val: e.val, ok: e.ok, start: e.start})
+	m.hist[k] = append(m.hist[k], histEntry{val: e.val, ok: e.ok, start: e.start, deadline: e.deadline})
+}
+
+// arm stamps an armed TTL deadline onto the current entry. Caller holds
+// the stripe.
+func (m *refModel) arm(k int, deadline int64) {
+	if h := m.hist[k]; len(h) > 0 {
+		h[len(h)-1].deadline = deadline
+	}
+}
+
+// classify brackets the key's pre-op state against the op's wall-clock
+// window [t0, t1]: +1 definitely present, -1 definitely absent, 0
+// ambiguous (the window straddles the armed deadline). The map samples
+// its expiry clock strictly inside the call, so a call that returned
+// before the deadline saw the key live and one that started after saw
+// it dead. Caller holds the stripe.
+func (e histEntry) classify(t0, t1 int64) int {
+	switch {
+	case !e.ok:
+		return -1
+	case e.deadline == 0 || t1 <= e.deadline:
+		return +1
+	case t0 >= e.deadline:
+		return -1
+	default:
+		return 0
+	}
 }
 
 // liveWithin reports whether (k, v) was recorded as live at some point
@@ -112,7 +153,14 @@ func pagerOf(m ConcurrentMap[int, int]) rangePager {
 	}
 }
 
-func runLinearizabilityTest(t *testing.T, m ConcurrentMap[int, int]) {
+// expirer is the expiry surface the Sharded map exposes; the expiry
+// variants of the suite require it.
+type expirer interface {
+	Expire(k int, deadline int64) bool
+	Now() int64
+}
+
+func runLinearizabilityTest(t *testing.T, m ConcurrentMap[int, int], expiry bool) {
 	t.Helper()
 	defer m.Close()
 
@@ -125,7 +173,19 @@ func runLinearizabilityTest(t *testing.T, m ConcurrentMap[int, int]) {
 		opsPer = 500
 	}
 
+	ex, _ := any(m).(expirer)
+	if expiry && ex == nil {
+		t.Fatal("expiry run on a map without Expire")
+	}
+	// clk samples the same clock the map's expiry checks use; without an
+	// expiry surface the stamps are never consulted (deadline stays 0).
+	clk := func() int64 { return 0 }
+	if ex != nil {
+		clk = ex.Now
+	}
+
 	model := newRefModel(numKeys)
+	var maxDeadline atomic.Int64 // latest future deadline armed, waited out before final checks
 
 	var writersWg, scanWg sync.WaitGroup
 	var failed sync.Once
@@ -138,35 +198,126 @@ func runLinearizabilityTest(t *testing.T, m ConcurrentMap[int, int]) {
 		go func(w int) {
 			defer writersWg.Done()
 			rng := rand.New(rand.NewSource(int64(w) * 7919))
+			mix := 5
+			if expiry {
+				mix = 6 // case 5 = expire
+			}
 			for i := 0; i < opsPer; i++ {
 				k := rng.Intn(numKeys)
 				v := w*1_000_000 + i // unique per (worker, step)
 				model.stripes[k].Lock()
 				want := model.current(k)
-				switch rng.Intn(5) {
+				switch rng.Intn(mix) {
 				case 0, 1: // insert
+					t0 := clk()
 					pre := model.clock.Add(1)
 					old, existed := m.Insert(k, v)
 					post := model.clock.Add(1)
-					if existed != want.ok || (existed && old != want.val) {
-						fail("worker %d: Insert(%d) = (%d, %v), model (%d, %v)",
-							w, k, old, existed, want.val, want.ok)
+					t1 := clk()
+					switch want.classify(t0, t1) {
+					case +1:
+						if !existed || old != want.val {
+							fail("worker %d: Insert(%d) = (%d, %v), model (%d, %v)",
+								w, k, old, existed, want.val, want.ok)
+						}
+					case -1:
+						if existed {
+							fail("worker %d: Insert(%d) found (%d, true), model absent", w, k, old)
+						}
+					default:
+						if existed && old != want.val {
+							fail("worker %d: Insert(%d) found stale value %d, model (%d, %v)",
+								w, k, old, want.val, want.ok)
+						}
 					}
+					// An insert clears any armed TTL: the new entry has none.
 					model.record(k, histEntry{val: v, ok: true, start: pre, end: post})
 				case 2: // delete
+					t0 := clk()
 					pre := model.clock.Add(1)
 					got, ok := m.Delete(k)
 					post := model.clock.Add(1)
-					if ok != want.ok || (ok && got != want.val) {
-						fail("worker %d: Delete(%d) = (%d, %v), model (%d, %v)",
-							w, k, got, ok, want.val, want.ok)
+					t1 := clk()
+					switch want.classify(t0, t1) {
+					case +1:
+						if !ok || got != want.val {
+							fail("worker %d: Delete(%d) = (%d, %v), model (%d, %v)",
+								w, k, got, ok, want.val, want.ok)
+						}
+					case -1:
+						if ok {
+							fail("worker %d: Delete(%d) removed (%d, true), model absent", w, k, got)
+						}
+					default:
+						if ok && got != want.val {
+							fail("worker %d: Delete(%d) removed stale value %d, model (%d, %v)",
+								w, k, got, want.val, want.ok)
+						}
 					}
 					model.record(k, histEntry{ok: false, start: pre, end: post})
+				case 5: // expire (only in the expiry mix)
+					// Half the arms use an already-past deadline — a lazy
+					// delete whose reads must miss immediately — and half a
+					// short future one, whose passing the bracketed reads
+					// above then observe.
+					now := ex.Now()
+					dl := now - int64(time.Millisecond)
+					past := rng.Intn(2) == 0
+					if !past {
+						dl = now + int64(1+rng.Intn(4))*int64(time.Millisecond)
+					}
+					t0 := now
+					pre := model.clock.Add(1)
+					armed := ex.Expire(k, dl)
+					post := model.clock.Add(1)
+					t1 := ex.Now()
+					switch want.classify(t0, t1) {
+					case +1:
+						if !armed {
+							fail("worker %d: Expire(%d) = false, model has the key live", w, k)
+						}
+					case -1:
+						if armed {
+							fail("worker %d: Expire(%d) armed an absent key", w, k)
+						}
+					}
+					switch {
+					case armed && past:
+						// Armed with a dead deadline: a delete from every
+						// subsequent observer's point of view.
+						model.record(k, histEntry{ok: false, start: pre, end: post})
+					case armed:
+						model.arm(k, dl)
+						for {
+							cur := maxDeadline.Load()
+							if dl <= cur || maxDeadline.CompareAndSwap(cur, dl) {
+								break
+							}
+						}
+					case want.classify(t0, t1) != +1:
+						// Refused: the key was absent or already expired;
+						// either way it reads absent from here on.
+						model.record(k, histEntry{ok: false, start: pre, end: post})
+					}
 				default: // get
+					t0 := clk()
 					got, ok := m.Get(k)
-					if ok != want.ok || (ok && got != want.val) {
-						fail("worker %d: Get(%d) = (%d, %v), model (%d, %v)",
-							w, k, got, ok, want.val, want.ok)
+					t1 := clk()
+					switch want.classify(t0, t1) {
+					case +1:
+						if !ok || got != want.val {
+							fail("worker %d: Get(%d) = (%d, %v), model (%d, %v)",
+								w, k, got, ok, want.val, want.ok)
+						}
+					case -1:
+						if ok {
+							fail("worker %d: Get(%d) = (%d, true), model absent (expired or deleted)", w, k, got)
+						}
+					default:
+						if ok && got != want.val {
+							fail("worker %d: Get(%d) = stale %d, model (%d, %v)",
+								w, k, got, want.val, want.ok)
+						}
 					}
 				}
 				model.stripes[k].Unlock()
@@ -236,25 +387,45 @@ func runLinearizabilityTest(t *testing.T, m ConcurrentMap[int, int]) {
 		return
 	}
 
+	// Wait out the last armed deadline, so every surviving TTL is past
+	// and the final state is deterministic: an entry with a deadline is
+	// dead, everything else is exactly the model.
+	if dl := maxDeadline.Load(); dl != 0 {
+		for ex.Now() <= dl {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	finalLive := func(k int) (int, bool) {
+		cur := model.current(k)
+		if cur.ok && cur.deadline == 0 {
+			return cur.val, true
+		}
+		return 0, false
+	}
+
 	// Final contents must match the model exactly.
 	wantLen := 0
 	for k := range model.hist {
-		if model.current(k).ok {
+		if _, live := finalLive(k); live {
 			wantLen++
 		}
-	}
-	if m.Len() != wantLen {
-		t.Fatalf("final Len = %d, model has %d keys", m.Len(), wantLen)
 	}
 	type snapshotter interface {
 		Quiesce()
 		Items(visit func(k, v int) bool)
 	}
+	if m.Len() != wantLen {
+		t.Fatalf("final Len = %d, model has %d keys", m.Len(), wantLen)
+	}
 	if s, ok := any(m).(snapshotter); ok {
 		s.Quiesce()
 		var keys []int
 		s.Items(func(k, v int) bool {
-			if k < 0 || k >= numKeys || !model.current(k).ok || model.current(k).val != v {
+			want, live := 0, false
+			if k >= 0 && k < numKeys {
+				want, live = finalLive(k)
+			}
+			if !live || want != v {
 				t.Errorf("final Items: (%d, %d) not in model", k, v)
 				return false
 			}
@@ -279,7 +450,7 @@ func runLinearizabilityTest(t *testing.T, m ConcurrentMap[int, int]) {
 				t.Fatalf("final full-range page has %d pairs, model has %d", len(page), wantLen)
 			}
 			for _, kv := range page {
-				if cur := model.current(kv.Key); !cur.ok || cur.val != kv.Val {
+				if want, live := finalLive(kv.Key); !live || want != kv.Val {
 					t.Fatalf("final page pair (%d,%d) not in model", kv.Key, kv.Val)
 				}
 			}
@@ -288,23 +459,23 @@ func runLinearizabilityTest(t *testing.T, m ConcurrentMap[int, int]) {
 }
 
 func TestLinearizabilityM1(t *testing.T) {
-	runLinearizabilityTest(t, NewM1[int, int](Options{P: 4}))
+	runLinearizabilityTest(t, NewM1[int, int](Options{P: 4}), false)
 }
 
 func TestLinearizabilityM2(t *testing.T) {
-	runLinearizabilityTest(t, NewM2[int, int](Options{P: 4}))
+	runLinearizabilityTest(t, NewM2[int, int](Options{P: 4}), false)
 }
 
 func TestLinearizabilityShardedM1(t *testing.T) {
 	runLinearizabilityTest(t, NewSharded[int, int](ShardedOptions{
 		Options: Options{P: 2}, Shards: 4, Engine: EngineM1,
-	}))
+	}), false)
 }
 
 func TestLinearizabilityShardedM2(t *testing.T) {
 	runLinearizabilityTest(t, NewSharded[int, int](ShardedOptions{
 		Options: Options{P: 2}, Shards: 4, Engine: EngineM2,
-	}))
+	}), false)
 }
 
 // The front-cache variants run the same history checker with a small
@@ -315,11 +486,30 @@ func TestLinearizabilityShardedM2(t *testing.T) {
 func TestLinearizabilityFrontShardedM1(t *testing.T) {
 	runLinearizabilityTest(t, NewSharded[int, int](ShardedOptions{
 		Options: Options{P: 2}, Shards: 4, Engine: EngineM1, FrontCache: 256,
-	}))
+	}), false)
 }
 
 func TestLinearizabilityFrontShardedM2(t *testing.T) {
 	runLinearizabilityTest(t, NewSharded[int, int](ShardedOptions{
 		Options: Options{P: 2}, Shards: 4, Engine: EngineM2, FrontCache: 256,
-	}))
+	}), false)
+}
+
+// The expiry variants add Expire ops to the mix — half already-past
+// deadlines (lazy deletes), half short future ones — and model an armed
+// TTL as a delete taking effect at the key's absolute deadline, with
+// every result classified by wall-clock bracketing. The front cache is
+// on, so the commit-boundary invalidation of expired keys is checked by
+// the same history (a stale cached read of an expired key fails the
+// definitely-absent assertion).
+func TestLinearizabilityExpiryShardedM1(t *testing.T) {
+	runLinearizabilityTest(t, NewSharded[int, int](ShardedOptions{
+		Options: Options{P: 2}, Shards: 4, Engine: EngineM1, FrontCache: 256,
+	}), true)
+}
+
+func TestLinearizabilityExpiryShardedM2(t *testing.T) {
+	runLinearizabilityTest(t, NewSharded[int, int](ShardedOptions{
+		Options: Options{P: 2}, Shards: 4, Engine: EngineM2, FrontCache: 256,
+	}), true)
 }

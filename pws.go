@@ -62,6 +62,12 @@ const (
 	// lock. On a Sharded map use RangePage (ranges broadcast to every
 	// shard; routing one through Apply panics).
 	OpRange = core.OpRange
+	// OpExpire arms Op.Deadline (absolute unix-nanos; 0 clears) as the
+	// key's TTL. Only meaningful on a Sharded map, which owns the expiry
+	// tables; to the engines it is a recency-touching read. From the
+	// deadline on the key reads as absent, and a commit-boundary sweep
+	// removes it lazily.
+	OpExpire = core.OpExpire
 )
 
 // PivotStrategy selects how the parallel entropy sort picks pivots.
@@ -111,6 +117,16 @@ type Options struct {
 	// induces, retrievable via the map's DrainLinearization method, so the
 	// working-set bound W_L can be computed for experiments.
 	RecordLinearization bool
+	// MaxBytes, when positive, bounds the map's approximate resident
+	// bytes (keys + values + per-item structural overhead): at batch
+	// boundaries the engine evicts its least-recent items — the cold end
+	// of the working-set hierarchy, exactly the keys the paper's recency
+	// structure already keeps deepest — until back under budget. Evicted
+	// keys vanish as if deleted. 0 means unbounded (byte accounting
+	// still runs, so Bytes reports the footprint either way). On a
+	// Sharded map prefer ShardedOptions.MaxBytes, which is a global
+	// budget split across shards.
+	MaxBytes int64
 }
 
 func (o Options) toConfig() core.Config {
@@ -120,6 +136,7 @@ func (o Options) toConfig() core.Config {
 		Counter:             o.Counter,
 		Obs:                 o.Obs,
 		RecordLinearization: o.RecordLinearization,
+		MaxBytes:            o.MaxBytes,
 	}
 }
 
@@ -233,7 +250,19 @@ type ShardedOptions struct {
 	// disables the front. Hits appear in the depth telemetry as source
 	// "front" at depth 0.
 	FrontCache int
+	// MaxBytes, when positive, is the map's global byte budget: split
+	// evenly across shards, enforced at batch boundaries by evicting
+	// each shard's least-recent items (see Options.MaxBytes). Overrides
+	// any per-engine Options.MaxBytes. 0 means unbounded.
+	MaxBytes int64
+	// Clock supplies the TTL clock as absolute unix-nanos (tests inject
+	// a fake). Defaults to time.Now().UnixNano.
+	Clock func() int64
 }
+
+// MemStats is a Sharded map's bounded-memory health snapshot,
+// returned by Sharded.Mem.
+type MemStats = shard.MemStats
 
 // Sharded is a hash-sharded concurrent ordered map: operations are routed
 // by key hash to one of S independent per-shard working-set maps, so
@@ -257,5 +286,7 @@ func NewSharded[K cmp.Ordered, V any](o ShardedOptions) *Sharded[K, V] {
 		Shard:      o.toConfig(),
 		Telemetry:  o.Telemetry,
 		FrontCache: o.FrontCache,
+		MaxBytes:   o.MaxBytes,
+		Clock:      o.Clock,
 	})}
 }
