@@ -288,6 +288,101 @@ func TestFrontCacheEviction(t *testing.T) {
 	}
 }
 
+// TestPointOpSweepReclaims: the lazy sweep must also fire from the
+// singleton Get/Insert/Delete paths, not only from the batch Apply
+// paths — a library workload using only point ops would otherwise never
+// physically reclaim expired keys (reads stay correct via the ghost
+// consult, but residency, the deadline table and the heap grow until
+// each dead key happens to be re-observed).
+func TestPointOpSweepReclaims(t *testing.T) {
+	for _, e := range engines() {
+		t.Run(e.name, func(t *testing.T) {
+			clk := newFakeClock(1000)
+			m := newTTLMap(e.eng, clk, 0, 0)
+			defer m.Close()
+
+			const dying = 16
+			for i := 0; i < dying; i++ {
+				m.Insert(fmt.Sprintf("k%02d", i), "v")
+			}
+			for i := 0; i < dying; i++ {
+				m.Expire(fmt.Sprintf("k%02d", i), 2000)
+			}
+			clk.now.Store(2000)
+
+			// One unrelated point op per flavor; none touches a dying
+			// key, yet the boundary sweep they trigger retires them all.
+			m.Get("nope")
+			m.Insert("other", "v")
+			m.Delete("other")
+			if st := m.Mem(); st.TTLs != 0 || st.Expired != dying {
+				t.Fatalf("point ops left ghosts unswept: %+v, want TTLs 0 Expired %d", st, dying)
+			}
+			if n := m.Len(); n != 0 {
+				t.Fatalf("Len after point-op sweep = %d, want 0", n)
+			}
+		})
+	}
+}
+
+// TestFrontCacheExpiryRetireRace hammers FrontGet across the retirement
+// of an expired key's table entry. The ordering contract under test:
+// FrontGet consults the expiry table BEFORE probing the front, and every
+// retirement drops the front slot BEFORE removing its table entry — so
+// no interleaving lets a reader that missed the (already-removed) entry
+// go on to serve the dead value from the front. The reader records the
+// clock before each probe: a hit whose pre-probe clock is at or past the
+// deadline is a definite violation.
+func TestFrontCacheExpiryRetireRace(t *testing.T) {
+	for _, e := range engines() {
+		t.Run(e.name, func(t *testing.T) {
+			clk := newFakeClock(0)
+			m := newTTLMap(e.eng, clk, 64, 0)
+			defer m.Close()
+
+			const iters = 200
+			for it := 0; it < iters; it++ {
+				base := int64(it * 1000)
+				deadline := base + 500
+				clk.now.Store(base)
+				m.Insert("hot", "v")
+				m.Get("hot") // warm the front
+				m.Expire("hot", deadline)
+
+				stop := make(chan struct{})
+				done := make(chan struct{})
+				violated := make(chan int64, 1)
+				go func() {
+					defer close(done)
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						before := clk.now.Load()
+						if _, ok := m.FrontGet("hot"); ok && before >= deadline {
+							violated <- before
+							return
+						}
+					}
+				}()
+
+				clk.now.Store(deadline)
+				m.Get("hot") // engine observation retires the entry
+				close(stop)
+				<-done
+				select {
+				case now := <-violated:
+					t.Fatalf("iter %d: front served a value at clock %d, deadline %d", it, now, deadline)
+				default:
+				}
+				m.Delete("hot")
+			}
+		})
+	}
+}
+
 // TestExpTableDueKeys exercises the sidecar's lazy heap directly:
 // cleared and re-armed deadlines leave stale heap entries that dueKeys
 // must discard, and collected keys keep their table entries (the

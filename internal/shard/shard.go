@@ -225,6 +225,13 @@ func New[K cmp.Ordered, V any](cfg Config) *Map[K, V] {
 		// incarnations as the engine observes them. Each transition
 		// that kills a resident value also drops its front slot, so
 		// the front can never outlive the engine's copy.
+		// Every hook that removes a table entry drops the key's front
+		// slot FIRST. FrontGet consults the table before probing the
+		// front, so this order closes the retirement race: a reader
+		// that misses the entry is guaranteed to also miss the slot.
+		// (frontDrop is idempotent; the hooks run at the key's engine
+		// serialization point, so the check-then-remove pairs below
+		// cannot interleave with another mutation of the same key.)
 		m.shards[i].SetTTLHooks(&core.TTLHooks[K]{
 			Ghost: func(k K) bool {
 				// Armed-count gate first: with no TTLs in the shard
@@ -233,16 +240,21 @@ func New[K cmp.Ordered, V any](cfg Config) *Map[K, V] {
 				if t.n.Load() == 0 {
 					return false
 				}
-				if t.ghost(k, m.now()) {
-					m.frontDrop(k)
+				now := m.now()
+				if !t.expired(k, now) {
+					return false
+				}
+				m.frontDrop(k)
+				if t.ghost(k, now) {
 					m.expired.Add(1)
 					return true
 				}
 				return false
 			},
 			Clear: func(k K) {
-				if t.clear(k) {
+				if t.deadline(k) != 0 {
 					m.frontDrop(k)
+					t.clear(k)
 				}
 			},
 			Arm: func(k K, deadline int64) bool {
@@ -252,8 +264,8 @@ func New[K cmp.Ordered, V any](cfg Config) *Map[K, V] {
 					// any deadline a prior EXPIRE armed — the key is
 					// about to vanish, and a leftover entry would be
 					// counted as an unswept ghost forever.
-					t.clear(k)
 					m.frontDrop(k)
+					t.clear(k)
 					m.expired.Add(1)
 					return true
 				}
@@ -300,15 +312,23 @@ func (m *Map[K, V]) FrontGet(k K) (V, bool) {
 	}
 	h := maphash.Comparable(m.seed, k)
 	s := h % uint64(len(m.shards))
-	v, ok := m.fronts[s].Get(h, k)
-	if ok && m.exp[s].n.Load() > 0 && m.exp[s].expired(k, m.now()) {
-		// The front held a key already past its deadline: expired is a
-		// miss even before the sweep. Drop the slot so later probes
-		// miss without the deadline check.
+	// Deadline consult BEFORE the front probe. Paired with the writer
+	// order in the TTL hooks and eviction callback — drop the front
+	// slot, then retire the table entry — this makes serving a
+	// past-deadline value impossible in every interleaving: if this
+	// consult misses the (removed) entry, the removal already dropped
+	// the front slot, so the probe below misses too. The reverse read
+	// order (probe, then consult) had a window where a retirement
+	// between the two steps served the dead value.
+	if m.exp[s].n.Load() > 0 && m.exp[s].expired(k, m.now()) {
+		// Past its deadline but not yet retired: expired is a miss even
+		// before the sweep. Drop the slot so later probes miss without
+		// the deadline check.
 		m.fronts[s].Invalidate(h, k)
 		var zero V
 		return zero, false
 	}
+	v, ok := m.fronts[s].Get(h, k)
 	if ok {
 		m.mobs.Engine(int(s)).RecordLookup(obs.SrcFront, 0, 1)
 	}
@@ -414,11 +434,13 @@ func (m *Map[K, V]) commitBoundary(batches [][]core.Op[K, V]) {
 // absent, so the get neither revives recency nor returns a value). A
 // write racing the sweep serializes with the observation either way:
 // if it resolves first it clears the deadline and the get degrades to
-// a harmless read of the fresh value. Runs only at commit boundaries —
-// never on the per-op hot path — and the common no-TTL and nothing-due
-// batches pay S atomic loads and no clock read. Concurrent sweeps are
-// safe: dueKeys hands out disjoint key sets and ghost retirement is
-// exactly-once.
+// a harmless read of the fresh value. Runs at batch commit boundaries
+// and after the singleton Get/Insert/Delete point ops (so a library
+// workload that never batches still reclaims expired keys); the common
+// no-TTL and nothing-due cases pay S atomic loads, no clock read and no
+// allocation, keeping the due-key work itself off the per-op hot path.
+// Concurrent sweeps are safe: dueKeys hands out disjoint key sets and
+// ghost retirement is exactly-once.
 func (m *Map[K, V]) sweep() {
 	var now int64
 	for s, t := range m.exp {
@@ -468,6 +490,7 @@ func (m *Map[K, V]) Get(k K) (V, bool) {
 	t := m.FrontReserve(k, nil)
 	m.enter()
 	v, ok := m.shards[m.shardOf(k)].Get(k)
+	m.sweep()
 	m.pending.Done()
 	// No expiry post-check: the engine's own resolution consulted the
 	// ghost hook at the key's serialization point, so an expired key
@@ -486,6 +509,7 @@ func (m *Map[K, V]) Insert(k K, v V) (V, bool) {
 	// value semantics resolved in-engine via the hooks; the boundary
 	// only owes the front-cache write invalidation.
 	m.frontDrop(k)
+	m.sweep()
 	return prev, ok
 }
 
@@ -496,6 +520,7 @@ func (m *Map[K, V]) Delete(k K) (V, bool) {
 	defer m.pending.Done()
 	prev, ok := m.shards[m.shardOf(k)].Delete(k)
 	m.frontDrop(k)
+	m.sweep()
 	return prev, ok
 }
 

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 )
 
 // Frame layout (one frame == one committed cut batch, the atomic unit
@@ -145,8 +146,13 @@ func decodePayload(payload []byte, dst []Record) ([]Record, error) {
 			val = string(payload[:vlen])
 			payload = payload[vlen:]
 		case 2:
+			// Any uvarint that fits int64 is a legal deadline: the writer
+			// encodes whatever deadline the server armed, so a tighter cap
+			// here (an earlier revision rejected > 1<<62) would turn a
+			// legally-acked long TTL into a "torn" frame at recovery —
+			// truncating acked batches or failing replay outright.
 			dl, w := binary.Uvarint(payload)
-			if w <= 0 || dl > 1<<62 {
+			if w <= 0 || dl > math.MaxInt64 {
 				return dst, fmt.Errorf("%w: bad expire deadline", errTorn)
 			}
 			payload = payload[w:]

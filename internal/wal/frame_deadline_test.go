@@ -1,0 +1,61 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// TestFrameMaxDeadlineRoundTrip pins the decode-side deadline cap to the
+// full int64 range. The server may legally arm a deadline of
+// now + wire.MaxExpireSeconds (about a century out), which exceeds 1<<62
+// unix-nanos — an earlier decode cap of 1<<62 turned such an acked,
+// written record into a "torn" frame at recovery, silently truncating
+// acked batches or failing replay on sealed segments.
+func TestFrameMaxDeadlineRoundTrip(t *testing.T) {
+	maxDL := time.Now().UnixNano() + wire.MaxExpireSeconds*int64(time.Second)
+	if maxDL <= 1<<62 {
+		t.Fatalf("test premise: max armable deadline %d should exceed 1<<62", maxDL)
+	}
+	for _, dl := range []int64{1, 1 << 62, maxDL, math.MaxInt64} {
+		recs := []Record{
+			{Key: "k", Val: "v"},
+			{Key: "ttl", Expire: true, Deadline: dl},
+		}
+		frame := appendFrame(nil, recs)
+		got, _, err := newFrameScanner(bytes.NewReader(frame), 0).next()
+		if err != nil {
+			t.Fatalf("deadline %d: frame rejected: %v", dl, err)
+		}
+		if len(got) != len(recs) || got[1] != recs[1] {
+			t.Fatalf("deadline %d: round-trip got %+v want %+v", dl, got, recs)
+		}
+	}
+}
+
+// TestFrameDeadlineOverflowTorn verifies a deadline uvarint that does not
+// fit int64 is still rejected as torn (the writer can never produce one,
+// so it is genuine corruption).
+func TestFrameDeadlineOverflowTorn(t *testing.T) {
+	var payload []byte
+	payload = binary.AppendUvarint(payload, 1) // one record
+	payload = append(payload, 2)               // kind = expire
+	payload = binary.AppendUvarint(payload, 1) // klen
+	payload = append(payload, 'k')
+	payload = binary.AppendUvarint(payload, uint64(math.MaxInt64)+1)
+
+	frame := make([]byte, 8, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, crcTable))
+	frame = append(frame, payload...)
+
+	_, _, err := newFrameScanner(bytes.NewReader(frame), 0).next()
+	if err == nil || !IsTorn(err) {
+		t.Fatalf("out-of-range deadline should be torn, got %v", err)
+	}
+}
